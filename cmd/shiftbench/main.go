@@ -1,0 +1,36 @@
+// Command shiftbench regenerates the paper's evaluation tables and
+// figures (Tables 1–3, Figures 6–9, and the §4.4 ablation).
+//
+// Usage:
+//
+//	shiftbench [-experiment all|table1|table2|table3|fig6|fig7|fig8|fig9|ablation]
+//	           [-scale-div N] [-requests N]
+//
+// -scale-div divides the benchmarks' reference input sizes (1 = the full
+// evaluation; larger values run proportionally faster). -requests sets
+// the Figure 6 request count (the paper used 1000).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shift/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run (all, table1, table2, table3, fig6, fig7, fig8, fig9, ablation)")
+	scaleDiv := flag.Int("scale-div", 1, "divide reference input scales by this factor")
+	requests := flag.Int("requests", 1000, "Figure 6 request count")
+	flag.Parse()
+
+	if *scaleDiv < 1 {
+		fmt.Fprintln(os.Stderr, "shiftbench: -scale-div must be >= 1")
+		os.Exit(2)
+	}
+	if err := bench.PrintAll(os.Stdout, *experiment, *scaleDiv, *requests); err != nil {
+		fmt.Fprintln(os.Stderr, "shiftbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,149 @@
+// Command shiftrun compiles a minic program and executes it on the
+// simulated machine, with or without SHIFT protection, reporting output,
+// alerts and performance counters.
+//
+// Usage:
+//
+//	shiftrun [-protect] [-gran byte|word] [-enhancements] [-policy file]
+//	         [-net string] [-stdin string] [-file name=path ...]
+//	         [-arg value ...] [-counters] prog.mc
+//
+// -net supplies network input (a taint source), -file mounts a host file
+// into the simulated filesystem, -arg appends a program argument.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"shift/internal/isa"
+	"shift/internal/machine"
+	"shift/internal/policy"
+	"shift/internal/shift"
+	"shift/internal/taint"
+)
+
+// listFlag collects repeated string flags.
+type listFlag []string
+
+func (l *listFlag) String() string     { return strings.Join(*l, ",") }
+func (l *listFlag) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	protect := flag.Bool("protect", false, "run under SHIFT taint tracking and policies")
+	gran := flag.String("gran", "byte", "tracking granularity: byte or word")
+	enhance := flag.Bool("enhancements", false, "enable the proposed enhancement instructions")
+	policyFile := flag.String("policy", "", "policy configuration file")
+	netIn := flag.String("net", "", "network input bytes")
+	stdinIn := flag.String("stdin", "", "standard input bytes")
+	counters := flag.Bool("counters", false, "print cycle and instruction counters")
+	profile := flag.Bool("profile", false, "print the per-function execution profile")
+	var files, args listFlag
+	flag.Var(&files, "file", "mount name=hostpath into the simulated filesystem (repeatable)")
+	flag.Var(&args, "arg", "program argument (repeatable)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "shiftrun: exactly one program expected")
+		os.Exit(2)
+	}
+
+	opt := shift.Options{Instrument: *protect, Profile: *profile}
+	switch *gran {
+	case "byte":
+		opt.Granularity = taint.Byte
+	case "word":
+		opt.Granularity = taint.Word
+	default:
+		fmt.Fprintf(os.Stderr, "shiftrun: unknown granularity %q\n", *gran)
+		os.Exit(2)
+	}
+	if *enhance {
+		opt.Features = machine.Features{SetClrNaT: true, NaTAwareCmp: true}
+	}
+	if *policyFile != "" {
+		text, err := os.ReadFile(*policyFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shiftrun:", err)
+			os.Exit(1)
+		}
+		conf, err := policy.Parse(string(text))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shiftrun:", err)
+			os.Exit(1)
+		}
+		opt.Policy = conf
+	}
+
+	text, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shiftrun:", err)
+		os.Exit(1)
+	}
+
+	world := shift.NewWorld()
+	world.NetIn = []byte(*netIn)
+	world.Stdin = []byte(*stdinIn)
+	world.Args = args
+	for _, spec := range files {
+		name, host, ok := strings.Cut(spec, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "shiftrun: bad -file %q (want name=hostpath)\n", spec)
+			os.Exit(2)
+		}
+		content, err := os.ReadFile(host)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shiftrun:", err)
+			os.Exit(1)
+		}
+		world.Files[name] = content
+	}
+
+	res, err := shift.BuildAndRun([]shift.Source{{Name: flag.Arg(0), Text: string(text)}}, world, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shiftrun:", err)
+		os.Exit(1)
+	}
+
+	os.Stdout.Write(res.World.Stdout)
+	if len(res.World.NetOut) > 0 {
+		fmt.Printf("--- network output (%d bytes) ---\n%s\n", len(res.World.NetOut), res.World.NetOut)
+	}
+	if len(res.World.HTMLOut) > 0 {
+		fmt.Printf("--- html output (%d bytes) ---\n%s\n", len(res.World.HTMLOut), res.World.HTMLOut)
+	}
+	if res.Alert != nil {
+		fmt.Printf("*** %s\n", res.Alert)
+	}
+	if res.Trap != nil {
+		fmt.Printf("*** trap: %v\n", res.Trap)
+	}
+	if *profile {
+		fmt.Println("--- function profile (instructions retired) ---")
+		for _, h := range res.Machine.FunctionProfile() {
+			fmt.Printf("  %-24s %12d\n", h.Symbol, h.Count)
+		}
+		fmt.Println("--- hottest instructions ---")
+		for _, h := range res.Machine.Hotspots(10) {
+			fmt.Printf("  %6d x pc=%-6d %-16s %s\n", h.Count, h.PC, h.Symbol, h.Ins)
+		}
+	}
+	if *counters {
+		fmt.Printf("cycles: %d  instructions: %d\n", res.Cycles, res.Retired)
+		for cls := isa.CostClass(0); cls < isa.NumCostClasses; cls++ {
+			if res.CyclesByClass[cls] > 0 {
+				fmt.Printf("  %-12s %12d cycles\n", cls, res.CyclesByClass[cls])
+			}
+		}
+	}
+	switch {
+	case res.Alert != nil:
+		os.Exit(3)
+	case res.Trap != nil:
+		os.Exit(4)
+	default:
+		os.Exit(int(res.ExitStatus) & 0x7f)
+	}
+}

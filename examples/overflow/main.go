@@ -1,0 +1,90 @@
+// Overflow: the paper's Figure 1 — the qwik-smtpd 0.3 buffer overflow.
+// An unchecked strcpy of attacker input into clientHELO[32] overruns into
+// the adjacent localIP buffer; the attacker forges localIP to equal their
+// own address and the relay check passes. With SHIFT, the overflowing
+// bytes carry taint into localIP's tag bits, and the Figure-1 check
+// ("if (Tainted(localip)) Alert") fires before the relay decision.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"shift/internal/shift"
+)
+
+const smtpd = `
+char clientHELO[32];
+char localIP[64];
+
+void main() {
+	char clientIP[16];
+	strcpy(localIP, "127.0.0.1");
+	strcpy(clientIP, "10.0.0.99");     // the peer's address
+
+	char arg2[128];
+	int n = recv(arg2, 128);
+	if (n <= 0) exit(3);
+
+	// Figure 1 line 5: "no check for length of arg2!"
+	strcpy(clientHELO, arg2);
+
+	// Figure 1's exploit detection: alert if untrusted data reached
+	// localIP.
+	if (is_tainted(localIP, 9)) {
+		println("Exploit! localIP was overwritten by untrusted data");
+		exit(2);
+	}
+
+	// Figure 1 lines 6-9: relay only for localhost.
+	if (strcasecmp(clientIP, "127.0.0.1") == 0 || strcasecmp(clientIP, localIP) == 0) {
+		println("RELAY GRANTED");
+		exit(1);
+	}
+	println("relay denied");
+	exit(0);
+}
+`
+
+func run(input string, protect bool) *shift.Result {
+	w := shift.NewWorld()
+	w.NetIn = []byte(input)
+	res, err := shift.BuildAndRun([]shift.Source{{Name: "qwik-smtpd.mc", Text: smtpd}},
+		w, shift.Options{Instrument: protect})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Trap != nil {
+		log.Fatalf("trap: %v", res.Trap)
+	}
+	return res
+}
+
+func main() {
+	benign := "mail.example.com"
+	// 32 bytes of filler reach the end of clientHELO; the tail lands in
+	// localIP and equals the attacker's own address.
+	exploit := strings.Repeat("A", 32) + "10.0.0.99"
+
+	res := run(benign, false)
+	fmt.Printf("baseline, benign HELO:   %s", res.World.Stdout)
+
+	res = run(exploit, false)
+	fmt.Printf("baseline, exploit HELO:  %s", res.World.Stdout)
+	if res.ExitStatus != 1 {
+		log.Fatal("expected the unprotected relay check to be bypassed")
+	}
+
+	res = run(benign, true)
+	fmt.Printf("SHIFT, benign HELO:      %s", res.World.Stdout)
+	if res.Alert != nil {
+		log.Fatalf("false positive: %v", res.Alert)
+	}
+
+	res = run(exploit, true)
+	fmt.Printf("SHIFT, exploit HELO:     %s", res.World.Stdout)
+	if res.ExitStatus != 2 {
+		log.Fatal("expected the taint check to catch the overflow")
+	}
+}

@@ -1,0 +1,60 @@
+// Quickstart: build a minic program with SHIFT instrumentation, feed it
+// tainted network input, and watch the deferred-exception hardware catch
+// a tainted pointer dereference (policy L1) — the end-to-end flow of the
+// paper in one page.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shift/internal/shift"
+)
+
+// program reads a message from the network and, foolishly, uses one of
+// its bytes as a table index with no bounds check.
+const program = `
+int table[256];
+
+void main() {
+	char msg[32];
+	int n = recv(msg, 32);
+	if (n <= 0) exit(1);
+
+	// Bug: msg[0] is attacker-controlled and unchecked.
+	int idx = msg[0];
+	int v = table[idx];
+	exit(v == 0 ? 0 : 1);
+}
+`
+
+func main() {
+	// First, the unprotected baseline: the lookup silently succeeds.
+	world := shift.NewWorld()
+	world.NetIn = []byte{42}
+	base, err := shift.BuildAndRun([]shift.Source{{Name: "lookup.mc", Text: program}},
+		world, shift.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unprotected: exit=%d alert=%v (the bug goes unnoticed)\n",
+		base.ExitStatus, base.Alert)
+
+	// Now under SHIFT: the network bytes are tainted at the recv
+	// boundary, the taint rides the NaT bit into idx, and the load
+	// through a tainted address raises a NaT-consumption fault that the
+	// policy engine classifies as L1.
+	world = shift.NewWorld()
+	world.NetIn = []byte{42}
+	res, err := shift.BuildAndRun([]shift.Source{{Name: "lookup.mc", Text: program}},
+		world, shift.Options{Instrument: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Alert == nil {
+		log.Fatal("expected an L1 alert")
+	}
+	fmt.Printf("with SHIFT:  %s\n", res.Alert)
+	fmt.Printf("             (%d cycles to the alert; the clean baseline took %d)\n",
+		res.Cycles, base.Cycles)
+}

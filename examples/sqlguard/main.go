@@ -1,0 +1,76 @@
+// Sqlguard: policies are plain-text configuration, decoupled from the
+// tracking mechanism (the paper's central design point). The same FAQ
+// application runs once with H3 enabled — catching an injection — and
+// once with a policy file that leaves H3 off, showing the mechanism
+// never hard-codes the policy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shift/internal/policy"
+	"shift/internal/shift"
+)
+
+const app = `
+char id[128];
+char q[512];
+
+void main() {
+	int n = recv(id, 128);
+	if (n <= 0) exit(1);
+	strcpy(q, "SELECT answer FROM faqdata WHERE qid = '");
+	strcat(q, id);
+	strcat(q, "'");
+	sql_exec(q);
+	exit(0);
+}
+`
+
+const strictPolicy = `
+# the FAQ frontend: network input is untrusted
+granularity byte
+source network
+enable H3 L1 L2 L3
+`
+
+const lenientPolicy = `
+# same sources, but no SQL policy
+granularity byte
+source network
+enable L1 L2 L3
+`
+
+func run(policyText, input string) *shift.Result {
+	conf, err := policy.Parse(policyText)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := shift.NewWorld()
+	w.NetIn = []byte(input)
+	res, err := shift.BuildAndRun([]shift.Source{{Name: "faq.mc", Text: app}},
+		w, shift.Options{Instrument: true, Policy: conf})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	injection := "42' UNION SELECT password FROM users WHERE '1'='1"
+
+	res := run(strictPolicy, "20060915")
+	fmt.Printf("benign id under H3:      alert=%v  queries=%d\n", res.Alert, len(res.World.SQLLog))
+
+	res = run(strictPolicy, injection)
+	if res.Alert == nil {
+		log.Fatal("injection missed under H3")
+	}
+	fmt.Printf("injection under H3:      %s\n", res.Alert)
+
+	res = run(lenientPolicy, injection)
+	fmt.Printf("injection, H3 disabled:  alert=%v — query reached the database:\n  %q\n",
+		res.Alert, res.World.SQLLog[0])
+	fmt.Println("same binary mechanism, different outcomes: policy is configuration")
+}

@@ -1,0 +1,316 @@
+// Package asm implements a two-pass assembler (and, via isa, a
+// disassembler) for the simulated ISA. It exists so that fixtures, tests
+// and the runtime library can be written in readable assembly, and so the
+// compiler's output can be dumped, inspected and re-assembled — the
+// round-trip is property-tested.
+//
+// Syntax (one instruction or directive per line):
+//
+//	; comment            // comment            # comment
+//	label:
+//	    (p6) add r1 = r2, r3
+//	    addi r1 = r2, -8
+//	    movl r1 = 4096            movl r2 = symbol     (data symbol)
+//	    cmp.eq p1, p2 = r1, r2    cmpi.ltu p1, p2 = r1, 10
+//	    cmp.na.eq p1, p2 = r1, r2
+//	    tnat p6, p7 = r3
+//	    ld8 r1 = [r2]   ld1.s r1 = [r2]   ld8.fill r1 = [r2], 3
+//	    st8 [r2] = r1   st8.spill [r2] = r1, 3
+//	    chk.s r1, recover
+//	    br loop         br.call b0 = func     br.ret b0     br.ind b6
+//	    mov r1 = r2     mov b0 = r1           mov r1 = b0
+//	    setnat r1       clrnat r1             syscall 2     nop
+//
+// Data directives (in a .data section):
+//
+//	.data
+//	buf:    .space 64
+//	msg:    .asciz "hello"
+//	nums:   .word8 1, 2, 3
+//	bytes:  .byte 0x41, 66
+//	        .align 8
+//	.text
+//	.entry main
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"shift/internal/isa"
+	"shift/internal/mem"
+)
+
+// Options configures assembly.
+type Options struct {
+	// DataBase is the virtual address where the data image is loaded.
+	// Zero selects the default (region 1, offset 0x10000).
+	DataBase uint64
+}
+
+// DefaultDataBase is the data image origin when Options.DataBase is zero.
+var DefaultDataBase = mem.Addr(1, 0x10000)
+
+// Error is an assembly diagnostic with a line number.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type assembler struct {
+	opts   Options
+	prog   *isa.Program
+	data   []byte
+	inData bool
+	entry  string
+}
+
+// Assemble parses source into a linked, validated program.
+func Assemble(source string, opts Options) (*isa.Program, error) {
+	if opts.DataBase == 0 {
+		opts.DataBase = DefaultDataBase
+	}
+	a := &assembler{
+		opts: opts,
+		prog: &isa.Program{
+			Symbols:     make(map[string]int),
+			DataSymbols: make(map[string]uint64),
+			DataBase:    opts.DataBase,
+		},
+	}
+	lines := strings.Split(source, "\n")
+
+	// Pass 1: lay out data and record all symbols so pass 2 can resolve
+	// movl references to data labels.
+	if err := a.pass(lines, 1); err != nil {
+		return nil, err
+	}
+	// Pass 2: encode instructions.
+	a.prog.Text = nil
+	a.inData = false
+	if err := a.pass(lines, 2); err != nil {
+		return nil, err
+	}
+
+	a.prog.Data = a.data
+	if a.entry != "" {
+		e, ok := a.prog.Symbols[a.entry]
+		if !ok {
+			return nil, &Error{Line: 0, Msg: fmt.Sprintf("undefined entry symbol %q", a.entry)}
+		}
+		a.prog.Entry = e
+	}
+	if err := a.prog.Link(); err != nil {
+		return nil, err
+	}
+	if err := a.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return a.prog, nil
+}
+
+func (a *assembler) pass(lines []string, pass int) error {
+	a.data = a.data[:0]
+	for ln, raw := range lines {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly several, possibly followed by code).
+		for {
+			idx := strings.Index(line, ":")
+			if idx < 0 || !isIdent(strings.TrimSpace(line[:idx])) {
+				break
+			}
+			name := strings.TrimSpace(line[:idx])
+			if err := a.defineLabel(name, ln+1, pass); err != nil {
+				return err
+			}
+			line = strings.TrimSpace(line[idx+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			if err := a.directive(line, ln+1, pass); err != nil {
+				return err
+			}
+			continue
+		}
+		if a.inData {
+			return &Error{Line: ln + 1, Msg: "instruction in .data section"}
+		}
+		if pass == 1 {
+			// Count instructions so label indices are right in pass 1.
+			a.prog.Text = append(a.prog.Text, isa.Instruction{Op: isa.OpNop})
+			continue
+		}
+		ins, err := ParseInstruction(line)
+		if err != nil {
+			return &Error{Line: ln + 1, Msg: err.Error()}
+		}
+		// Resolve data symbols in movl immediates.
+		if ins.Op == isa.OpMovl && ins.Label != "" {
+			addr, ok := a.prog.DataSymbols[ins.Label]
+			if !ok {
+				return &Error{Line: ln + 1, Msg: fmt.Sprintf("undefined data symbol %q", ins.Label)}
+			}
+			ins.Imm = int64(addr + uint64(ins.Imm))
+			ins.Label = ""
+		}
+		a.prog.Text = append(a.prog.Text, *ins)
+	}
+	return nil
+}
+
+func (a *assembler) defineLabel(name string, line, pass int) error {
+	if a.inData {
+		if pass == 1 {
+			if _, dup := a.prog.DataSymbols[name]; dup {
+				return &Error{Line: line, Msg: fmt.Sprintf("duplicate data symbol %q", name)}
+			}
+			a.prog.DataSymbols[name] = a.opts.DataBase + uint64(len(a.data))
+		}
+		return nil
+	}
+	if pass == 1 {
+		if _, dup := a.prog.Symbols[name]; dup {
+			return &Error{Line: line, Msg: fmt.Sprintf("duplicate label %q", name)}
+		}
+		a.prog.Symbols[name] = len(a.prog.Text)
+	}
+	return nil
+}
+
+func (a *assembler) directive(line string, ln, pass int) error {
+	fields := strings.SplitN(line, " ", 2)
+	dir := fields[0]
+	rest := ""
+	if len(fields) > 1 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	switch dir {
+	case ".data":
+		a.inData = true
+	case ".text":
+		a.inData = false
+	case ".entry":
+		if !isIdent(rest) {
+			return &Error{Line: ln, Msg: ".entry needs a label"}
+		}
+		a.entry = rest
+	case ".byte", ".word8", ".space", ".align", ".ascii", ".asciz":
+		if !a.inData {
+			return &Error{Line: ln, Msg: dir + " outside .data"}
+		}
+		return a.dataDirective(dir, rest, ln)
+	default:
+		return &Error{Line: ln, Msg: "unknown directive " + dir}
+	}
+	return nil
+}
+
+func (a *assembler) dataDirective(dir, rest string, ln int) error {
+	switch dir {
+	case ".byte", ".word8":
+		for _, f := range splitArgs(rest) {
+			v, err := parseInt(f)
+			if err != nil {
+				return &Error{Line: ln, Msg: err.Error()}
+			}
+			if dir == ".byte" {
+				a.data = append(a.data, byte(v))
+			} else {
+				for i := 0; i < 8; i++ {
+					a.data = append(a.data, byte(uint64(v)>>(8*i)))
+				}
+			}
+		}
+	case ".space":
+		n, err := parseInt(rest)
+		if err != nil || n < 0 {
+			return &Error{Line: ln, Msg: "bad .space size"}
+		}
+		a.data = append(a.data, make([]byte, n)...)
+	case ".align":
+		n, err := parseInt(rest)
+		if err != nil || n <= 0 || n&(n-1) != 0 {
+			return &Error{Line: ln, Msg: "bad .align"}
+		}
+		for len(a.data)%int(n) != 0 {
+			a.data = append(a.data, 0)
+		}
+	case ".ascii", ".asciz":
+		s, err := strconv.Unquote(rest)
+		if err != nil {
+			return &Error{Line: ln, Msg: "bad string literal: " + rest}
+		}
+		a.data = append(a.data, s...)
+		if dir == ".asciz" {
+			a.data = append(a.data, 0)
+		}
+	}
+	return nil
+}
+
+func stripComment(line string) string {
+	for _, marker := range []string{";", "//", "#"} {
+		// Don't strip inside string literals (only data directives carry
+		// them; they never contain the markers in our sources, but be
+		// careful with '#' inside quotes anyway).
+		if i := indexOutsideQuotes(line, marker); i >= 0 {
+			line = line[:i]
+		}
+	}
+	return line
+}
+
+func indexOutsideQuotes(s, marker string) int {
+	inQ := false
+	for i := 0; i+len(marker) <= len(s); i++ {
+		c := s[i]
+		if c == '"' && (i == 0 || s[i-1] != '\\') {
+			inQ = !inQ
+		}
+		if !inQ && strings.HasPrefix(s[i:], marker) {
+			return i
+		}
+	}
+	return -1
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c == '_' || c == '.' || c == '$':
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func splitArgs(s string) []string {
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseInt(s string) (int64, error) {
+	return strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+}

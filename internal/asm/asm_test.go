@@ -1,0 +1,193 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"shift/internal/isa"
+	"shift/internal/mem"
+)
+
+func TestAssembleBasicProgram(t *testing.T) {
+	src := `
+	.data
+msg:	.asciz "hi"
+buf:	.space 16
+	.align 8
+nums:	.word8 1, -2, 0x10
+	.text
+	.entry main
+main:
+	movl r1 = msg
+	ld1 r2 = [r1]
+	addi r3 = r2, 1
+loop:
+	cmpi.lt p6, p7 = r3, 100
+	(p6) br loop
+	syscall 1
+`
+	p, err := Assemble(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != p.Symbols["main"] {
+		t.Errorf("entry = %d, want %d", p.Entry, p.Symbols["main"])
+	}
+	if got := p.DataSymbols["msg"]; got != DefaultDataBase {
+		t.Errorf("msg at %#x, want %#x", got, DefaultDataBase)
+	}
+	if got := p.DataSymbols["buf"]; got != DefaultDataBase+3 {
+		t.Errorf("buf at %#x, want %#x", got, DefaultDataBase+3)
+	}
+	// nums is aligned to 8 after 3+16=19 bytes -> 24.
+	if got := p.DataSymbols["nums"]; got != DefaultDataBase+24 {
+		t.Errorf("nums at %#x, want %#x", got, DefaultDataBase+24)
+	}
+	if len(p.Data) != 24+3*8 {
+		t.Errorf("data image %d bytes, want %d", len(p.Data), 24+3*8)
+	}
+	// The movl resolved the data symbol.
+	if p.Text[0].Imm != int64(DefaultDataBase) {
+		t.Errorf("movl imm = %#x, want %#x", p.Text[0].Imm, DefaultDataBase)
+	}
+	// The conditional branch resolved and is predicated.
+	brIdx := p.Symbols["loop"] + 1
+	if p.Text[brIdx].Qp != 6 || p.Text[brIdx].Target != p.Symbols["loop"] {
+		t.Errorf("predicated branch wrong: %+v", p.Text[brIdx])
+	}
+}
+
+func TestAssembleSymbolPlusOffset(t *testing.T) {
+	src := `
+	.data
+tbl:	.space 64
+	.text
+	movl r1 = tbl+8
+	nop
+`
+	p, err := Assemble(src, Options{DataBase: mem.Addr(1, 0x20000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Text[0].Imm != int64(mem.Addr(1, 0x20000)+8) {
+		t.Errorf("movl tbl+8 = %#x", p.Text[0].Imm)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"undefined label", "br nowhere\n"},
+		{"undefined data symbol", "movl r1 = nothing\n"},
+		{"duplicate label", "a:\nnop\na:\nnop\n"},
+		{"instruction in data", ".data\nadd r1 = r2, r3\n"},
+		{"unknown directive", ".bogus 1\n"},
+		{"unknown mnemonic", "frob r1 = r2\n"},
+		{"bad register", "add r999 = r1, r2\n"},
+		{"undefined entry", ".entry nothing\nnop\n"},
+		{"bad string", ".data\nx: .asciz hello\n"},
+	}
+	for _, c := range cases {
+		if _, err := Assemble(c.src, Options{}); err == nil {
+			t.Errorf("%s: assembled without error", c.name)
+		}
+	}
+}
+
+func TestCommentStyles(t *testing.T) {
+	src := `
+	; semicolon comment
+	// slash comment
+	# hash comment
+	nop ; trailing
+	nop // trailing
+	nop # trailing
+`
+	p, err := Assemble(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Text) != 3 {
+		t.Errorf("got %d instructions, want 3", len(p.Text))
+	}
+}
+
+func TestHashInsideStringLiteral(t *testing.T) {
+	src := ".data\nx: .asciz \"a#b\"\n.text\nnop\n"
+	p, err := Assemble(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p.Data) != "a#b\x00" {
+		t.Errorf("data = %q", p.Data)
+	}
+}
+
+// TestRoundTrip property: disassembling any structurally valid instruction
+// and re-parsing it yields the same instruction.
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		ins := isa.RandomInstruction(rng)
+		text := ins.String()
+		got, err := ParseInstruction(text)
+		if err != nil {
+			t.Fatalf("parse %q: %v", text, err)
+		}
+		// Branch targets round-trip through the "@N" absolute syntax.
+		if *got != ins {
+			t.Fatalf("round trip mismatch:\n in: %+v (%q)\nout: %+v (%q)", ins, text, *got, got.String())
+		}
+	}
+}
+
+func TestProgramDisassembleReassemble(t *testing.T) {
+	src := `
+	.entry start
+start:
+	movl r1 = 100
+	movl r2 = 0
+again:
+	add r2 = r2, r1
+	addi r1 = r1, -1
+	cmpi.gt p6, p7 = r1, 0
+	(p6) br again
+	syscall 1
+`
+	p1, err := Assemble(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Assemble(p1.Disassemble(), Options{})
+	if err != nil {
+		t.Fatalf("reassembling disassembly: %v\n%s", err, p1.Disassemble())
+	}
+	if len(p1.Text) != len(p2.Text) {
+		t.Fatalf("length mismatch %d vs %d", len(p1.Text), len(p2.Text))
+	}
+	for i := range p1.Text {
+		a, b := p1.Text[i], p2.Text[i]
+		// Labels become absolute targets in disassembly; compare the
+		// resolved form.
+		a.Label, b.Label = "", ""
+		a.Sym, b.Sym = "", ""
+		if a != b {
+			t.Errorf("instruction %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestMultipleLabelsSameLine(t *testing.T) {
+	p, err := Assemble("a: b: nop\nbr a\nbr b\n", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Symbols["a"] != 0 || p.Symbols["b"] != 0 {
+		t.Errorf("labels: %v", p.Symbols)
+	}
+	if !strings.Contains(p.Disassemble(), "a:") {
+		t.Error("disassembly lost label")
+	}
+}

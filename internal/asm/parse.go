@@ -1,0 +1,534 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"shift/internal/isa"
+)
+
+// ParseInstruction parses a single instruction in the syntax produced by
+// isa.Instruction.String. Labels are left symbolic for linking.
+func ParseInstruction(line string) (*isa.Instruction, error) {
+	line = strings.TrimSpace(line)
+	ins := &isa.Instruction{}
+
+	// Qualifying predicate.
+	if strings.HasPrefix(line, "(") {
+		end := strings.Index(line, ")")
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated qualifying predicate")
+		}
+		p, err := parsePred(strings.TrimSpace(line[1:end]))
+		if err != nil {
+			return nil, err
+		}
+		ins.Qp = p
+		line = strings.TrimSpace(line[end+1:])
+	}
+
+	// Normalise separators into spaces, keeping the mnemonic intact.
+	fields := tokenize(line)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("empty instruction")
+	}
+	mn := fields[0]
+	args := fields[1:]
+
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s: want %d operands, have %d", mn, n, len(args))
+		}
+		return nil
+	}
+
+	// Mnemonic families.
+	switch {
+	case mn == "nop":
+		ins.Op = isa.OpNop
+		return ins, need(0)
+
+	case mn == "syscall":
+		ins.Op = isa.OpSyscall
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		v, err := parseInt(args[0])
+		if err != nil {
+			return nil, err
+		}
+		ins.Imm = v
+		return ins, nil
+
+	case mn == "setnat" || mn == "clrnat":
+		if mn == "setnat" {
+			ins.Op = isa.OpSetNat
+		} else {
+			ins.Op = isa.OpClrNat
+		}
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		r, err := parseGR(args[0])
+		if err != nil {
+			return nil, err
+		}
+		ins.Dest = r
+		return ins, nil
+
+	case mn == "mov":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		if args[0] == "unat" {
+			ins.Op = isa.OpMovToUnat
+			r, err := parseGR(args[1])
+			if err != nil {
+				return nil, err
+			}
+			ins.Src1 = r
+			return ins, nil
+		}
+		if args[1] == "unat" {
+			ins.Op = isa.OpMovFromUnat
+			r, err := parseGR(args[0])
+			if err != nil {
+				return nil, err
+			}
+			ins.Dest = r
+			return ins, nil
+		}
+		if args[0] == "ccv" {
+			ins.Op = isa.OpMovToCcv
+			r, err := parseGR(args[1])
+			if err != nil {
+				return nil, err
+			}
+			ins.Src1 = r
+			return ins, nil
+		}
+		if args[1] == "ccv" {
+			ins.Op = isa.OpMovFromCcv
+			r, err := parseGR(args[0])
+			if err != nil {
+				return nil, err
+			}
+			ins.Dest = r
+			return ins, nil
+		}
+		dstBR := strings.HasPrefix(args[0], "b")
+		srcBR := strings.HasPrefix(args[1], "b")
+		switch {
+		case dstBR && !srcBR:
+			ins.Op = isa.OpMovToBr
+			b, err := parseBR(args[0])
+			if err != nil {
+				return nil, err
+			}
+			r, err := parseGR(args[1])
+			if err != nil {
+				return nil, err
+			}
+			ins.B, ins.Src1 = b, r
+		case !dstBR && srcBR:
+			ins.Op = isa.OpMovFromBr
+			r, err := parseGR(args[0])
+			if err != nil {
+				return nil, err
+			}
+			b, err := parseBR(args[1])
+			if err != nil {
+				return nil, err
+			}
+			ins.Dest, ins.B = r, b
+		case !dstBR && !srcBR:
+			ins.Op = isa.OpMov
+			d, err := parseGR(args[0])
+			if err != nil {
+				return nil, err
+			}
+			s, err := parseGR(args[1])
+			if err != nil {
+				return nil, err
+			}
+			ins.Dest, ins.Src1 = d, s
+		default:
+			return nil, fmt.Errorf("mov between branch registers is not supported")
+		}
+		return ins, nil
+
+	case mn == "movl":
+		ins.Op = isa.OpMovl
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		d, err := parseGR(args[0])
+		if err != nil {
+			return nil, err
+		}
+		ins.Dest = d
+		if v, err := parseInt(args[1]); err == nil {
+			ins.Imm = v
+			return ins, nil
+		}
+		// Symbolic data reference, optionally symbol+offset. The
+		// assembler resolves it against the data symbol table.
+		sym, off := args[1], int64(0)
+		if i := strings.IndexByte(sym, '+'); i > 0 {
+			v, err := parseInt(sym[i+1:])
+			if err != nil {
+				return nil, fmt.Errorf("bad symbol offset in %q", args[1])
+			}
+			sym, off = sym[:i], v
+		}
+		if !isIdent(sym) {
+			return nil, fmt.Errorf("bad movl operand %q", args[1])
+		}
+		ins.Label, ins.Imm = sym, off
+		return ins, nil
+
+	case mn == "tnat":
+		ins.Op = isa.OpTnat
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		p1, err := parsePred(args[0])
+		if err != nil {
+			return nil, err
+		}
+		p2, err := parsePred(args[1])
+		if err != nil {
+			return nil, err
+		}
+		r, err := parseGR(args[2])
+		if err != nil {
+			return nil, err
+		}
+		ins.P1, ins.P2, ins.Src1 = p1, p2, r
+		return ins, nil
+
+	case mn == "chk.s":
+		ins.Op = isa.OpChkS
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		r, err := parseGR(args[0])
+		if err != nil {
+			return nil, err
+		}
+		ins.Src1 = r
+		return ins, parseTarget(ins, args[1])
+
+	case mn == "br":
+		ins.Op = isa.OpBr
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return ins, parseTarget(ins, args[0])
+
+	case mn == "br.call":
+		ins.Op = isa.OpBrCall
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		b, err := parseBR(args[0])
+		if err != nil {
+			return nil, err
+		}
+		ins.B = b
+		return ins, parseTarget(ins, args[1])
+
+	case mn == "br.ret" || mn == "br.ind":
+		if mn == "br.ret" {
+			ins.Op = isa.OpBrRet
+		} else {
+			ins.Op = isa.OpBrInd
+		}
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		b, err := parseBR(args[0])
+		if err != nil {
+			return nil, err
+		}
+		ins.B = b
+		return ins, nil
+
+	case strings.HasPrefix(mn, "cmpxchg"):
+		size, err := strconv.Atoi(strings.TrimPrefix(mn, "cmpxchg"))
+		if err != nil {
+			return nil, fmt.Errorf("bad cmpxchg mnemonic %q", mn)
+		}
+		ins.Op, ins.Size = isa.OpCmpxchg, uint8(size)
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		d, err := parseGR(args[0])
+		if err != nil {
+			return nil, err
+		}
+		a, err := parseGR(args[1])
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseGR(args[2])
+		if err != nil {
+			return nil, err
+		}
+		ins.Dest, ins.Src1, ins.Src2 = d, a, v
+		return ins, nil
+
+	case strings.HasPrefix(mn, "cmp"):
+		return parseCmp(ins, mn, args)
+
+	case strings.HasPrefix(mn, "ld"):
+		return parseLoad(ins, mn, args)
+
+	case strings.HasPrefix(mn, "st"):
+		return parseStore(ins, mn, args)
+	}
+
+	// Plain ALU families.
+	if op, ok := aluOps[mn]; ok {
+		ins.Op = op
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		d, err := parseGR(args[0])
+		if err != nil {
+			return nil, err
+		}
+		s1, err := parseGR(args[1])
+		if err != nil {
+			return nil, err
+		}
+		ins.Dest, ins.Src1 = d, s1
+		if op >= isa.OpAddi && op <= isa.OpSari {
+			v, err := parseInt(args[2])
+			if err != nil {
+				return nil, err
+			}
+			ins.Imm = v
+		} else {
+			s2, err := parseGR(args[2])
+			if err != nil {
+				return nil, err
+			}
+			ins.Src2 = s2
+		}
+		return ins, nil
+	}
+
+	return nil, fmt.Errorf("unknown mnemonic %q", mn)
+}
+
+var aluOps = map[string]isa.Opcode{
+	"add": isa.OpAdd, "sub": isa.OpSub, "and": isa.OpAnd, "andcm": isa.OpAndcm,
+	"or": isa.OpOr, "xor": isa.OpXor, "shl": isa.OpShl, "shr": isa.OpShr,
+	"sar": isa.OpSar, "mul": isa.OpMul, "div": isa.OpDiv, "rem": isa.OpRem,
+	"addi": isa.OpAddi, "andi": isa.OpAndi, "ori": isa.OpOri, "xori": isa.OpXori,
+	"shli": isa.OpShli, "shri": isa.OpShri, "sari": isa.OpSari,
+}
+
+func parseCmp(ins *isa.Instruction, mn string, args []string) (*isa.Instruction, error) {
+	imm := strings.HasPrefix(mn, "cmpi")
+	rest := strings.TrimPrefix(strings.TrimPrefix(mn, "cmpi"), "cmp")
+	na := strings.HasPrefix(rest, ".na")
+	if na {
+		rest = strings.TrimPrefix(rest, ".na")
+	}
+	rest = strings.TrimPrefix(rest, ".")
+	cond, ok := isa.CondFromString(rest)
+	if !ok {
+		return nil, fmt.Errorf("unknown compare relation %q in %q", rest, mn)
+	}
+	switch {
+	case imm && na:
+		ins.Op = isa.OpCmpiNa
+	case imm:
+		ins.Op = isa.OpCmpi
+	case na:
+		ins.Op = isa.OpCmpNa
+	default:
+		ins.Op = isa.OpCmp
+	}
+	ins.Cond = cond
+	if len(args) != 4 {
+		return nil, fmt.Errorf("%s: want 4 operands, have %d", mn, len(args))
+	}
+	p1, err := parsePred(args[0])
+	if err != nil {
+		return nil, err
+	}
+	p2, err := parsePred(args[1])
+	if err != nil {
+		return nil, err
+	}
+	s1, err := parseGR(args[2])
+	if err != nil {
+		return nil, err
+	}
+	ins.P1, ins.P2, ins.Src1 = p1, p2, s1
+	if imm {
+		v, err := parseInt(args[3])
+		if err != nil {
+			return nil, err
+		}
+		ins.Imm = v
+	} else {
+		s2, err := parseGR(args[3])
+		if err != nil {
+			return nil, err
+		}
+		ins.Src2 = s2
+	}
+	return ins, nil
+}
+
+func parseLoad(ins *isa.Instruction, mn string, args []string) (*isa.Instruction, error) {
+	switch {
+	case mn == "ld8.fill":
+		ins.Op, ins.Size = isa.OpLdFill, 8
+		if len(args) != 3 {
+			return nil, fmt.Errorf("%s: want 3 operands", mn)
+		}
+		d, err := parseGR(args[0])
+		if err != nil {
+			return nil, err
+		}
+		a, err := parseGR(args[1])
+		if err != nil {
+			return nil, err
+		}
+		bit, err := parseInt(args[2])
+		if err != nil {
+			return nil, err
+		}
+		ins.Dest, ins.Src1, ins.Imm = d, a, bit
+		return ins, nil
+	default:
+		spec := strings.HasSuffix(mn, ".s")
+		sizeStr := strings.TrimSuffix(strings.TrimPrefix(mn, "ld"), ".s")
+		size, err := strconv.Atoi(sizeStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad load mnemonic %q", mn)
+		}
+		if spec {
+			ins.Op = isa.OpLdS
+		} else {
+			ins.Op = isa.OpLd
+		}
+		ins.Size = uint8(size)
+		if len(args) != 2 {
+			return nil, fmt.Errorf("%s: want 2 operands", mn)
+		}
+		d, err := parseGR(args[0])
+		if err != nil {
+			return nil, err
+		}
+		a, err := parseGR(args[1])
+		if err != nil {
+			return nil, err
+		}
+		ins.Dest, ins.Src1 = d, a
+		return ins, nil
+	}
+}
+
+func parseStore(ins *isa.Instruction, mn string, args []string) (*isa.Instruction, error) {
+	if mn == "st8.spill" {
+		ins.Op, ins.Size = isa.OpStSpill, 8
+		if len(args) != 3 {
+			return nil, fmt.Errorf("%s: want 3 operands", mn)
+		}
+		a, err := parseGR(args[0])
+		if err != nil {
+			return nil, err
+		}
+		s, err := parseGR(args[1])
+		if err != nil {
+			return nil, err
+		}
+		bit, err := parseInt(args[2])
+		if err != nil {
+			return nil, err
+		}
+		ins.Src1, ins.Src2, ins.Imm = a, s, bit
+		return ins, nil
+	}
+	size, err := strconv.Atoi(strings.TrimPrefix(mn, "st"))
+	if err != nil {
+		return nil, fmt.Errorf("bad store mnemonic %q", mn)
+	}
+	ins.Op, ins.Size = isa.OpSt, uint8(size)
+	if len(args) != 2 {
+		return nil, fmt.Errorf("%s: want 2 operands", mn)
+	}
+	a, err := parseGR(args[0])
+	if err != nil {
+		return nil, err
+	}
+	s, err := parseGR(args[1])
+	if err != nil {
+		return nil, err
+	}
+	ins.Src1, ins.Src2 = a, s
+	return ins, nil
+}
+
+func parseTarget(ins *isa.Instruction, arg string) error {
+	if strings.HasPrefix(arg, "@") {
+		t, err := strconv.Atoi(arg[1:])
+		if err != nil {
+			return fmt.Errorf("bad absolute target %q", arg)
+		}
+		ins.Target = t
+		return nil
+	}
+	if !isIdent(arg) {
+		return fmt.Errorf("bad branch target %q", arg)
+	}
+	ins.Label = arg
+	return nil
+}
+
+// tokenize splits an instruction into mnemonic and operand tokens,
+// treating '=', ',', '[' and ']' as separators.
+func tokenize(line string) []string {
+	repl := strings.NewReplacer("=", " ", ",", " ", "[", " ", "]", " ")
+	return strings.Fields(repl.Replace(line))
+}
+
+func parseGR(s string) (uint8, error) {
+	if len(s) < 2 || s[0] != 'r' {
+		return 0, fmt.Errorf("bad general register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumGR {
+		return 0, fmt.Errorf("bad general register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parsePred(s string) (uint8, error) {
+	if len(s) < 2 || s[0] != 'p' {
+		return 0, fmt.Errorf("bad predicate register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumPR {
+		return 0, fmt.Errorf("bad predicate register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseBR(s string) (uint8, error) {
+	if len(s) < 2 || s[0] != 'b' {
+		return 0, fmt.Errorf("bad branch register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumBR {
+		return 0, fmt.Errorf("bad branch register %q", s)
+	}
+	return uint8(n), nil
+}

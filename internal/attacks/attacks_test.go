@@ -1,0 +1,156 @@
+package attacks
+
+import (
+	"strings"
+	"testing"
+
+	"shift/internal/shift"
+	"shift/internal/taint"
+)
+
+// TestTable2 is the paper's security evaluation: every attack detected at
+// both granularities, no false positives, and every exploit succeeds when
+// SHIFT is off.
+func TestTable2(t *testing.T) {
+	results, err := EvaluateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 16 { // 8 attacks x 2 granularities
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.BenignAlert != "" {
+			t.Errorf("%s (%s): false positive: %s", r.Attack.Program, r.Gran, r.BenignAlert)
+		}
+		if r.ExploitPolicy != r.Attack.Expect {
+			t.Errorf("%s (%s): exploit raised %q, want %q",
+				r.Attack.Program, r.Gran, r.ExploitPolicy, r.Attack.Expect)
+		}
+		if !r.UnprotectedSucceeded {
+			t.Errorf("%s (%s): exploit did not succeed without SHIFT", r.Attack.Program, r.Gran)
+		}
+		if !r.Detected() {
+			t.Errorf("%s (%s): overall verdict false", r.Attack.Program, r.Gran)
+		}
+	}
+}
+
+// TestAttackEffectsWithoutSHIFT spot-checks that the exploits actually do
+// their damage when unprotected — the attack is real, not just a policy
+// tripwire.
+func TestAttackEffectsWithoutSHIFT(t *testing.T) {
+	run := func(a *Attack, w *shift.World) *shift.Result {
+		t.Helper()
+		res, err := shift.BuildAndRun([]shift.Source{{Name: a.Program, Text: a.Source}}, w, shift.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Trap != nil {
+			t.Fatalf("%s: trap: %v", a.Program, res.Trap)
+		}
+		return res
+	}
+
+	// Tar writes to an absolute path.
+	res := run(GnuTar, GnuTar.Exploit())
+	found := false
+	for _, p := range res.World.Opened {
+		if strings.HasPrefix(p, "/etc/") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("tar exploit did not reach /etc: opened %v", res.World.Opened)
+	}
+
+	// XSS delivers a script tag to the browser.
+	res = run(Scry, Scry.Exploit())
+	if !strings.Contains(strings.ToLower(string(res.World.HTMLOut)), "<script") {
+		t.Errorf("scry exploit output lacks script tag: %q", res.World.HTMLOut)
+	}
+
+	// SQL injection reaches the database with a spliced quote.
+	res = run(PhpMyFAQ, PhpMyFAQ.Exploit())
+	if len(res.World.SQLLog) == 0 || !strings.Contains(res.World.SQLLog[0], "UNION SELECT") {
+		t.Errorf("faq exploit query missing: %v", res.World.SQLLog)
+	}
+
+	// The format string attack overwrites the chosen slot — observable
+	// as a store that strict mode would never allow.
+	res = run(Bftpd, Bftpd.Exploit())
+	if res.ExitStatus != 0 {
+		t.Errorf("bftpd exploit did not complete: exit %d", res.ExitStatus)
+	}
+}
+
+// TestBenignBehaviourPreserved: under SHIFT, benign requests are served
+// exactly as without it.
+func TestBenignBehaviourPreserved(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		t.Run(a.Program, func(t *testing.T) {
+			base, err := shift.BuildAndRun([]shift.Source{{Name: a.Program, Text: a.Source}},
+				a.Benign(), shift.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			conf := a.Config()
+			prot, err := shift.BuildAndRun([]shift.Source{{Name: a.Program, Text: a.Source}},
+				a.Benign(), shift.Options{Instrument: true, Policy: conf})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base.Trap != nil || prot.Trap != nil {
+				t.Fatalf("traps: base=%v prot=%v", base.Trap, prot.Trap)
+			}
+			if prot.Alert != nil {
+				t.Fatalf("false positive: %v", prot.Alert)
+			}
+			if string(base.World.NetOut) != string(prot.World.NetOut) ||
+				string(base.World.Stdout) != string(prot.World.Stdout) ||
+				string(base.World.HTMLOut) != string(prot.World.HTMLOut) {
+				t.Error("benign behaviour diverged under SHIFT")
+			}
+		})
+	}
+}
+
+func TestTableMetadata(t *testing.T) {
+	if len(All()) != 8 {
+		t.Fatalf("Table 2 has 8 rows, got %d", len(All()))
+	}
+	for _, a := range All() {
+		if a.CVE == "" || a.Program == "" || a.Type == "" || a.Expect == "" || a.Policies == "" {
+			t.Errorf("%s: incomplete metadata", a.Program)
+		}
+	}
+}
+
+func TestWordGranularityStillDetects(t *testing.T) {
+	// Coarse tags may over-approximate but never miss these attacks.
+	r, err := Evaluate(Qwikiwiki, taint.Word)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Detected() {
+		t.Errorf("word-level tracking missed the traversal: %+v", r)
+	}
+}
+
+// TestExtensionAttacks evaluates the scenarios added beyond Table 2
+// (currently H4 command injection) under the same three-leg protocol.
+func TestExtensionAttacks(t *testing.T) {
+	for _, a := range Extensions() {
+		for _, g := range []taint.Granularity{taint.Byte, taint.Word} {
+			r, err := Evaluate(a, g)
+			if err != nil {
+				t.Fatalf("%s (%s): %v", a.Program, g, err)
+			}
+			if !r.Detected() {
+				t.Errorf("%s (%s): benign=%q exploit=%q raw-ok=%v",
+					a.Program, g, r.BenignAlert, r.ExploitPolicy, r.UnprotectedSucceeded)
+			}
+		}
+	}
+}

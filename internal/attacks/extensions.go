@@ -1,0 +1,39 @@
+package attacks
+
+// Extension scenarios beyond the paper's Table 2: the catalogue's H4
+// (command injection) policy has no row in the paper's evaluation, so
+// this file adds one, built and evaluated exactly like the originals.
+
+// CmdInjection is a CGI-style gallery script that shells out to an image
+// converter with the user-supplied filename spliced into the command
+// line — the classic H4 command injection.
+var CmdInjection = &Attack{
+	CVE:      "EXT-H4",
+	Program:  "thumbnailer CGI (extension)",
+	Language: "C",
+	Type:     "Command Injection",
+	Policies: "H4 + Low level policies",
+	Expect:   "H4",
+	Source: `
+char name[128];
+char cmd[512];
+
+void main() {
+	int n = recv(name, 128);
+	if (n <= 0) exit(1);
+	// The vulnerability: the filename reaches system() unsanitised.
+	strcpy(cmd, "convert /www/uploads/");
+	strcat(cmd, name);
+	strcat(cmd, " -resize 120x120 /www/thumbs/out.png");
+	system(cmd);
+	exit(0);
+}
+`,
+	Benign:  netWorld("holiday.jpg"),
+	Exploit: netWorld("x.jpg;rm -rf /;echo"),
+}
+
+// Extensions lists the scenarios added beyond Table 2.
+func Extensions() []*Attack {
+	return []*Attack{CmdInjection}
+}

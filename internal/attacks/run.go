@@ -1,0 +1,90 @@
+package attacks
+
+import (
+	"fmt"
+
+	"shift/internal/shift"
+	"shift/internal/taint"
+)
+
+// Result is the outcome of one attack evaluation at one granularity.
+type Result struct {
+	Attack *Attack
+	Gran   taint.Granularity
+
+	// BenignAlert is any alert raised on benign input (a false
+	// positive; must be empty).
+	BenignAlert string
+	// ExploitPolicy is the policy that fired on the exploit ("" = missed).
+	ExploitPolicy string
+	// UnprotectedSucceeded reports that without SHIFT the exploit ran
+	// to completion with no alert (the attack works).
+	UnprotectedSucceeded bool
+}
+
+// Detected reports a correct detection with no false positive.
+func (r *Result) Detected() bool {
+	return r.BenignAlert == "" && r.ExploitPolicy == r.Attack.Expect && r.UnprotectedSucceeded
+}
+
+// Evaluate runs one attack at one granularity: benign input under SHIFT
+// (expect silence), exploit input under SHIFT (expect the attack's policy),
+// and exploit input without SHIFT (expect silent success).
+func Evaluate(a *Attack, gran taint.Granularity) (*Result, error) {
+	conf := a.Config()
+	conf.Granularity = gran
+	opt := shift.Options{Instrument: true, Policy: conf}
+
+	prog, err := shift.Build([]shift.Source{{Name: a.Program, Text: a.Source}}, opt)
+	if err != nil {
+		return nil, fmt.Errorf("%s: build: %w", a.Program, err)
+	}
+	baseProg, err := shift.Build([]shift.Source{{Name: a.Program, Text: a.Source}}, shift.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("%s: baseline build: %w", a.Program, err)
+	}
+
+	res := &Result{Attack: a, Gran: gran}
+
+	benign, err := shift.Run(prog, a.Benign(), opt)
+	if err != nil {
+		return nil, fmt.Errorf("%s: benign run: %w", a.Program, err)
+	}
+	if benign.Trap != nil {
+		return nil, fmt.Errorf("%s: benign run trapped: %v", a.Program, benign.Trap)
+	}
+	if benign.Alert != nil {
+		res.BenignAlert = benign.Alert.String()
+	}
+
+	exploit, err := shift.Run(prog, a.Exploit(), opt)
+	if err != nil {
+		return nil, fmt.Errorf("%s: exploit run: %w", a.Program, err)
+	}
+	if exploit.Alert != nil {
+		res.ExploitPolicy = exploit.Alert.Violation.Policy
+	}
+
+	raw, err := shift.Run(baseProg, a.Exploit(), shift.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("%s: unprotected run: %w", a.Program, err)
+	}
+	res.UnprotectedSucceeded = raw.Trap == nil && raw.Alert == nil
+
+	return res, nil
+}
+
+// EvaluateAll runs the full Table 2 at both granularities.
+func EvaluateAll() ([]*Result, error) {
+	var out []*Result
+	for _, a := range All() {
+		for _, g := range []taint.Granularity{taint.Byte, taint.Word} {
+			r, err := Evaluate(a, g)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,189 @@
+// Package codegen translates checked minic programs into the simulated
+// ISA. It stands in for GCC's back-end in the paper's pipeline: it runs
+// register allocation (scalar locals and parameters live in r40..r107,
+// callee-saved; expression temporaries in r14..r31, caller-saved) and
+// produces the post-allocation, pre-instrumentation instruction stream
+// that internal/instrument operates on — the same point in the pipeline
+// where the paper inserts SHIFT between pass_leaf_regs and pass_sched2.
+//
+// The machine has no base+displacement addressing (as on Itanium), so
+// every stack access is an addi followed by a plain load or store.
+// NaT bits must survive calling conventions: callee-saved registers and
+// caller-saved temporaries are moved with st8.spill/ld8.fill and the UNAT
+// register is saved around every spill region, exactly the discipline the
+// paper attributes to the Itanium ABI ("automatically saved across
+// function calls").
+package codegen
+
+import (
+	"fmt"
+	"sort"
+
+	"shift/internal/isa"
+	"shift/internal/lang"
+	"shift/internal/mem"
+)
+
+// DataBase is where the data segment is loaded (region 1).
+var DataBase = mem.Addr(1, 0x10000)
+
+// Temp register window.
+const (
+	tempBase  = isa.RegTmp0
+	tempCount = isa.RegTmpN - isa.RegTmp0 + 1
+)
+
+// Frame layout constants (offsets from the post-decrement SP).
+const (
+	frameB0       = 0  // saved return branch register
+	frameUNAT     = 8  // UNAT as of the end of the prologue
+	frameCallUNAT = 16 // UNAT around an in-body call
+	frameSaved    = 24 // start of the callee-saved register area
+)
+
+// Error is a code-generation diagnostic.
+type Error struct {
+	Pos lang.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("codegen: %s: %s", e.Pos, e.Msg) }
+
+// gen is the whole-program generator.
+type gen struct {
+	unit *lang.Unit
+	prog *isa.Program
+	data []byte
+
+	strSyms map[string]string // literal -> data symbol
+	labelN  int
+}
+
+// Compile translates a checked unit into a linked program whose entry
+// point is a stub that calls main and exits with its return value.
+func Compile(u *lang.Unit) (*isa.Program, error) {
+	g := &gen{
+		unit: u,
+		prog: &isa.Program{
+			Symbols:     make(map[string]int),
+			DataSymbols: make(map[string]uint64),
+			DataBase:    DataBase,
+		},
+		strSyms: make(map[string]string),
+	}
+
+	// Lay out globals first so every function sees their addresses.
+	var names []string
+	for name := range u.Globals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := g.layoutGlobal(u.Globals[name]); err != nil {
+			return nil, err
+		}
+	}
+
+	// Entry stub.
+	g.label("__start")
+	g.emit(isa.Instruction{Op: isa.OpBrCall, B: 0, Label: "main"})
+	if u.Funcs["main"].Ret == lang.TypeVoid {
+		g.emit(isa.Instruction{Op: isa.OpMov, Dest: isa.RegArg0, Src1: isa.RegZero})
+	} else {
+		g.emit(isa.Instruction{Op: isa.OpMov, Dest: isa.RegArg0, Src1: isa.RegRet})
+	}
+	g.emit(isa.Instruction{Op: isa.OpSyscall, Imm: isa.SysExit})
+
+	// Functions in deterministic order.
+	var fnames []string
+	for name := range u.Funcs {
+		fnames = append(fnames, name)
+	}
+	sort.Strings(fnames)
+	for _, name := range fnames {
+		if err := g.genFunc(u.Funcs[name]); err != nil {
+			return nil, err
+		}
+	}
+
+	g.prog.Data = g.data
+	if err := g.prog.Link(); err != nil {
+		return nil, err
+	}
+	g.prog.Entry = g.prog.Symbols["__start"]
+	if err := g.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return g.prog, nil
+}
+
+func (g *gen) emit(ins isa.Instruction) { g.prog.Text = append(g.prog.Text, ins) }
+
+func (g *gen) label(name string) { g.prog.Symbols[name] = len(g.prog.Text) }
+
+func (g *gen) newLabel(stem string) string {
+	g.labelN++
+	return fmt.Sprintf(".L%d.%s", g.labelN, stem)
+}
+
+// layoutGlobal reserves and initialises data-segment storage.
+func (g *gen) layoutGlobal(d *lang.VarDecl) error {
+	// Intern any literal initializer first: interning appends to the
+	// data image, so it must happen before this global's address is
+	// fixed.
+	var litSym string
+	if init, ok := d.Init.(*lang.StrLit); ok {
+		litSym = g.internString(init.Val)
+	}
+	// Every global is 8-aligned, like a conventional compiler would lay
+	// them out. Alignment also matters for word-granularity taint
+	// precision: byte-packed buffers would blur tags across objects.
+	const align = int64(8)
+	for int64(len(g.data))%align != 0 {
+		g.data = append(g.data, 0)
+	}
+	g.prog.DataSymbols[d.Name] = DataBase + uint64(len(g.data))
+	size := d.StorageSize()
+	buf := make([]byte, size)
+	switch {
+	case d.InitList != nil:
+		es := d.Type.Size()
+		for i, v := range d.InitList {
+			for b := int64(0); b < es; b++ {
+				buf[int64(i)*es+b] = byte(uint64(v) >> (8 * b))
+			}
+		}
+	case d.Init != nil:
+		switch init := d.Init.(type) {
+		case *lang.IntLit:
+			for b := 0; b < int(size); b++ {
+				buf[b] = byte(uint64(init.Val) >> (8 * b))
+			}
+		case *lang.StrLit:
+			addr := g.prog.DataSymbols[litSym]
+			for b := 0; b < 8; b++ {
+				buf[b] = byte(addr >> (8 * b))
+			}
+		default:
+			return &Error{d.Pos, "unsupported global initializer"}
+		}
+	default:
+		copy(buf, d.InitStr)
+	}
+	g.data = append(g.data, buf...)
+	return nil
+}
+
+// internString places a NUL-terminated literal in the data segment once.
+func (g *gen) internString(s string) string {
+	if sym, ok := g.strSyms[s]; ok {
+		return sym
+	}
+	sym := fmt.Sprintf(".str%d", len(g.strSyms))
+	g.strSyms[s] = sym
+	g.prog.DataSymbols[sym] = DataBase + uint64(len(g.data))
+	g.data = append(g.data, s...)
+	g.data = append(g.data, 0)
+	return sym
+}

@@ -1,0 +1,271 @@
+package codegen
+
+import (
+	"reflect"
+	"testing"
+
+	"shift/internal/asm"
+	"shift/internal/isa"
+	"shift/internal/lang"
+	"shift/internal/loader"
+	"shift/internal/machine"
+)
+
+// exitOS handles the exit syscall for direct-machine tests.
+type exitOS struct{}
+
+func (exitOS) Syscall(m *machine.Machine, num int64) (uint64, *machine.Trap) {
+	if num == isa.SysExit {
+		m.Halt(m.GR[isa.RegArg0])
+		return 0, nil
+	}
+	return 0, &machine.Trap{Kind: machine.TrapHostError, PC: m.PC, Ins: "syscall"}
+}
+
+func compile(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	f, err := lang.Parse("test.mc", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	u, err := lang.Check(f)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	p, err := Compile(u)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+func TestEntryAndSymbols(t *testing.T) {
+	p := compile(t, `
+int helper(int x) { return x + 1; }
+void main() { exit(helper(1)); }
+`)
+	if p.Entry != p.Symbols["__start"] {
+		t.Errorf("entry %d != __start %d", p.Entry, p.Symbols["__start"])
+	}
+	for _, sym := range []string{"main", "helper"} {
+		if _, ok := p.Symbols[sym]; !ok {
+			t.Errorf("missing symbol %q", sym)
+		}
+	}
+}
+
+func TestGlobalLayout(t *testing.T) {
+	p := compile(t, `
+int a = 7;
+char msg[16] = "hi";
+int tbl[3] = {1, 2, 3};
+char *s = "literal";
+void main() { exit(0); }
+`)
+	// Every global is 8-aligned.
+	for _, name := range []string{"a", "msg", "tbl", "s"} {
+		addr, ok := p.DataSymbols[name]
+		if !ok {
+			t.Fatalf("missing data symbol %q", name)
+		}
+		if addr%8 != 0 {
+			t.Errorf("%s at %#x not 8-aligned", name, addr)
+		}
+	}
+	// Initial values land in the data image.
+	off := func(name string) uint64 { return p.DataSymbols[name] - p.DataBase }
+	if p.Data[off("a")] != 7 {
+		t.Errorf("a initialised to %d", p.Data[off("a")])
+	}
+	if string(p.Data[off("msg"):off("msg")+3]) != "hi\x00" {
+		t.Errorf("msg = %q", p.Data[off("msg"):off("msg")+3])
+	}
+	if p.Data[off("tbl")+16] != 3 {
+		t.Error("tbl[2] not initialised")
+	}
+	// s points at an interned literal holding "literal".
+	var ptr uint64
+	for i := 0; i < 8; i++ {
+		ptr |= uint64(p.Data[off("s")+uint64(i)]) << (8 * i)
+	}
+	lit := ptr - p.DataBase
+	if string(p.Data[lit:lit+8]) != "literal\x00" {
+		t.Errorf("s points at %q", p.Data[lit:lit+8])
+	}
+}
+
+func TestStringInterning(t *testing.T) {
+	p := compile(t, `
+void main() {
+	print_str2("dup");
+	print_str2("dup");
+	exit(0);
+}
+void print_str2(char *s) { write(1, s, strlen2(s)); }
+int strlen2(char *s) { int n = 0; while (s[n]) n++; return n; }
+`)
+	count := 0
+	for i := 0; i+4 <= len(p.Data); i++ {
+		if string(p.Data[i:i+4]) == "dup\x00" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("literal %q interned %d times, want 1", "dup", count)
+	}
+}
+
+func TestABIMarkers(t *testing.T) {
+	p := compile(t, `
+int add2(int a, int b) { return a + b; }
+void main() { exit(add2(1, 2)); }
+`)
+	// Prologue/epilogue bookkeeping is ABI-marked; spills and fills are
+	// always ABI.
+	for i := range p.Text {
+		ins := &p.Text[i]
+		if (ins.Op == isa.OpStSpill || ins.Op == isa.OpLdFill) && !ins.ABI {
+			t.Errorf("instruction %d: %s not ABI-marked", i, ins)
+		}
+	}
+	// Non-ABI loads, stores and compares are unpredicated (required by
+	// the instrumentation pass).
+	for i := range p.Text {
+		ins := &p.Text[i]
+		if ins.ABI {
+			continue
+		}
+		switch ins.Op {
+		case isa.OpLd, isa.OpSt, isa.OpCmp, isa.OpCmpi:
+			if ins.Qp != 0 {
+				t.Errorf("instruction %d: predicated %s", i, ins)
+			}
+		}
+	}
+}
+
+func TestReservedRegistersUntouched(t *testing.T) {
+	// Generated code must never write the instrumentation registers
+	// r120..r127 or predicates p8..p11.
+	p := compile(t, `
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+void main() {
+	char buf[32];
+	int n = recv(buf, 32);
+	int i;
+	int s = 0;
+	for (i = 0; i < n; i++) s += buf[i] ? fib(6) : 1;
+	exit(s > 0 ? 0 : 1);
+}
+`)
+	for i := range p.Text {
+		ins := &p.Text[i]
+		if ins.Dest >= isa.RegInstr0 && ins.Op != isa.OpNop {
+			t.Errorf("instruction %d writes reserved register: %s", i, ins)
+		}
+		for _, pr := range []uint8{ins.P1, ins.P2, ins.Qp} {
+			if pr >= 8 && pr <= 11 {
+				t.Errorf("instruction %d touches reserved predicate: %s", i, ins)
+			}
+		}
+	}
+}
+
+func TestDeterministicCompilation(t *testing.T) {
+	src := `
+int g[4] = {4, 3, 2, 1};
+int sum(int *p, int n) { int s = 0; int i; for (i = 0; i < n; i++) s += p[i]; return s; }
+void main() { exit(sum(g, 4)); }
+`
+	p1 := compile(t, src)
+	p2 := compile(t, src)
+	if !reflect.DeepEqual(p1.Text, p2.Text) || !reflect.DeepEqual(p1.Data, p2.Data) {
+		t.Error("compilation is not deterministic")
+	}
+}
+
+func TestExpressionTooDeep(t *testing.T) {
+	expr := "1"
+	for i := 0; i < 30; i++ {
+		expr = "1 + (" + expr + ")"
+	}
+	// Deep right-nesting like this needs one temp per level; the
+	// generator must fail cleanly rather than corrupt registers.
+	src := "void main() { int x = " + expr + "; exit(x); }"
+	f, err := lang.Parse("deep.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := lang.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(u); err == nil {
+		t.Error("expected a too-deep-expression error")
+	}
+}
+
+func TestBranchesCarryLabels(t *testing.T) {
+	// The instrumentation pass relies on every generated branch having
+	// either a label or a remappable target.
+	p := compile(t, `
+void main() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 3; i++) { if (i == 1) continue; s += i; }
+	while (s > 2) { s--; break; }
+	exit(s);
+}
+`)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Text {
+		ins := &p.Text[i]
+		if (ins.Op == isa.OpBr || ins.Op == isa.OpBrCall) && ins.Label == "" {
+			t.Errorf("instruction %d: %s has no label", i, ins)
+		}
+	}
+}
+
+// TestDisassembleReassembleExecutes: the textual assembly shiftcc prints
+// is complete enough to reassemble and run to the same result (the ABI
+// markers are metadata for the instrumentation pass, not semantics).
+func TestDisassembleReassembleExecutes(t *testing.T) {
+	src := `
+int acc;
+int step(int v) { acc += v; return acc; }
+void main() {
+	int i;
+	for (i = 1; i <= 10; i++) step(i);
+	exit(acc);
+}
+`
+	p1 := compile(t, src)
+	text := p1.Disassemble()
+	// Data directives are not part of Disassemble; rebuild the program
+	// with the original data image.
+	p2, err := asm.Assemble(text, asm.Options{DataBase: p1.DataBase})
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, text)
+	}
+	p2.Data = p1.Data
+	p2.DataSymbols = p1.DataSymbols
+	p2.Entry = p2.Symbols["__start"]
+
+	run := func(p *isa.Program) int64 {
+		img, err := loader.Load(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := img.NewMachine()
+		m.OS = exitOS{}
+		if trap := m.Run(); trap != nil {
+			t.Fatal(trap)
+		}
+		return m.ExitStatus
+	}
+	if a, b := run(p1), run(p2); a != b || a != 55 {
+		t.Errorf("exit codes diverge: %d vs %d (want 55)", a, b)
+	}
+}

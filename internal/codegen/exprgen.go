@@ -1,0 +1,646 @@
+package codegen
+
+import (
+	"fmt"
+
+	"shift/internal/isa"
+	"shift/internal/lang"
+)
+
+// Predicate registers used by generated code. The instrumentation pass
+// has its own reserved predicates (p8..p10), so sequences it inserts
+// between a compare and its predicated consumer cannot clobber these.
+const (
+	predT = 6 // condition true
+	predF = 7 // condition false
+)
+
+// exprMaybeVoid generates e, returning how many temporaries it pushed
+// (0 for a void call, 1 otherwise).
+func (f *fnGen) exprMaybeVoid(e lang.Expr) (int, error) {
+	if c, ok := e.(*lang.Call); ok && c.ResultType() == lang.TypeVoid {
+		return 0, f.call(c, false)
+	}
+	return 1, f.expr(e)
+}
+
+// expr generates e, leaving its value in a freshly pushed temporary.
+func (f *fnGen) expr(e lang.Expr) error {
+	switch e := e.(type) {
+	case *lang.IntLit:
+		t, err := f.push(e.Pos)
+		if err != nil {
+			return err
+		}
+		f.emit(isa.Instruction{Op: isa.OpMovl, Dest: t, Imm: e.Val})
+		return nil
+
+	case *lang.StrLit:
+		sym := f.g.internString(e.Val)
+		t, err := f.push(e.Pos)
+		if err != nil {
+			return err
+		}
+		f.emit(isa.Instruction{Op: isa.OpMovl, Dest: t, Imm: int64(f.g.prog.DataSymbols[sym])})
+		return nil
+
+	case *lang.Ident:
+		return f.identValue(e)
+
+	case *lang.Unary:
+		return f.unary(e)
+
+	case *lang.Binary:
+		return f.binary(e)
+
+	case *lang.Assign:
+		return f.assign(e)
+
+	case *lang.IncDec:
+		return f.incDec(e)
+
+	case *lang.Call:
+		if e.ResultType() == lang.TypeVoid {
+			return &Error{e.Pos, fmt.Sprintf("void value of %s() used", e.Name)}
+		}
+		return f.call(e, true)
+
+	case *lang.Index:
+		if err := f.elemAddr(e); err != nil {
+			return err
+		}
+		f.loadTop(e.ResultType())
+		return nil
+
+	case *lang.Cond:
+		return f.ternary(e)
+	}
+	return fmt.Errorf("codegen: unknown expression %T", e)
+}
+
+// identValue pushes the value (or decayed address) of an identifier.
+func (f *fnGen) identValue(e *lang.Ident) error {
+	t, err := f.push(e.Pos)
+	if err != nil {
+		return err
+	}
+	switch {
+	case e.ParamRef != nil:
+		if r, ok := f.regHome[e.ParamRef]; ok {
+			f.emit(isa.Instruction{Op: isa.OpMov, Dest: t, Src1: r})
+			return nil
+		}
+		f.emit(isa.Instruction{Op: isa.OpAddi, Dest: t, Src1: isa.RegSP, Imm: f.memHome[e.ParamRef]})
+		f.emit(isa.Instruction{Op: isa.OpLd, Dest: t, Src1: t, Size: 8})
+		return nil
+
+	case e.VarRef.Global:
+		f.emit(isa.Instruction{Op: isa.OpMovl, Dest: t, Imm: int64(f.g.prog.DataSymbols[e.VarRef.Name])})
+		if !e.VarRef.IsArray() {
+			f.emit(isa.Instruction{Op: isa.OpLd, Dest: t, Src1: t, Size: uint8(e.VarRef.Type.Size())})
+		}
+		return nil
+
+	default: // local variable
+		if r, ok := f.regHome[e.VarRef]; ok {
+			f.emit(isa.Instruction{Op: isa.OpMov, Dest: t, Src1: r})
+			return nil
+		}
+		f.emit(isa.Instruction{Op: isa.OpAddi, Dest: t, Src1: isa.RegSP, Imm: f.memHome[e.VarRef]})
+		if !e.VarRef.IsArray() {
+			f.emit(isa.Instruction{Op: isa.OpLd, Dest: t, Src1: t, Size: uint8(e.VarRef.Type.Size())})
+		}
+		return nil
+	}
+}
+
+// loadTop replaces the address on top of the temp stack with the value it
+// points at, sized by typ.
+func (f *fnGen) loadTop(typ lang.Type) {
+	t := f.top(0)
+	f.emit(isa.Instruction{Op: isa.OpLd, Dest: t, Src1: t, Size: uint8(typ.Size())})
+}
+
+func (f *fnGen) unary(e *lang.Unary) error {
+	switch e.Op {
+	case "&":
+		return f.addrOf(e.X)
+	case "*":
+		if err := f.expr(e.X); err != nil {
+			return err
+		}
+		f.loadTop(e.ResultType())
+		return nil
+	}
+	if err := f.expr(e.X); err != nil {
+		return err
+	}
+	t := f.top(0)
+	switch e.Op {
+	case "-":
+		f.emit(isa.Instruction{Op: isa.OpSub, Dest: t, Src1: isa.RegZero, Src2: t})
+	case "~":
+		f.emit(isa.Instruction{Op: isa.OpXori, Dest: t, Src1: t, Imm: -1})
+	case "!":
+		f.emit(isa.Instruction{Op: isa.OpCmpi, Cond: isa.CondEQ, P1: predT, P2: predF, Src1: t, Imm: 0})
+		f.emit(isa.Instruction{Op: isa.OpMov, Dest: t, Src1: isa.RegZero})
+		f.emit(isa.Instruction{Op: isa.OpAddi, Qp: predT, Dest: t, Src1: isa.RegZero, Imm: 1})
+	default:
+		return &Error{e.Pos, "unknown unary operator " + e.Op}
+	}
+	return nil
+}
+
+// log2 of an element size (1 or 8 in minic).
+func scaleShift(t lang.Type) int64 {
+	if t.Size() == 8 {
+		return 3
+	}
+	return 0
+}
+
+func (f *fnGen) binary(e *lang.Binary) error {
+	switch e.Op {
+	case "&&", "||":
+		return f.logical(e)
+	}
+
+	if err := f.expr(e.X); err != nil {
+		return err
+	}
+	if err := f.expr(e.Y); err != nil {
+		return err
+	}
+	tx, ty := f.top(1), f.top(0)
+	xt, yt := e.X.ResultType(), e.Y.ResultType()
+
+	switch e.Op {
+	case "+":
+		if xt.IsPointer() && scaleShift(xt.Elem()) != 0 {
+			f.emit(isa.Instruction{Op: isa.OpShli, Dest: ty, Src1: ty, Imm: scaleShift(xt.Elem())})
+		}
+		if yt.IsPointer() && scaleShift(yt.Elem()) != 0 {
+			f.emit(isa.Instruction{Op: isa.OpShli, Dest: tx, Src1: tx, Imm: scaleShift(yt.Elem())})
+		}
+		f.emit(isa.Instruction{Op: isa.OpAdd, Dest: tx, Src1: tx, Src2: ty})
+	case "-":
+		switch {
+		case xt.IsPointer() && yt.IsPointer():
+			f.emit(isa.Instruction{Op: isa.OpSub, Dest: tx, Src1: tx, Src2: ty})
+			if s := scaleShift(xt.Elem()); s != 0 {
+				f.emit(isa.Instruction{Op: isa.OpSari, Dest: tx, Src1: tx, Imm: s})
+			}
+		case xt.IsPointer():
+			if s := scaleShift(xt.Elem()); s != 0 {
+				f.emit(isa.Instruction{Op: isa.OpShli, Dest: ty, Src1: ty, Imm: s})
+			}
+			f.emit(isa.Instruction{Op: isa.OpSub, Dest: tx, Src1: tx, Src2: ty})
+		default:
+			f.emit(isa.Instruction{Op: isa.OpSub, Dest: tx, Src1: tx, Src2: ty})
+		}
+	case "*":
+		f.emit(isa.Instruction{Op: isa.OpMul, Dest: tx, Src1: tx, Src2: ty})
+	case "/":
+		f.emit(isa.Instruction{Op: isa.OpDiv, Dest: tx, Src1: tx, Src2: ty})
+	case "%":
+		f.emit(isa.Instruction{Op: isa.OpRem, Dest: tx, Src1: tx, Src2: ty})
+	case "&":
+		f.emit(isa.Instruction{Op: isa.OpAnd, Dest: tx, Src1: tx, Src2: ty})
+	case "|":
+		f.emit(isa.Instruction{Op: isa.OpOr, Dest: tx, Src1: tx, Src2: ty})
+	case "^":
+		f.emit(isa.Instruction{Op: isa.OpXor, Dest: tx, Src1: tx, Src2: ty})
+	case "<<":
+		f.emit(isa.Instruction{Op: isa.OpShl, Dest: tx, Src1: tx, Src2: ty})
+	case ">>":
+		f.emit(isa.Instruction{Op: isa.OpSar, Dest: tx, Src1: tx, Src2: ty})
+	case "==", "!=", "<", "<=", ">", ">=":
+		cond := relOf(e.Op, xt.IsPointer() || yt.IsPointer())
+		f.emit(isa.Instruction{Op: isa.OpCmp, Cond: cond, P1: predT, P2: predF, Src1: tx, Src2: ty})
+		f.emit(isa.Instruction{Op: isa.OpMov, Dest: tx, Src1: isa.RegZero})
+		f.emit(isa.Instruction{Op: isa.OpAddi, Qp: predT, Dest: tx, Src1: isa.RegZero, Imm: 1})
+	default:
+		return &Error{e.Pos, "unknown binary operator " + e.Op}
+	}
+	f.pop(1)
+	return nil
+}
+
+// relOf maps a C relation to the compare condition; pointer comparisons
+// are unsigned because addresses carry region bits in the high bits.
+func relOf(op string, unsigned bool) isa.Cond {
+	switch op {
+	case "==":
+		return isa.CondEQ
+	case "!=":
+		return isa.CondNE
+	case "<":
+		if unsigned {
+			return isa.CondLTU
+		}
+		return isa.CondLT
+	case "<=":
+		if unsigned {
+			return isa.CondLEU
+		}
+		return isa.CondLE
+	case ">":
+		if unsigned {
+			return isa.CondGTU
+		}
+		return isa.CondGT
+	case ">=":
+		if unsigned {
+			return isa.CondGEU
+		}
+		return isa.CondGE
+	}
+	return isa.CondEQ
+}
+
+// normalizeTop turns the top temporary into 0/1 and leaves predT/predF
+// reflecting non-zero/zero.
+func (f *fnGen) normalizeTop() {
+	t := f.top(0)
+	f.emit(isa.Instruction{Op: isa.OpCmpi, Cond: isa.CondNE, P1: predT, P2: predF, Src1: t, Imm: 0})
+	f.emit(isa.Instruction{Op: isa.OpMov, Dest: t, Src1: isa.RegZero})
+	f.emit(isa.Instruction{Op: isa.OpAddi, Qp: predT, Dest: t, Src1: isa.RegZero, Imm: 1})
+}
+
+func (f *fnGen) logical(e *lang.Binary) error {
+	end := f.g.newLabel("sc")
+	if err := f.expr(e.X); err != nil {
+		return err
+	}
+	f.normalizeTop()
+	t := f.top(0)
+	if e.Op == "&&" {
+		f.emit(isa.Instruction{Op: isa.OpBr, Qp: predF, Label: end})
+	} else {
+		f.emit(isa.Instruction{Op: isa.OpBr, Qp: predT, Label: end})
+	}
+	if err := f.expr(e.Y); err != nil {
+		return err
+	}
+	f.normalizeTop()
+	f.emit(isa.Instruction{Op: isa.OpMov, Dest: t, Src1: f.top(0)})
+	f.pop(1)
+	f.g.label(end)
+	return nil
+}
+
+func (f *fnGen) ternary(e *lang.Cond) error {
+	elseL := f.g.newLabel("terne")
+	endL := f.g.newLabel("ternx")
+	if err := f.branchIfFalse(e.C, elseL); err != nil {
+		return err
+	}
+	if err := f.expr(e.A); err != nil {
+		return err
+	}
+	f.emit(isa.Instruction{Op: isa.OpBr, Label: endL})
+	f.pop(1)
+	f.g.label(elseL)
+	if err := f.expr(e.B); err != nil {
+		return err
+	}
+	f.g.label(endL)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Lvalues
+
+// lval describes a prepared assignment target: either a register home or
+// an address pushed on the temp stack.
+type lval struct {
+	reg   uint8 // register home (when inReg)
+	inReg bool
+	typ   lang.Type
+}
+
+// prepLV prepares e as an assignment target. For memory targets it pushes
+// one temporary holding the address.
+func (f *fnGen) prepLV(e lang.Expr) (lval, error) {
+	switch e := e.(type) {
+	case *lang.Ident:
+		if e.ParamRef != nil {
+			if r, ok := f.regHome[e.ParamRef]; ok {
+				return lval{reg: r, inReg: true, typ: e.ResultType()}, nil
+			}
+			t, err := f.push(e.Pos)
+			if err != nil {
+				return lval{}, err
+			}
+			f.emit(isa.Instruction{Op: isa.OpAddi, Dest: t, Src1: isa.RegSP, Imm: f.memHome[e.ParamRef]})
+			return lval{typ: e.ResultType()}, nil
+		}
+		if r, ok := f.regHome[e.VarRef]; ok {
+			return lval{reg: r, inReg: true, typ: e.ResultType()}, nil
+		}
+		if err := f.addrOf(e); err != nil {
+			return lval{}, err
+		}
+		return lval{typ: e.ResultType()}, nil
+
+	case *lang.Unary: // *p
+		if err := f.expr(e.X); err != nil {
+			return lval{}, err
+		}
+		return lval{typ: e.ResultType()}, nil
+
+	case *lang.Index:
+		if err := f.elemAddr(e); err != nil {
+			return lval{}, err
+		}
+		return lval{typ: e.ResultType()}, nil
+	}
+	return lval{}, &Error{e.Position(), "expression is not assignable"}
+}
+
+// loadLV pushes the current value of a prepared lvalue. For memory
+// lvalues the address temp must be on top of the stack; it is preserved.
+func (f *fnGen) loadLV(lv lval, pos lang.Pos) error {
+	t, err := f.push(pos)
+	if err != nil {
+		return err
+	}
+	if lv.inReg {
+		f.emit(isa.Instruction{Op: isa.OpMov, Dest: t, Src1: lv.reg})
+		return nil
+	}
+	addr := f.top(1)
+	f.emit(isa.Instruction{Op: isa.OpLd, Dest: t, Src1: addr, Size: uint8(lv.typ.Size())})
+	return nil
+}
+
+// storeLV stores src into the prepared lvalue. For memory lvalues the
+// address temp must be directly below whatever holds src.
+func (f *fnGen) storeLV(lv lval, addrReg, src uint8) {
+	if lv.inReg {
+		if lv.typ == lang.TypeChar {
+			f.emit(isa.Instruction{Op: isa.OpAndi, Dest: src, Src1: src, Imm: 0xff})
+		}
+		f.emit(isa.Instruction{Op: isa.OpMov, Dest: lv.reg, Src1: src})
+		return
+	}
+	f.emit(isa.Instruction{Op: isa.OpSt, Src1: addrReg, Src2: src, Size: uint8(lv.typ.Size())})
+}
+
+// storeToDecl stores src into a declared variable (used by initializers).
+func (f *fnGen) storeToDecl(d *lang.VarDecl, src uint8, pos lang.Pos) error {
+	if d.Type == lang.TypeChar {
+		f.emit(isa.Instruction{Op: isa.OpAndi, Dest: src, Src1: src, Imm: 0xff})
+	}
+	if r, ok := f.regHome[d]; ok {
+		f.emit(isa.Instruction{Op: isa.OpMov, Dest: r, Src1: src})
+		return nil
+	}
+	t, err := f.scratch(pos)
+	if err != nil {
+		return err
+	}
+	if d.Global {
+		f.emit(isa.Instruction{Op: isa.OpMovl, Dest: t, Imm: int64(f.g.prog.DataSymbols[d.Name])})
+	} else {
+		f.emit(isa.Instruction{Op: isa.OpAddi, Dest: t, Src1: isa.RegSP, Imm: f.memHome[d]})
+	}
+	f.emit(isa.Instruction{Op: isa.OpSt, Src1: t, Src2: src, Size: uint8(d.Type.Size())})
+	return nil
+}
+
+// addrOf pushes the address of an lvalue (or array).
+func (f *fnGen) addrOf(e lang.Expr) error {
+	switch e := e.(type) {
+	case *lang.Ident:
+		t, err := f.push(e.Position())
+		if err != nil {
+			return err
+		}
+		switch {
+		case e.VarRef != nil && e.VarRef.Global:
+			f.emit(isa.Instruction{Op: isa.OpMovl, Dest: t, Imm: int64(f.g.prog.DataSymbols[e.VarRef.Name])})
+		case e.VarRef != nil:
+			f.emit(isa.Instruction{Op: isa.OpAddi, Dest: t, Src1: isa.RegSP, Imm: f.memHome[e.VarRef]})
+		default:
+			return &Error{e.Pos, "cannot take the address of a parameter"}
+		}
+		return nil
+	case *lang.Unary:
+		if e.Op == "*" {
+			return f.expr(e.X)
+		}
+	case *lang.Index:
+		return f.elemAddr(e)
+	}
+	return &Error{e.Position(), "expression has no address"}
+}
+
+// elemAddr pushes the address of base[idx].
+func (f *fnGen) elemAddr(e *lang.Index) error {
+	if err := f.expr(e.Base); err != nil {
+		return err
+	}
+	if err := f.expr(e.Idx); err != nil {
+		return err
+	}
+	tb, ti := f.top(1), f.top(0)
+	if s := scaleShift(e.ResultType()); s != 0 {
+		f.emit(isa.Instruction{Op: isa.OpShli, Dest: ti, Src1: ti, Imm: s})
+	}
+	f.emit(isa.Instruction{Op: isa.OpAdd, Dest: tb, Src1: tb, Src2: ti})
+	f.pop(1)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Assignment, increment, calls
+
+func (f *fnGen) assign(e *lang.Assign) error {
+	lv, err := f.prepLV(e.LHS)
+	if err != nil {
+		return err
+	}
+	// Stack: [addr]? — evaluate the RHS above it.
+	if e.Op != "=" {
+		if err := f.loadLV(lv, e.Pos); err != nil {
+			return err
+		}
+		if err := f.expr(e.RHS); err != nil {
+			return err
+		}
+		old, rhs := f.top(1), f.top(0)
+		if err := f.applyCompound(e, lv.typ, old, rhs); err != nil {
+			return err
+		}
+		f.pop(1) // rhs folded into old
+	} else {
+		if err := f.expr(e.RHS); err != nil {
+			return err
+		}
+	}
+	val := f.top(0)
+	if lv.inReg {
+		f.storeLV(lv, 0, val)
+		// The expression's value is the (possibly truncated) stored one.
+		f.emit(isa.Instruction{Op: isa.OpMov, Dest: val, Src1: lv.reg})
+		return nil
+	}
+	if lv.typ == lang.TypeChar {
+		f.emit(isa.Instruction{Op: isa.OpAndi, Dest: val, Src1: val, Imm: 0xff})
+	}
+	addr := f.top(1)
+	f.storeLV(lv, addr, val)
+	// Collapse [addr, val] into [val].
+	f.emit(isa.Instruction{Op: isa.OpMov, Dest: addr, Src1: val})
+	f.pop(1)
+	return nil
+}
+
+// applyCompound folds "old op= rhs" into the old temp.
+func (f *fnGen) applyCompound(e *lang.Assign, typ lang.Type, old, rhs uint8) error {
+	scaled := typ.IsPointer()
+	switch e.Op {
+	case "+=":
+		if scaled && scaleShift(typ.Elem()) != 0 {
+			f.emit(isa.Instruction{Op: isa.OpShli, Dest: rhs, Src1: rhs, Imm: scaleShift(typ.Elem())})
+		}
+		f.emit(isa.Instruction{Op: isa.OpAdd, Dest: old, Src1: old, Src2: rhs})
+	case "-=":
+		if scaled && scaleShift(typ.Elem()) != 0 {
+			f.emit(isa.Instruction{Op: isa.OpShli, Dest: rhs, Src1: rhs, Imm: scaleShift(typ.Elem())})
+		}
+		f.emit(isa.Instruction{Op: isa.OpSub, Dest: old, Src1: old, Src2: rhs})
+	case "*=":
+		f.emit(isa.Instruction{Op: isa.OpMul, Dest: old, Src1: old, Src2: rhs})
+	case "/=":
+		f.emit(isa.Instruction{Op: isa.OpDiv, Dest: old, Src1: old, Src2: rhs})
+	case "%=":
+		f.emit(isa.Instruction{Op: isa.OpRem, Dest: old, Src1: old, Src2: rhs})
+	case "&=":
+		f.emit(isa.Instruction{Op: isa.OpAnd, Dest: old, Src1: old, Src2: rhs})
+	case "|=":
+		f.emit(isa.Instruction{Op: isa.OpOr, Dest: old, Src1: old, Src2: rhs})
+	case "^=":
+		f.emit(isa.Instruction{Op: isa.OpXor, Dest: old, Src1: old, Src2: rhs})
+	case "<<=":
+		f.emit(isa.Instruction{Op: isa.OpShl, Dest: old, Src1: old, Src2: rhs})
+	case ">>=":
+		f.emit(isa.Instruction{Op: isa.OpSar, Dest: old, Src1: old, Src2: rhs})
+	default:
+		return &Error{e.Pos, "unknown compound assignment " + e.Op}
+	}
+	return nil
+}
+
+func (f *fnGen) incDec(e *lang.IncDec) error {
+	lv, err := f.prepLV(e.X)
+	if err != nil {
+		return err
+	}
+	if err := f.loadLV(lv, e.Pos); err != nil {
+		return err
+	}
+	val := f.top(0)
+	delta := int64(1)
+	if lv.typ.IsPointer() {
+		delta = lv.typ.Elem().Size()
+	}
+	if e.Op == "--" {
+		delta = -delta
+	}
+
+	if e.Post {
+		// Keep the old value as the result; store old+delta.
+		upd, err := f.push(e.Pos)
+		if err != nil {
+			return err
+		}
+		f.emit(isa.Instruction{Op: isa.OpAddi, Dest: upd, Src1: val, Imm: delta})
+		if lv.typ == lang.TypeChar {
+			f.emit(isa.Instruction{Op: isa.OpAndi, Dest: upd, Src1: upd, Imm: 0xff})
+		}
+		if lv.inReg {
+			f.storeLV(lv, 0, upd)
+			f.pop(1)
+			return nil
+		}
+		addr := f.top(2)
+		f.storeLV(lv, addr, upd)
+		f.pop(1)
+		// Collapse [addr, old] to [old].
+		f.emit(isa.Instruction{Op: isa.OpMov, Dest: addr, Src1: val})
+		f.pop(1)
+		return nil
+	}
+
+	f.emit(isa.Instruction{Op: isa.OpAddi, Dest: val, Src1: val, Imm: delta})
+	if lv.typ == lang.TypeChar {
+		f.emit(isa.Instruction{Op: isa.OpAndi, Dest: val, Src1: val, Imm: 0xff})
+	}
+	if lv.inReg {
+		f.storeLV(lv, 0, val)
+		f.emit(isa.Instruction{Op: isa.OpMov, Dest: val, Src1: lv.reg})
+		return nil
+	}
+	addr := f.top(1)
+	f.storeLV(lv, addr, val)
+	f.emit(isa.Instruction{Op: isa.OpMov, Dest: addr, Src1: val})
+	f.pop(1)
+	return nil
+}
+
+// call generates a user call or syscall intrinsic; pushes the result when
+// wantValue is true.
+func (f *fnGen) call(e *lang.Call, wantValue bool) error {
+	argBase := f.depth
+	for _, a := range e.Args {
+		if err := f.expr(a); err != nil {
+			return err
+		}
+	}
+	n := len(e.Args)
+	for i := 0; i < n; i++ {
+		f.emit(isa.Instruction{Op: isa.OpMov, Dest: uint8(isa.RegArg0 + i), Src1: uint8(tempBase + argBase + i)})
+	}
+	f.pop(n)
+
+	if e.Intrinsic != 0 {
+		f.emit(isa.Instruction{Op: isa.OpSyscall, Imm: e.Intrinsic})
+	} else {
+		live := f.depth
+		sc1, err := f.scratch(e.Pos)
+		if err != nil {
+			return err
+		}
+		// Preserve live temporaries (with their NaT bits) and UNAT.
+		for j := 0; j < live; j++ {
+			f.emitABI(isa.Instruction{Op: isa.OpAddi, Dest: sc1, Src1: isa.RegSP, Imm: f.tempSpill + int64(j)*8})
+			f.emitABI(isa.Instruction{Op: isa.OpStSpill, Src1: sc1, Src2: uint8(tempBase + j), Size: 8, Imm: int64(j), ABI: true})
+		}
+		if live > 0 {
+			f.emitABI(isa.Instruction{Op: isa.OpMovFromUnat, Dest: sc1})
+			f.emitABI(isa.Instruction{Op: isa.OpAddi, Dest: sc1 + 1, Src1: isa.RegSP, Imm: frameCallUNAT})
+			f.emitABI(isa.Instruction{Op: isa.OpSt, Src1: sc1 + 1, Src2: sc1, Size: 8, ABI: true})
+		}
+		f.emit(isa.Instruction{Op: isa.OpBrCall, B: 0, Label: e.Func.Name})
+		if live > 0 {
+			f.emitABI(isa.Instruction{Op: isa.OpAddi, Dest: sc1 + 1, Src1: isa.RegSP, Imm: frameCallUNAT})
+			f.emitABI(isa.Instruction{Op: isa.OpLd, Dest: sc1, Src1: sc1 + 1, Size: 8, ABI: true})
+			f.emitABI(isa.Instruction{Op: isa.OpMovToUnat, Src1: sc1})
+		}
+		for j := 0; j < live; j++ {
+			f.emitABI(isa.Instruction{Op: isa.OpAddi, Dest: sc1, Src1: isa.RegSP, Imm: f.tempSpill + int64(j)*8})
+			f.emitABI(isa.Instruction{Op: isa.OpLdFill, Dest: uint8(tempBase + j), Src1: sc1, Size: 8, Imm: int64(j), ABI: true})
+		}
+	}
+
+	if wantValue {
+		t, err := f.push(e.Pos)
+		if err != nil {
+			return err
+		}
+		f.emit(isa.Instruction{Op: isa.OpMov, Dest: t, Src1: isa.RegRet})
+	}
+	return nil
+}

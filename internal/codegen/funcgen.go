@@ -1,0 +1,399 @@
+package codegen
+
+import (
+	"fmt"
+
+	"shift/internal/isa"
+	"shift/internal/lang"
+)
+
+// maxLocalRegs bounds register-allocated locals per function: their
+// callee-save spills use UNAT bits 32..63.
+const maxLocalRegs = 32
+
+// fnGen generates one function.
+type fnGen struct {
+	g  *gen
+	fn *lang.FuncDecl
+
+	depth    int // expression temporaries in use (r14+depth is next free)
+	maxDepth int
+
+	regHome map[interface{}]uint8 // *VarDecl / *Param -> register
+	memHome map[interface{}]int64 // *VarDecl / *Param -> frame offset
+
+	savedRegs []uint8 // register homes to preserve, ascending
+	frameSize int64
+	tempSpill int64 // frame offset of the temp-preservation area
+
+	retLabel  string
+	breakLbls []string
+	contLbls  []string
+}
+
+func (g *gen) genFunc(fn *lang.FuncDecl) error {
+	f := &fnGen{
+		g:       g,
+		fn:      fn,
+		regHome: make(map[interface{}]uint8),
+		memHome: make(map[interface{}]int64),
+	}
+	return f.generate()
+}
+
+// collectLocals walks the body gathering every local declaration.
+func collectLocals(s lang.Stmt, visit func(*lang.VarDecl)) {
+	switch s := s.(type) {
+	case *lang.Block:
+		for _, st := range s.Stmts {
+			collectLocals(st, visit)
+		}
+	case *lang.DeclStmt:
+		visit(s.Decl)
+	case *lang.IfStmt:
+		collectLocals(s.Then, visit)
+		if s.Else != nil {
+			collectLocals(s.Else, visit)
+		}
+	case *lang.WhileStmt:
+		collectLocals(s.Body, visit)
+	case *lang.ForStmt:
+		if s.Init != nil {
+			collectLocals(s.Init, visit)
+		}
+		collectLocals(s.Body, visit)
+	}
+}
+
+func (f *fnGen) generate() error {
+	// --- Allocation -----------------------------------------------------
+	nextReg := uint8(isa.RegLoc0)
+	memOff := int64(0) // laid out after the saved-register area; patched below
+
+	home := func(key interface{}, scalar bool, size int64) {
+		if scalar && nextReg <= isa.RegLocN && len(f.savedRegs) < maxLocalRegs {
+			f.regHome[key] = nextReg
+			f.savedRegs = append(f.savedRegs, nextReg)
+			nextReg++
+			return
+		}
+		// 8-byte align every memory home.
+		memOff = (memOff + 7) &^ 7
+		f.memHome[key] = memOff
+		memOff += (size + 7) &^ 7
+	}
+
+	for _, p := range f.fn.Params {
+		home(p, true, 8)
+	}
+	collectLocals(f.fn.Body, func(d *lang.VarDecl) {
+		scalar := !d.IsArray() && !d.AddrUsed
+		home(d, scalar, d.StorageSize())
+	})
+
+	savedArea := int64(len(f.savedRegs)) * 8
+	localsBase := frameSaved + savedArea
+	// Rebase memory homes now that the saved area size is known.
+	for k, off := range f.memHome {
+		f.memHome[k] = localsBase + off
+	}
+	f.tempSpill = localsBase + ((memOff + 7) &^ 7)
+	f.frameSize = f.tempSpill + tempCount*8
+	f.frameSize = (f.frameSize + 15) &^ 15
+
+	f.retLabel = f.g.newLabel(f.fn.Name + ".ret")
+
+	// --- Prologue --------------------------------------------------------
+	f.g.label(f.fn.Name)
+	f.emitABI(isa.Instruction{Op: isa.OpAddi, Dest: isa.RegSP, Src1: isa.RegSP, Imm: -f.frameSize})
+	// Save the return address.
+	f.emitABI(isa.Instruction{Op: isa.OpMovFromBr, Dest: tempBase, B: 0})
+	f.emitABI(isa.Instruction{Op: isa.OpAddi, Dest: tempBase + 1, Src1: isa.RegSP, Imm: frameB0})
+	f.emitABI(isa.Instruction{Op: isa.OpSt, Src1: tempBase + 1, Src2: tempBase, Size: 8, ABI: true})
+	// Callee-save spills (NaT bits to UNAT bits 32+i).
+	for i, r := range f.savedRegs {
+		f.emitABI(isa.Instruction{Op: isa.OpAddi, Dest: tempBase, Src1: isa.RegSP, Imm: frameSaved + int64(i)*8})
+		f.emitABI(isa.Instruction{Op: isa.OpStSpill, Src1: tempBase, Src2: r, Size: 8, Imm: int64(32 + i), ABI: true})
+	}
+	// Preserve UNAT as of here for the epilogue fills.
+	f.emitABI(isa.Instruction{Op: isa.OpMovFromUnat, Dest: tempBase})
+	f.emitABI(isa.Instruction{Op: isa.OpAddi, Dest: tempBase + 1, Src1: isa.RegSP, Imm: frameUNAT})
+	f.emitABI(isa.Instruction{Op: isa.OpSt, Src1: tempBase + 1, Src2: tempBase, Size: 8, ABI: true})
+	// Move parameters to their homes.
+	for i, p := range f.fn.Params {
+		arg := uint8(isa.RegArg0 + i)
+		if r, ok := f.regHome[p]; ok {
+			f.emit(isa.Instruction{Op: isa.OpMov, Dest: r, Src1: arg})
+		} else {
+			// Memory-home parameters flow through a real store so the
+			// instrumentation pass propagates their taint to the bitmap.
+			f.emit(isa.Instruction{Op: isa.OpAddi, Dest: tempBase, Src1: isa.RegSP, Imm: f.memHome[p]})
+			f.emit(isa.Instruction{Op: isa.OpSt, Src1: tempBase, Src2: arg, Size: 8})
+		}
+	}
+
+	// --- Body ------------------------------------------------------------
+	if err := f.stmt(f.fn.Body); err != nil {
+		return err
+	}
+
+	// --- Epilogue ---------------------------------------------------------
+	f.g.label(f.retLabel)
+	f.emitABI(isa.Instruction{Op: isa.OpAddi, Dest: tempBase + 1, Src1: isa.RegSP, Imm: frameUNAT})
+	f.emitABI(isa.Instruction{Op: isa.OpLd, Dest: tempBase, Src1: tempBase + 1, Size: 8, ABI: true})
+	f.emitABI(isa.Instruction{Op: isa.OpMovToUnat, Src1: tempBase})
+	for i, r := range f.savedRegs {
+		f.emitABI(isa.Instruction{Op: isa.OpAddi, Dest: tempBase, Src1: isa.RegSP, Imm: frameSaved + int64(i)*8})
+		f.emitABI(isa.Instruction{Op: isa.OpLdFill, Dest: r, Src1: tempBase, Size: 8, Imm: int64(32 + i), ABI: true})
+	}
+	f.emitABI(isa.Instruction{Op: isa.OpAddi, Dest: tempBase + 1, Src1: isa.RegSP, Imm: frameB0})
+	f.emitABI(isa.Instruction{Op: isa.OpLd, Dest: tempBase, Src1: tempBase + 1, Size: 8, ABI: true})
+	f.emitABI(isa.Instruction{Op: isa.OpMovToBr, B: 0, Src1: tempBase})
+	f.emitABI(isa.Instruction{Op: isa.OpAddi, Dest: isa.RegSP, Src1: isa.RegSP, Imm: f.frameSize})
+	f.emitABI(isa.Instruction{Op: isa.OpBrRet, B: 0})
+	return nil
+}
+
+func (f *fnGen) emit(ins isa.Instruction) { f.g.emit(ins) }
+
+// emitABI emits calling-convention bookkeeping.
+func (f *fnGen) emitABI(ins isa.Instruction) {
+	ins.ABI = true
+	f.g.emit(ins)
+}
+
+// push allocates the next expression temporary.
+func (f *fnGen) push(pos lang.Pos) (uint8, error) {
+	if f.depth >= tempCount {
+		return 0, &Error{pos, fmt.Sprintf("expression too deep (more than %d temporaries)", tempCount)}
+	}
+	r := uint8(tempBase + f.depth)
+	f.depth++
+	if f.depth > f.maxDepth {
+		f.maxDepth = f.depth
+	}
+	return r, nil
+}
+
+// pop releases the top n temporaries.
+func (f *fnGen) pop(n int) { f.depth -= n }
+
+// top returns the register of the k-th temporary from the top (0 = top).
+func (f *fnGen) top(k int) uint8 { return uint8(tempBase + f.depth - 1 - k) }
+
+// scratch returns a register usable without pushing: the next free temp.
+// Valid only until the next push.
+func (f *fnGen) scratch(pos lang.Pos) (uint8, error) {
+	if f.depth >= tempCount {
+		return 0, &Error{pos, "expression too deep (no scratch register)"}
+	}
+	return uint8(tempBase + f.depth), nil
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (f *fnGen) stmt(s lang.Stmt) error {
+	switch s := s.(type) {
+	case *lang.Block:
+		for _, st := range s.Stmts {
+			if err := f.stmt(st); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *lang.DeclStmt:
+		d := s.Decl
+		if !d.HasInit {
+			return nil
+		}
+		switch {
+		case d.Init != nil:
+			if err := f.expr(d.Init); err != nil {
+				return err
+			}
+			if err := f.storeToDecl(d, f.top(0), d.Pos); err != nil {
+				return err
+			}
+			f.pop(1)
+			return nil
+		case d.InitStr != "" || (d.IsArray() && d.InitList == nil):
+			return f.initCharArray(d)
+		default:
+			return f.initList(d)
+		}
+
+	case *lang.ExprStmt:
+		n, err := f.exprMaybeVoid(s.X)
+		if err != nil {
+			return err
+		}
+		f.pop(n)
+		return nil
+
+	case *lang.IfStmt:
+		elseL := f.g.newLabel("else")
+		endL := f.g.newLabel("endif")
+		target := endL
+		if s.Else != nil {
+			target = elseL
+		}
+		if err := f.branchIfFalse(s.Cond, target); err != nil {
+			return err
+		}
+		if err := f.stmt(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			f.emit(isa.Instruction{Op: isa.OpBr, Label: endL})
+			f.g.label(elseL)
+			if err := f.stmt(s.Else); err != nil {
+				return err
+			}
+		}
+		f.g.label(endL)
+		return nil
+
+	case *lang.WhileStmt:
+		headL := f.g.newLabel("while")
+		endL := f.g.newLabel("endwhile")
+		f.g.label(headL)
+		if err := f.branchIfFalse(s.Cond, endL); err != nil {
+			return err
+		}
+		f.breakLbls = append(f.breakLbls, endL)
+		f.contLbls = append(f.contLbls, headL)
+		err := f.stmt(s.Body)
+		f.breakLbls = f.breakLbls[:len(f.breakLbls)-1]
+		f.contLbls = f.contLbls[:len(f.contLbls)-1]
+		if err != nil {
+			return err
+		}
+		f.emit(isa.Instruction{Op: isa.OpBr, Label: headL})
+		f.g.label(endL)
+		return nil
+
+	case *lang.ForStmt:
+		headL := f.g.newLabel("for")
+		postL := f.g.newLabel("forpost")
+		endL := f.g.newLabel("endfor")
+		if s.Init != nil {
+			if err := f.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		f.g.label(headL)
+		if s.Cond != nil {
+			if err := f.branchIfFalse(s.Cond, endL); err != nil {
+				return err
+			}
+		}
+		f.breakLbls = append(f.breakLbls, endL)
+		f.contLbls = append(f.contLbls, postL)
+		err := f.stmt(s.Body)
+		f.breakLbls = f.breakLbls[:len(f.breakLbls)-1]
+		f.contLbls = f.contLbls[:len(f.contLbls)-1]
+		if err != nil {
+			return err
+		}
+		f.g.label(postL)
+		if s.Post != nil {
+			n, err := f.exprMaybeVoid(s.Post)
+			if err != nil {
+				return err
+			}
+			f.pop(n)
+		}
+		f.emit(isa.Instruction{Op: isa.OpBr, Label: headL})
+		f.g.label(endL)
+		return nil
+
+	case *lang.ReturnStmt:
+		if s.Value != nil {
+			if err := f.expr(s.Value); err != nil {
+				return err
+			}
+			f.emit(isa.Instruction{Op: isa.OpMov, Dest: isa.RegRet, Src1: f.top(0)})
+			f.pop(1)
+		}
+		f.emit(isa.Instruction{Op: isa.OpBr, Label: f.retLabel})
+		return nil
+
+	case *lang.BreakStmt:
+		f.emit(isa.Instruction{Op: isa.OpBr, Label: f.breakLbls[len(f.breakLbls)-1]})
+		return nil
+
+	case *lang.ContinueStmt:
+		f.emit(isa.Instruction{Op: isa.OpBr, Label: f.contLbls[len(f.contLbls)-1]})
+		return nil
+	}
+	return fmt.Errorf("codegen: unknown statement %T", s)
+}
+
+// initCharArray initialises a local char array from a string literal
+// (or zero-fills it when declared with an empty string).
+func (f *fnGen) initCharArray(d *lang.VarDecl) error {
+	// memcpy from an interned literal, done inline byte by byte for
+	// short strings; the bytes flow through instrumentable loads/stores.
+	sym := f.g.internString(d.InitStr)
+	dst, err := f.push(d.Pos)
+	if err != nil {
+		return err
+	}
+	src, err := f.push(d.Pos)
+	if err != nil {
+		return err
+	}
+	tmp, err := f.push(d.Pos)
+	if err != nil {
+		return err
+	}
+	f.emit(isa.Instruction{Op: isa.OpAddi, Dest: dst, Src1: isa.RegSP, Imm: f.memHome[d]})
+	f.emit(isa.Instruction{Op: isa.OpMovl, Dest: src, Imm: int64(f.g.prog.DataSymbols[sym])})
+	for i := 0; i <= len(d.InitStr); i++ {
+		f.emit(isa.Instruction{Op: isa.OpLd, Dest: tmp, Src1: src, Size: 1})
+		f.emit(isa.Instruction{Op: isa.OpSt, Src1: dst, Src2: tmp, Size: 1})
+		if i < len(d.InitStr) {
+			f.emit(isa.Instruction{Op: isa.OpAddi, Dest: src, Src1: src, Imm: 1})
+			f.emit(isa.Instruction{Op: isa.OpAddi, Dest: dst, Src1: dst, Imm: 1})
+		}
+	}
+	f.pop(3)
+	return nil
+}
+
+// initList initialises a local array from a brace list.
+func (f *fnGen) initList(d *lang.VarDecl) error {
+	addr, err := f.push(d.Pos)
+	if err != nil {
+		return err
+	}
+	val, err := f.push(d.Pos)
+	if err != nil {
+		return err
+	}
+	es := d.Type.Size()
+	f.emit(isa.Instruction{Op: isa.OpAddi, Dest: addr, Src1: isa.RegSP, Imm: f.memHome[d]})
+	for i, v := range d.InitList {
+		f.emit(isa.Instruction{Op: isa.OpMovl, Dest: val, Imm: v})
+		f.emit(isa.Instruction{Op: isa.OpSt, Src1: addr, Src2: val, Size: uint8(es)})
+		if i < len(d.InitList)-1 {
+			f.emit(isa.Instruction{Op: isa.OpAddi, Dest: addr, Src1: addr, Imm: es})
+		}
+	}
+	f.pop(2)
+	return nil
+}
+
+// branchIfFalse evaluates cond and branches to label when it is zero.
+func (f *fnGen) branchIfFalse(cond lang.Expr, label string) error {
+	if err := f.expr(cond); err != nil {
+		return err
+	}
+	t := f.top(0)
+	f.emit(isa.Instruction{Op: isa.OpCmpi, Cond: isa.CondNE, P1: 6, P2: 7, Src1: t, Imm: 0})
+	f.emit(isa.Instruction{Op: isa.OpBr, Qp: 7, Label: label})
+	f.pop(1)
+	return nil
+}

@@ -1,0 +1,48 @@
+// Package core is the stable entry point to the SHIFT reproduction: it
+// re-exports the build/run façade (internal/shift), which wires together
+// the paper's primary contribution — the instrumentation pass that reuses
+// deferred-exception hardware for taint tracking (internal/instrument) —
+// with the substrates it depends on: the minic compiler (internal/lang,
+// internal/codegen), the NaT-bit machine (internal/machine), the tag
+// space (internal/taint), and the policy engine (internal/policy).
+//
+// A typical use:
+//
+//	world := core.NewWorld()
+//	world.NetIn = []byte(request)
+//	res, err := core.BuildAndRun(
+//	    []core.Source{{Name: "server.mc", Text: src}},
+//	    world, core.Options{Instrument: true})
+//	if res.Alert != nil { ... an attack was stopped ... }
+package core
+
+import "shift/internal/shift"
+
+// Re-exported façade types.
+type (
+	// Source is one minic translation unit.
+	Source = shift.Source
+	// Options selects build and run behaviour.
+	Options = shift.Options
+	// World is the OS model: inputs, outputs, taint sources and sinks.
+	World = shift.World
+	// Result is everything a run produced.
+	Result = shift.Result
+	// Alert is a detected policy violation.
+	Alert = shift.Alert
+	// IOCosts models the cost of crossing the OS boundary.
+	IOCosts = shift.IOCosts
+)
+
+// NewWorld returns an empty world with default I/O costs.
+func NewWorld() *World { return shift.NewWorld() }
+
+// Build compiles (and optionally instruments) sources with the runtime
+// library.
+var Build = shift.Build
+
+// Run executes a built program against a world.
+var Run = shift.Run
+
+// BuildAndRun is the one-call convenience.
+var BuildAndRun = shift.BuildAndRun

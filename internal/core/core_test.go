@@ -1,0 +1,45 @@
+package core_test
+
+import (
+	"testing"
+
+	"shift/internal/core"
+)
+
+// TestFacade exercises the re-exported API end to end: the documented
+// package example must actually work.
+func TestFacade(t *testing.T) {
+	world := core.NewWorld()
+	world.NetIn = []byte{9}
+	res, err := core.BuildAndRun([]core.Source{{Name: "s.mc", Text: `
+int table[16];
+void main() {
+	char b[4];
+	recv(b, 4);
+	exit(table[b[0]]);
+}`}}, world, core.Options{Instrument: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alert == nil {
+		t.Fatal("expected an alert from the tainted lookup")
+	}
+	if res.Alert.Violation.Policy != "L1" {
+		t.Errorf("policy = %s, want L1", res.Alert.Violation.Policy)
+	}
+}
+
+func TestFacadeBuildThenRun(t *testing.T) {
+	prog, err := core.Build([]core.Source{{Name: "s.mc", Text: `
+void main() { exit(40 + 2); }`}}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(prog, core.NewWorld(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitStatus != 42 {
+		t.Errorf("exit = %d", res.ExitStatus)
+	}
+}

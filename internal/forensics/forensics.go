@@ -1,0 +1,169 @@
+// Package forensics turns a policy violation into an intrusion-prevention
+// signature — the feedback loop the paper's introduction highlights as a
+// key benefit of DIFT ("the results of such reasoning could be used as
+// feedback to generate accurate intrusion prevention signatures").
+//
+// The raw material is the sink context a high-level violation carries:
+// the exact bytes that reached the dangerous operation plus their
+// per-byte taint. The attacker-controlled content is the union of the
+// maximal tainted runs; a signature is those runs, and Locate maps them
+// back to the input channels they came from.
+package forensics
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"shift/internal/policy"
+)
+
+// Token is one maximal attacker-controlled run in the sink data.
+type Token struct {
+	Offset int    // position in the sink data
+	Text   []byte // the tainted bytes
+}
+
+// Signature describes an attack in terms of its attacker-controlled
+// content at a named sink.
+type Signature struct {
+	Policy string
+	Sink   string
+	Tokens []Token
+}
+
+// minTokenLen drops sub-token noise: a single tainted byte (for example
+// one quote character) matches too much benign traffic to block on.
+const minTokenLen = 3
+
+// gapMerge joins tainted runs separated by at most this many clean bytes
+// (word-granularity tags and sanitised separators fragment runs).
+const gapMerge = 2
+
+// FromViolation extracts the signature of a violation, or nil when the
+// violation carries no sink context (the low-level policies fault inside
+// the processor, where only the register is known).
+func FromViolation(v *policy.Violation) *Signature {
+	if v == nil || len(v.SinkData) == 0 || len(v.SinkTaint) == 0 {
+		return nil
+	}
+	sig := &Signature{Policy: v.Policy, Sink: v.SinkLabel}
+	n := len(v.SinkData)
+	if len(v.SinkTaint) < n {
+		n = len(v.SinkTaint)
+	}
+	i := 0
+	for i < n {
+		if !v.SinkTaint[i] {
+			i++
+			continue
+		}
+		j := i
+		gap := 0
+		end := i
+		for j < n {
+			if v.SinkTaint[j] {
+				gap = 0
+				end = j + 1
+			} else {
+				gap++
+				if gap > gapMerge {
+					break
+				}
+			}
+			j++
+		}
+		if end-i >= minTokenLen {
+			sig.Tokens = append(sig.Tokens, Token{
+				Offset: i,
+				Text:   append([]byte(nil), v.SinkData[i:end]...),
+			})
+		}
+		i = end + 1
+	}
+	if len(sig.Tokens) == 0 {
+		return nil
+	}
+	return sig
+}
+
+// String renders the signature in a grep-able single line.
+func (s *Signature) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s@%s:", s.Policy, s.Sink)
+	for i, tok := range s.Tokens {
+		if i > 0 {
+			b.WriteString(" ...")
+		}
+		fmt.Fprintf(&b, " %q", tok.Text)
+	}
+	return b.String()
+}
+
+// Match reports whether the candidate input contains every token of the
+// signature in order — the filter an inline prevention device would
+// apply to traffic before it reaches the protected program.
+func (s *Signature) Match(input []byte) bool {
+	rest := input
+	for _, tok := range s.Tokens {
+		i := bytes.Index(rest, tok.Text)
+		if i < 0 {
+			return false
+		}
+		rest = rest[i+len(tok.Text):]
+	}
+	return true
+}
+
+// Provenance names an input channel region a token came from.
+type Provenance struct {
+	Token   Token
+	Channel string // "network", "file:<name>", "stdin", "args"
+	Offset  int    // offset of the match within the channel
+}
+
+// Channels describes the program's inputs for Locate.
+type Channels struct {
+	Network []byte
+	Stdin   []byte
+	Args    []string
+	Files   map[string][]byte
+}
+
+// Locate maps each token back to the input channels containing it.
+// Content-based matching is how signature generators relate sink bytes to
+// wire bytes without per-byte origin hardware.
+func Locate(sig *Signature, ch Channels) []Provenance {
+	var out []Provenance
+	try := func(tok Token, name string, data []byte) bool {
+		if i := bytes.Index(data, tok.Text); i >= 0 {
+			out = append(out, Provenance{Token: tok, Channel: name, Offset: i})
+			return true
+		}
+		return false
+	}
+	for _, tok := range sig.Tokens {
+		if try(tok, "network", ch.Network) {
+			continue
+		}
+		if try(tok, "stdin", ch.Stdin) {
+			continue
+		}
+		found := false
+		for name, data := range ch.Files {
+			if try(tok, "file:"+name, data) {
+				found = true
+				break
+			}
+		}
+		if found {
+			continue
+		}
+		for i, a := range ch.Args {
+			if try(tok, fmt.Sprintf("args[%d]", i), []byte(a)) {
+				break
+			}
+		}
+	}
+	return out
+}

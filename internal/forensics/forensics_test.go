@@ -1,0 +1,155 @@
+package forensics
+
+import (
+	"strings"
+	"testing"
+
+	"shift/internal/attacks"
+	"shift/internal/policy"
+	"shift/internal/shift"
+	"shift/internal/taint"
+)
+
+// runExploit runs one attack's exploit under SHIFT and returns the alert.
+func runExploit(t *testing.T, a *attacks.Attack) (*policy.Violation, *shift.World) {
+	t.Helper()
+	conf := a.Config()
+	conf.Granularity = taint.Byte
+	world := a.Exploit()
+	res, err := shift.BuildAndRun([]shift.Source{{Name: a.Program, Text: a.Source}},
+		world, shift.Options{Instrument: true, Policy: conf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alert == nil {
+		t.Fatalf("%s: exploit not detected", a.Program)
+	}
+	return res.Alert.Violation, world
+}
+
+func TestSignatureFromQwikiwikiTraversal(t *testing.T) {
+	v, world := runExploit(t, attacks.Qwikiwiki)
+	sig := FromViolation(v)
+	if sig == nil {
+		t.Fatal("no signature extracted")
+	}
+	if sig.Policy != "H2" || sig.Sink != "open" {
+		t.Errorf("signature header: %s@%s", sig.Policy, sig.Sink)
+	}
+	// The attacker-controlled run must contain the traversal pattern.
+	joined := ""
+	for _, tok := range sig.Tokens {
+		joined += string(tok.Text)
+	}
+	if !strings.Contains(joined, "../..") {
+		t.Errorf("signature misses the traversal: %s", sig)
+	}
+	// The signature matches the wire bytes that caused it...
+	if !sig.Match(world.NetIn) {
+		t.Errorf("signature does not match its own exploit input: %s", sig)
+	}
+	// ...and not a benign request.
+	if sig.Match([]byte("home")) {
+		t.Error("signature matches benign traffic")
+	}
+}
+
+func TestSignatureFromSQLInjection(t *testing.T) {
+	v, world := runExploit(t, attacks.PhpMyFAQ)
+	sig := FromViolation(v)
+	if sig == nil {
+		t.Fatal("no signature extracted")
+	}
+	if !sig.Match(world.NetIn) {
+		t.Errorf("signature %s does not match the injection payload %q", sig, world.NetIn)
+	}
+	if sig.Match([]byte("20060915")) {
+		t.Error("signature matches a benign id")
+	}
+	// Provenance: the tokens came from the network channel.
+	prov := Locate(sig, Channels{Network: world.NetIn})
+	if len(prov) == 0 {
+		t.Fatal("no provenance found")
+	}
+	for _, p := range prov {
+		if p.Channel != "network" {
+			t.Errorf("token %q attributed to %s", p.Token.Text, p.Channel)
+		}
+	}
+}
+
+func TestSignatureFromXSS(t *testing.T) {
+	v, world := runExploit(t, attacks.Scry)
+	sig := FromViolation(v)
+	if sig == nil {
+		t.Fatal("no signature extracted")
+	}
+	if !strings.Contains(strings.ToLower(sig.String()), "script") {
+		t.Errorf("XSS signature misses the script tag: %s", sig)
+	}
+	if !sig.Match(world.NetIn) {
+		t.Error("signature does not match the exploit request")
+	}
+}
+
+func TestSignatureFromFileChannel(t *testing.T) {
+	v, world := runExploit(t, attacks.GnuTar)
+	sig := FromViolation(v)
+	if sig == nil {
+		t.Fatal("no signature extracted")
+	}
+	prov := Locate(sig, Channels{Files: world.Files})
+	if len(prov) == 0 {
+		t.Fatal("no provenance into the archive file")
+	}
+	if !strings.HasPrefix(prov[0].Channel, "file:") {
+		t.Errorf("channel = %s", prov[0].Channel)
+	}
+}
+
+func TestLowLevelViolationsHaveNoSinkContext(t *testing.T) {
+	v, _ := runExploit(t, attacks.Bftpd) // L2: faults inside the pipeline
+	if sig := FromViolation(v); sig != nil {
+		t.Errorf("unexpected signature for a register-level fault: %s", sig)
+	}
+	if FromViolation(nil) != nil {
+		t.Error("nil violation produced a signature")
+	}
+}
+
+func TestTokenExtractionRules(t *testing.T) {
+	mk := func(data string, taintedRanges ...[2]int) *policy.Violation {
+		tb := make([]bool, len(data))
+		for _, r := range taintedRanges {
+			for i := r[0]; i < r[1]; i++ {
+				tb[i] = true
+			}
+		}
+		return &policy.Violation{Policy: "H3", SinkLabel: "sql_exec",
+			SinkData: []byte(data), SinkTaint: tb}
+	}
+
+	// Runs shorter than minTokenLen are dropped.
+	if sig := FromViolation(mk("SELECT 'x'", [2]int{8, 9})); sig != nil {
+		t.Errorf("one-byte run produced a signature: %s", sig)
+	}
+	// Runs separated by small gaps merge.
+	sig := FromViolation(mk("ab cd efgh", [2]int{0, 2}, [2]int{3, 5}, [2]int{6, 10}))
+	if sig == nil || len(sig.Tokens) != 1 {
+		t.Fatalf("gap merge failed: %v", sig)
+	}
+	if string(sig.Tokens[0].Text) != "ab cd efgh" {
+		t.Errorf("merged token = %q", sig.Tokens[0].Text)
+	}
+	// Distant runs stay separate tokens, and Match requires order.
+	sig = FromViolation(mk("aaaa......bbbb", [2]int{0, 4}, [2]int{10, 14}))
+	if sig == nil || len(sig.Tokens) != 2 {
+		t.Fatalf("distant runs merged: %v", sig)
+	}
+	if !sig.Match([]byte("xxaaaaxxxxxxbbbbxx")) {
+		t.Error("ordered match failed")
+	}
+	if sig.Match([]byte("bbbb then aaaa")) {
+		t.Error("out-of-order input matched")
+	}
+}

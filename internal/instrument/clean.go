@@ -1,0 +1,79 @@
+package instrument
+
+import "shift/internal/isa"
+
+// cleanTracker is a tiny forward dataflow analysis over straight-line
+// code: it tracks which registers provably hold untainted values (derived
+// only from immediates) since the last label or call. Compares whose
+// operands are all provably clean keep their cheap NaT-sensitive form;
+// everything else is relaxed — the conservative direction, matching the
+// paper's observation that SHIFT instruments "loads, stores and
+// comparison instructions".
+type cleanTracker struct {
+	clean [isa.NumGR]bool
+}
+
+func newCleanTracker() *cleanTracker {
+	t := &cleanTracker{}
+	t.reset()
+	return t
+}
+
+// reset forgets everything except r0 (hardwired zero, never NaT).
+func (t *cleanTracker) reset() {
+	for i := range t.clean {
+		t.clean[i] = false
+	}
+	t.clean[isa.RegZero] = true
+}
+
+// compareClean reports whether a compare's register operands are all
+// provably clean.
+func (t *cleanTracker) compareClean(ins *isa.Instruction) bool {
+	if ins.Op == isa.OpCmp {
+		return t.clean[ins.Src1] && t.clean[ins.Src2]
+	}
+	return t.clean[ins.Src1]
+}
+
+// step updates facts across one original instruction.
+func (t *cleanTracker) step(ins *isa.Instruction) {
+	// A predicated write may or may not happen; its destination becomes
+	// unknown unless the transfer would keep it clean anyway.
+	conservative := ins.Qp != 0
+
+	set := func(r uint8, v bool) {
+		if r == isa.RegZero {
+			return
+		}
+		if conservative {
+			t.clean[r] = t.clean[r] && v
+			return
+		}
+		t.clean[r] = v
+	}
+
+	switch ins.Op {
+	case isa.OpMovl:
+		set(ins.Dest, true)
+	case isa.OpMov:
+		set(ins.Dest, t.clean[ins.Src1])
+	case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpAndcm, isa.OpOr, isa.OpXor,
+		isa.OpShl, isa.OpShr, isa.OpSar, isa.OpMul, isa.OpDiv, isa.OpRem:
+		// The self-clearing idioms produce a clean zero (§3.2).
+		if ins.Src1 == ins.Src2 && (ins.Op == isa.OpXor || ins.Op == isa.OpSub) {
+			set(ins.Dest, true)
+			return
+		}
+		set(ins.Dest, t.clean[ins.Src1] && t.clean[ins.Src2])
+	case isa.OpAddi, isa.OpAndi, isa.OpOri, isa.OpXori, isa.OpShli, isa.OpShri, isa.OpSari:
+		set(ins.Dest, t.clean[ins.Src1])
+	case isa.OpMovFromBr, isa.OpMovFromUnat, isa.OpClrNat:
+		set(ins.Dest, true)
+	case isa.OpLd, isa.OpLdS, isa.OpLdFill, isa.OpSetNat:
+		set(ins.Dest, false)
+	case isa.OpBrCall, isa.OpSyscall:
+		// The callee (or OS model) may write any register.
+		t.reset()
+	}
+}

@@ -1,0 +1,134 @@
+package instrument
+
+import (
+	"strings"
+	"testing"
+
+	"shift/internal/asm"
+	"shift/internal/machine"
+	"shift/internal/taint"
+)
+
+// The golden tests pin the exact instruction sequences the pass emits for
+// one load and one store — the repository's equivalent of the paper's
+// Figure 5. If a change alters these sequences, the diff below is the
+// review surface.
+
+const goldenInput = `
+	.data
+w: .word8 1
+	.text
+	.entry main
+main:
+	movl r1 = w
+	movl r2 = 7
+	ld8 r3 = [r1]
+	st1 [r1] = r2
+	syscall 1
+`
+
+func goldenApply(t *testing.T, opt Options) string {
+	t.Helper()
+	p, err := asm.Assemble(goldenInput, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Apply(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Disassemble()
+}
+
+// normalize strips labels and leading whitespace for order comparison.
+func sequence(dis string) []string {
+	var out []string
+	for _, line := range strings.Split(dis, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasSuffix(line, ":") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+func TestGoldenByteLevelLoadAndStore(t *testing.T) {
+	got := sequence(goldenApply(t, Options{Gran: taint.Byte}))
+	want := []string{
+		// NaT-source generation at program entry (Figure 5's "obtain a
+		// source register with the NaT-bit").
+		"movl r125 = -2305843009213693952", // badAddr (region 7)
+		"ld8.s r127 = [r125]",
+		"movl r1 = 2305843009213759488", // address of w
+		"movl r2 = 7",
+		// Instrumented 8-byte load.
+		"mov r126 = r1",   // address copy (dest may alias)
+		"ld8 r3 = [r126]", // the original load
+		"shri r120 = r126, 61",
+		"shli r120 = r120, 33",
+		"movl r121 = 68719476735", // OffsetMask
+		"and r121 = r126, r121",
+		"shri r123 = r121, 3",
+		"or r120 = r120, r123",
+		"ld1 r122 = [r120]", // the tag byte
+		"cmpi.ne p8, p9 = r122, 0",
+		"(p8) add r3 = r3, r127", // taint the destination
+		// Instrumented 1-byte store.
+		"tnat p8, p9 = r2",
+		"mov r124 = r2", // data copy for the predicated NaT strip
+		"(p8) addi r125 = r12, -8",
+		"(p8) st8.spill [r125] = r124, 30",
+		"(p8) ld8 r124 = [r125]",
+		"st1 [r1] = r124", // the original store, cleaned data
+		"shri r120 = r1, 61",
+		"shli r120 = r120, 33",
+		"movl r121 = 68719476735",
+		"and r121 = r1, r121",
+		"shri r123 = r121, 3",
+		"or r120 = r120, r123",
+		"ld1 r122 = [r120]", // read-modify-write of the tag byte
+		"andi r123 = r121, 7",
+		"movl r124 = 1",
+		"shl r124 = r124, r123",
+		"(p8) or r122 = r122, r124",
+		"(p9) andcm r122 = r122, r124",
+		"st1 [r120] = r122",
+		"syscall 1",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("sequence length %d, want %d:\n%s", len(got), len(want),
+			strings.Join(got, "\n"))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("instruction %d:\n got %q\nwant %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGoldenWordLevelStoreHasNoRMW(t *testing.T) {
+	dis := goldenApply(t, Options{Gran: taint.Word})
+	seq := sequence(dis)
+	// Word-level store: tag byte written directly (mov/addi + st1), no
+	// tag load before the tag store.
+	joined := strings.Join(seq, "\n")
+	if !strings.Contains(joined, "mov r122 = r0\n(p8) addi r122 = r0, 1\nst1 [r120] = r122") {
+		t.Errorf("word-level store tag write not direct:\n%s", joined)
+	}
+}
+
+func TestGoldenEnhancedSequences(t *testing.T) {
+	dis := goldenApply(t, Options{Gran: taint.Byte,
+		Feat: machine.Features{SetClrNaT: true, NaTAwareCmp: true}})
+	joined := strings.Join(sequence(dis), "\n")
+	if !strings.Contains(joined, "(p8) setnat r3") {
+		t.Errorf("enhanced load does not use setnat:\n%s", joined)
+	}
+	if !strings.Contains(joined, "(p8) clrnat r124") {
+		t.Errorf("enhanced store does not use clrnat:\n%s", joined)
+	}
+	if strings.Contains(joined, "st8.spill") {
+		t.Errorf("enhanced sequences still spill:\n%s", joined)
+	}
+}

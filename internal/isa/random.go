@@ -1,0 +1,75 @@
+package isa
+
+import "math/rand"
+
+// RandomInstruction generates a structurally valid random instruction.
+// It exists for property tests (assembler round-trips, machine fuzzing);
+// production code never calls it.
+func RandomInstruction(rng *rand.Rand) Instruction {
+	gr := func() uint8 { return uint8(1 + rng.Intn(NumGR-1)) }
+	pr := func() uint8 { return uint8(rng.Intn(NumPR)) }
+	br := func() uint8 { return uint8(rng.Intn(NumBR)) }
+	size := func() uint8 { return []uint8{1, 2, 4, 8}[rng.Intn(4)] }
+	cond := func() Cond { return Cond(rng.Intn(int(NumConds))) }
+	imm := func() int64 { return rng.Int63n(1<<20) - 1<<19 }
+
+	ops := []Opcode{
+		OpAdd, OpSub, OpAnd, OpAndcm, OpOr, OpXor, OpShl, OpShr, OpSar,
+		OpMul, OpDiv, OpRem, OpAddi, OpAndi, OpOri, OpXori, OpShli,
+		OpShri, OpSari, OpMov, OpMovl, OpCmp, OpCmpi, OpCmpNa, OpCmpiNa,
+		OpTnat, OpLd, OpLdS, OpLdFill, OpSt, OpStSpill, OpChkS, OpBr,
+		OpBrCall, OpBrRet, OpBrInd, OpMovToBr, OpMovFromBr, OpMovToUnat,
+		OpMovFromUnat, OpMovToCcv, OpMovFromCcv, OpCmpxchg, OpSetNat,
+		OpClrNat, OpSyscall, OpNop,
+	}
+	op := ops[rng.Intn(len(ops))]
+
+	ins := Instruction{Op: op, Qp: uint8(rng.Intn(NumPR))}
+	switch op {
+	case OpAdd, OpSub, OpAnd, OpAndcm, OpOr, OpXor, OpShl, OpShr, OpSar, OpMul, OpDiv, OpRem:
+		ins.Dest, ins.Src1, ins.Src2 = gr(), gr(), gr()
+	case OpAddi, OpAndi, OpOri, OpXori, OpShli, OpShri, OpSari:
+		ins.Dest, ins.Src1, ins.Imm = gr(), gr(), imm()
+	case OpMov:
+		ins.Dest, ins.Src1 = gr(), gr()
+	case OpMovl:
+		ins.Dest, ins.Imm = gr(), imm()
+	case OpCmp, OpCmpNa:
+		ins.P1, ins.P2, ins.Src1, ins.Src2, ins.Cond = pr(), pr(), gr(), gr(), cond()
+	case OpCmpi, OpCmpiNa:
+		ins.P1, ins.P2, ins.Src1, ins.Imm, ins.Cond = pr(), pr(), gr(), imm(), cond()
+	case OpTnat:
+		ins.P1, ins.P2, ins.Src1 = pr(), pr(), gr()
+	case OpLd, OpLdS:
+		ins.Dest, ins.Src1, ins.Size = gr(), gr(), size()
+	case OpLdFill:
+		ins.Dest, ins.Src1, ins.Size, ins.Imm = gr(), gr(), 8, int64(rng.Intn(64))
+	case OpSt:
+		ins.Src1, ins.Src2, ins.Size = gr(), gr(), size()
+	case OpStSpill:
+		ins.Src1, ins.Src2, ins.Size, ins.Imm = gr(), gr(), 8, int64(rng.Intn(64))
+	case OpChkS:
+		ins.Src1, ins.Target = gr(), rng.Intn(100)
+	case OpBr:
+		ins.Target = rng.Intn(100)
+	case OpBrCall:
+		ins.B, ins.Target = br(), rng.Intn(100)
+	case OpBrRet, OpBrInd:
+		ins.B = br()
+	case OpMovToBr:
+		ins.B, ins.Src1 = br(), gr()
+	case OpMovFromBr:
+		ins.Dest, ins.B = gr(), br()
+	case OpMovToUnat, OpMovToCcv:
+		ins.Src1 = gr()
+	case OpMovFromUnat, OpMovFromCcv:
+		ins.Dest = gr()
+	case OpCmpxchg:
+		ins.Dest, ins.Src1, ins.Src2, ins.Size = gr(), gr(), gr(), size()
+	case OpSetNat, OpClrNat:
+		ins.Dest = gr()
+	case OpSyscall:
+		ins.Imm = int64(1 + rng.Intn(15))
+	}
+	return ins
+}

@@ -1,0 +1,101 @@
+package isa
+
+// System call numbers. Arguments are passed in r32, r33, ... and the
+// result is returned in r8, matching the compiled calling convention so
+// that a runtime-library stub is a straight syscall + return.
+//
+// The OS model behind these calls lives in internal/machine (mechanism)
+// and internal/policy (taint sources and sinks). Splitting the channels —
+// file input, network input, SQL, shell, HTML output — mirrors the paper's
+// configurable taint sources (§3.3.1) and high-level sinks (Table 1).
+const (
+	SysExit      = 1  // exit(status)
+	SysRead      = 2  // read(fd, buf, n) -> n          file input
+	SysWrite     = 3  // write(fd, buf, n) -> n         file/stdout output
+	SysOpen      = 4  // open(path, flags) -> fd        H1/H2 sink
+	SysRecv      = 5  // recv(buf, n) -> n              network input
+	SysSend      = 6  // send(buf, n) -> n              network output
+	SysSqlExec   = 7  // sql_exec(query) -> status      H3 sink
+	SysSystem    = 8  // system(cmd) -> status          H4 sink
+	SysHTMLWrite = 9  // html_write(buf, n) -> n        H5 sink
+	SysSbrk      = 10 // sbrk(n) -> old break           heap allocation
+	SysTaint     = 11 // taint(buf, n)                  mark region tainted
+	SysUntaint   = 12 // untaint(buf, n)                mark region clean
+	SysIsTainted = 13 // is_tainted(buf, n) -> 0/1      tag-space query
+	SysGetArg    = 14 // getarg(i, buf, cap) -> len     program argument
+	SysPutc      = 15 // putc(ch)                       debug character out
+
+	// SysUserAlert is raised by instrumentation-generated user-level
+	// violation handlers (§3.3.3: chk.s guards before critical uses let
+	// the program observe a taint violation without taking a hardware
+	// fault). Never called by user code directly.
+	SysUserAlert = 16
+
+	// Threading (the paper's §4.4 future work, implemented here).
+	SysSpawn = 17 // spawn(fn_name, arg) -> tid      start a thread at fn
+	SysJoin  = 18 // join(tid) -> 0/-1               wait for a thread
+	SysYield = 19 // yield()                          end the time slice
+)
+
+// SyscallArgCount returns how many scalar arguments (r32..) the syscall
+// consumes — the registers the §3.3.3 user-level guards must check.
+func SyscallArgCount(n int64) int {
+	switch n {
+	case SysExit, SysSqlExec, SysSystem, SysPutc:
+		return 1
+	case SysRecv, SysSend, SysHTMLWrite, SysTaint, SysUntaint, SysIsTainted, SysOpen:
+		return 2
+	case SysRead, SysWrite, SysGetArg:
+		return 3
+	case SysSbrk, SysJoin:
+		return 1
+	case SysSpawn:
+		return 2
+	}
+	return 0
+}
+
+// SyscallName returns a human-readable name for a syscall number.
+func SyscallName(n int64) string {
+	switch n {
+	case SysExit:
+		return "exit"
+	case SysRead:
+		return "read"
+	case SysWrite:
+		return "write"
+	case SysOpen:
+		return "open"
+	case SysRecv:
+		return "recv"
+	case SysSend:
+		return "send"
+	case SysSqlExec:
+		return "sql_exec"
+	case SysSystem:
+		return "system"
+	case SysHTMLWrite:
+		return "html_write"
+	case SysSbrk:
+		return "sbrk"
+	case SysTaint:
+		return "taint"
+	case SysUntaint:
+		return "untaint"
+	case SysIsTainted:
+		return "is_tainted"
+	case SysGetArg:
+		return "getarg"
+	case SysPutc:
+		return "putc"
+	case SysUserAlert:
+		return "user_alert"
+	case SysSpawn:
+		return "spawn"
+	case SysJoin:
+		return "join"
+	case SysYield:
+		return "yield"
+	}
+	return "unknown"
+}

@@ -1,0 +1,289 @@
+package lang
+
+import "fmt"
+
+// TypeKind is the base kind of a minic type.
+type TypeKind uint8
+
+// Base type kinds.
+const (
+	KindVoid TypeKind = iota
+	KindInt           // 8-byte signed
+	KindChar          // 1-byte unsigned
+)
+
+// Type is a minic type: a base kind plus a pointer depth. Arrays appear
+// only in declarations (they decay to pointers in expressions).
+type Type struct {
+	Kind TypeKind
+	Ptr  int // pointer depth: int** has Ptr == 2
+}
+
+// Convenience type constructors.
+var (
+	TypeVoid    = Type{Kind: KindVoid}
+	TypeInt     = Type{Kind: KindInt}
+	TypeChar    = Type{Kind: KindChar}
+	TypeCharPtr = Type{Kind: KindChar, Ptr: 1}
+	TypeIntPtr  = Type{Kind: KindInt, Ptr: 1}
+)
+
+// IsPointer reports whether t is any pointer type.
+func (t Type) IsPointer() bool { return t.Ptr > 0 }
+
+// Elem returns the pointee type of a pointer.
+func (t Type) Elem() Type { return Type{Kind: t.Kind, Ptr: t.Ptr - 1} }
+
+// PointerTo returns a pointer to t.
+func (t Type) PointerTo() Type { return Type{Kind: t.Kind, Ptr: t.Ptr + 1} }
+
+// Size returns the storage size in bytes of one value of type t.
+func (t Type) Size() int64 {
+	if t.Ptr > 0 {
+		return 8
+	}
+	switch t.Kind {
+	case KindChar:
+		return 1
+	case KindInt:
+		return 8
+	}
+	return 0
+}
+
+// String renders the type in C syntax.
+func (t Type) String() string {
+	base := "void"
+	switch t.Kind {
+	case KindInt:
+		base = "int"
+	case KindChar:
+		base = "char"
+	}
+	for i := 0; i < t.Ptr; i++ {
+		base += "*"
+	}
+	return base
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// File is a parsed translation unit.
+type File struct {
+	Name  string
+	Vars  []*VarDecl
+	Funcs []*FuncDecl
+}
+
+// VarDecl is a global or local variable declaration.
+type VarDecl struct {
+	Pos      Pos
+	Name     string
+	Type     Type
+	ArrayLen int64 // -1 when not an array
+	// At most one of the initializer forms is set.
+	Init     Expr    // scalar initializer
+	InitStr  string  // char array initializer from a string literal
+	InitList []int64 // brace-list initializer
+	HasInit  bool
+
+	// Filled by the checker / code generator.
+	Global   bool
+	AddrUsed bool // address taken (or array): must live in memory
+}
+
+// IsArray reports whether the declaration is an array.
+func (d *VarDecl) IsArray() bool { return d.ArrayLen >= 0 }
+
+// StorageSize returns the in-memory size the declaration needs.
+func (d *VarDecl) StorageSize() int64 {
+	if d.IsArray() {
+		return d.Type.Size() * d.ArrayLen
+	}
+	return d.Type.Size()
+}
+
+// Param is one function parameter.
+type Param struct {
+	Pos  Pos
+	Name string
+	Type Type
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Ret    Type
+	Params []*Param
+	Body   *Block
+}
+
+// Stmt is any statement node.
+type Stmt interface{ stmt() }
+
+// Block is a brace-delimited statement list with its own scope.
+type Block struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// DeclStmt wraps a local variable declaration.
+type DeclStmt struct{ Decl *VarDecl }
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is a C for loop; any header part may be nil.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt // DeclStmt or ExprStmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr // nil for void return
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt advances the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+func (*Block) stmt()        {}
+func (*DeclStmt) stmt()     {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*ForStmt) stmt()      {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+func (*ExprStmt) stmt()     {}
+
+// Expr is any expression node. Every expression carries the type the
+// checker assigned.
+type Expr interface {
+	expr()
+	// ResultType returns the checked type (valid after Check).
+	ResultType() Type
+	// Position returns the source position.
+	Position() Pos
+}
+
+// exprBase carries the fields every expression shares.
+type exprBase struct {
+	Pos  Pos
+	Type Type
+}
+
+func (e *exprBase) expr()            {}
+func (e *exprBase) ResultType() Type { return e.Type }
+func (e *exprBase) Position() Pos    { return e.Pos }
+
+// IntLit is an integer (or character) literal.
+type IntLit struct {
+	exprBase
+	Val int64
+}
+
+// StrLit is a string literal; it denotes the address of an anonymous
+// NUL-terminated char array in the data segment.
+type StrLit struct {
+	exprBase
+	Val string
+	// DataSym is assigned by the code generator.
+	DataSym string
+}
+
+// Ident references a variable or parameter.
+type Ident struct {
+	exprBase
+	Name string
+	// Ref is resolved by the checker to the declaration (a *VarDecl for
+	// variables or a *Param for parameters).
+	VarRef   *VarDecl
+	ParamRef *Param
+}
+
+// Unary is -x, !x, ~x, *x, &x.
+type Unary struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// Binary is x op y for arithmetic, comparison, logical and shift ops.
+type Binary struct {
+	exprBase
+	Op   string
+	X, Y Expr
+}
+
+// Assign is lhs = rhs and the compound forms (+=, -=, ...).
+type Assign struct {
+	exprBase
+	Op  string // "=", "+=", ...
+	LHS Expr
+	RHS Expr
+}
+
+// IncDec is ++x, --x, x++, x--.
+type IncDec struct {
+	exprBase
+	Op   string // "++" or "--"
+	Post bool
+	X    Expr
+}
+
+// Call invokes a user function or a syscall intrinsic.
+type Call struct {
+	exprBase
+	Name string
+	Args []Expr
+	// Func is resolved to the user function, nil for intrinsics.
+	Func *FuncDecl
+	// Intrinsic is the syscall number for builtin calls, 0 otherwise.
+	Intrinsic int64
+}
+
+// Index is base[idx] (array indexing / pointer arithmetic sugar).
+type Index struct {
+	exprBase
+	Base Expr
+	Idx  Expr
+}
+
+// Cond is the ternary c ? a : b.
+type Cond struct {
+	exprBase
+	C, A, B Expr
+}

@@ -1,0 +1,546 @@
+package lang
+
+import (
+	"fmt"
+
+	"shift/internal/isa"
+)
+
+// Intrinsic describes a built-in system-call function.
+type Intrinsic struct {
+	Syscall int64
+	Params  []Type
+	Ret     Type
+}
+
+// Intrinsics maps reserved function names to syscalls. These are the OS
+// channels that serve as taint sources and policy sinks (paper §3.3.1 and
+// Table 1). A program may not define functions with these names.
+var Intrinsics = map[string]Intrinsic{
+	"exit":       {isa.SysExit, []Type{TypeInt}, TypeVoid},
+	"read":       {isa.SysRead, []Type{TypeInt, TypeCharPtr, TypeInt}, TypeInt},
+	"write":      {isa.SysWrite, []Type{TypeInt, TypeCharPtr, TypeInt}, TypeInt},
+	"open":       {isa.SysOpen, []Type{TypeCharPtr, TypeInt}, TypeInt},
+	"recv":       {isa.SysRecv, []Type{TypeCharPtr, TypeInt}, TypeInt},
+	"send":       {isa.SysSend, []Type{TypeCharPtr, TypeInt}, TypeInt},
+	"sql_exec":   {isa.SysSqlExec, []Type{TypeCharPtr}, TypeInt},
+	"system":     {isa.SysSystem, []Type{TypeCharPtr}, TypeInt},
+	"html_write": {isa.SysHTMLWrite, []Type{TypeCharPtr, TypeInt}, TypeInt},
+	"sbrk":       {isa.SysSbrk, []Type{TypeInt}, TypeCharPtr},
+	"taint":      {isa.SysTaint, []Type{TypeCharPtr, TypeInt}, TypeVoid},
+	"untaint":    {isa.SysUntaint, []Type{TypeCharPtr, TypeInt}, TypeVoid},
+	"is_tainted": {isa.SysIsTainted, []Type{TypeCharPtr, TypeInt}, TypeInt},
+	"getarg":     {isa.SysGetArg, []Type{TypeInt, TypeCharPtr, TypeInt}, TypeInt},
+	"putc":       {isa.SysPutc, []Type{TypeInt}, TypeVoid},
+	"spawn":      {isa.SysSpawn, []Type{TypeCharPtr, TypeInt}, TypeInt},
+	"join":       {isa.SysJoin, []Type{TypeInt}, TypeInt},
+	"yield":      {isa.SysYield, nil, TypeVoid},
+}
+
+// Unit is a checked program: one or more translation units resolved
+// against each other.
+type Unit struct {
+	Files   []*File
+	Funcs   map[string]*FuncDecl
+	Globals map[string]*VarDecl
+}
+
+// CheckError is a semantic diagnostic.
+type CheckError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *CheckError) Error() string { return fmt.Sprintf("check: %s: %s", e.Pos, e.Msg) }
+
+type checker struct {
+	unit   *Unit
+	fn     *FuncDecl
+	scopes []map[string]interface{} // *VarDecl or *Param
+	loop   int
+}
+
+// Check resolves and type-checks the given files as one program.
+func Check(files ...*File) (*Unit, error) {
+	u := &Unit{
+		Files:   files,
+		Funcs:   make(map[string]*FuncDecl),
+		Globals: make(map[string]*VarDecl),
+	}
+	c := &checker{unit: u}
+
+	for _, f := range files {
+		for _, d := range f.Vars {
+			if _, dup := u.Globals[d.Name]; dup {
+				return nil, &CheckError{d.Pos, fmt.Sprintf("duplicate global %q", d.Name)}
+			}
+			d.Global = true
+			d.AddrUsed = true // globals always live in memory
+			u.Globals[d.Name] = d
+		}
+		for _, fn := range f.Funcs {
+			if _, reserved := Intrinsics[fn.Name]; reserved {
+				return nil, &CheckError{fn.Pos, fmt.Sprintf("%q is a reserved built-in", fn.Name)}
+			}
+			if _, dup := u.Funcs[fn.Name]; dup {
+				return nil, &CheckError{fn.Pos, fmt.Sprintf("duplicate function %q", fn.Name)}
+			}
+			u.Funcs[fn.Name] = fn
+		}
+	}
+
+	// Check global initializers (must be constant or string/list forms,
+	// which the parser already restricted; scalar Init must be literal).
+	for _, f := range files {
+		for _, d := range f.Vars {
+			if d.Init != nil {
+				if _, ok := d.Init.(*IntLit); !ok {
+					if _, ok := d.Init.(*StrLit); !ok {
+						return nil, &CheckError{d.Pos, "global initializer must be a literal"}
+					}
+				}
+				if err := c.expr(d.Init); err != nil {
+					return nil, err
+				}
+			}
+			if err := checkInitShape(d); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for _, f := range files {
+		for _, fn := range f.Funcs {
+			if err := c.checkFunc(fn); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if _, ok := u.Funcs["main"]; !ok {
+		return nil, &CheckError{Pos{}, "program has no main function"}
+	}
+	return u, nil
+}
+
+func checkInitShape(d *VarDecl) error {
+	if d.InitStr != "" && (!d.IsArray() || d.Type != TypeChar) {
+		return &CheckError{d.Pos, "string initializer requires a char array"}
+	}
+	if d.InitStr != "" && int64(len(d.InitStr)+1) > d.ArrayLen {
+		return &CheckError{d.Pos, fmt.Sprintf("string of %d bytes overflows array of %d", len(d.InitStr)+1, d.ArrayLen)}
+	}
+	if d.InitList != nil {
+		if !d.IsArray() {
+			return &CheckError{d.Pos, "brace initializer requires an array"}
+		}
+		if int64(len(d.InitList)) > d.ArrayLen {
+			return &CheckError{d.Pos, "too many initializers"}
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) error {
+	c.fn = fn
+	c.scopes = []map[string]interface{}{{}}
+	for _, p := range fn.Params {
+		if p.Type == TypeVoid {
+			return &CheckError{p.Pos, "parameter of type void"}
+		}
+		if _, dup := c.scopes[0][p.Name]; dup {
+			return &CheckError{p.Pos, fmt.Sprintf("duplicate parameter %q", p.Name)}
+		}
+		c.scopes[0][p.Name] = p
+	}
+	if len(fn.Params) > isa.RegArgN-isa.RegArg0+1 {
+		return &CheckError{fn.Pos, fmt.Sprintf("too many parameters (max %d)", isa.RegArgN-isa.RegArg0+1)}
+	}
+	return c.stmt(fn.Body)
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]interface{}{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) lookup(name string) interface{} {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if v, ok := c.scopes[i][name]; ok {
+			return v
+		}
+	}
+	if g, ok := c.unit.Globals[name]; ok {
+		return g
+	}
+	return nil
+}
+
+func (c *checker) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *Block:
+		c.push()
+		defer c.pop()
+		for _, st := range s.Stmts {
+			if err := c.stmt(st); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *DeclStmt:
+		d := s.Decl
+		if d.Type == TypeVoid && !d.Type.IsPointer() {
+			return &CheckError{d.Pos, "variable of type void"}
+		}
+		if err := checkInitShape(d); err != nil {
+			return err
+		}
+		if d.IsArray() {
+			d.AddrUsed = true
+		}
+		if d.Init != nil {
+			if err := c.expr(d.Init); err != nil {
+				return err
+			}
+			if err := assignable(d.Type, d.Init.ResultType(), d.Pos); err != nil {
+				return err
+			}
+		}
+		top := c.scopes[len(c.scopes)-1]
+		if _, dup := top[d.Name]; dup {
+			return &CheckError{d.Pos, fmt.Sprintf("redeclaration of %q", d.Name)}
+		}
+		top[d.Name] = d
+		return nil
+
+	case *IfStmt:
+		if err := c.exprScalar(s.Cond); err != nil {
+			return err
+		}
+		if err := c.stmt(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.stmt(s.Else)
+		}
+		return nil
+
+	case *WhileStmt:
+		if err := c.exprScalar(s.Cond); err != nil {
+			return err
+		}
+		c.loop++
+		defer func() { c.loop-- }()
+		return c.stmt(s.Body)
+
+	case *ForStmt:
+		c.push()
+		defer c.pop()
+		if s.Init != nil {
+			if err := c.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			if err := c.exprScalar(s.Cond); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if err := c.expr(s.Post); err != nil {
+				return err
+			}
+		}
+		c.loop++
+		defer func() { c.loop-- }()
+		return c.stmt(s.Body)
+
+	case *ReturnStmt:
+		if s.Value == nil {
+			if c.fn.Ret != TypeVoid {
+				return &CheckError{s.Pos, "missing return value"}
+			}
+			return nil
+		}
+		if c.fn.Ret == TypeVoid {
+			return &CheckError{s.Pos, "return with a value in a void function"}
+		}
+		if err := c.expr(s.Value); err != nil {
+			return err
+		}
+		return assignable(c.fn.Ret, s.Value.ResultType(), s.Pos)
+
+	case *BreakStmt:
+		if c.loop == 0 {
+			return &CheckError{s.Pos, "break outside loop"}
+		}
+		return nil
+
+	case *ContinueStmt:
+		if c.loop == 0 {
+			return &CheckError{s.Pos, "continue outside loop"}
+		}
+		return nil
+
+	case *ExprStmt:
+		return c.expr(s.X)
+	}
+	return fmt.Errorf("check: unknown statement %T", s)
+}
+
+// exprScalar checks e and requires a scalar (int, char or pointer) result.
+func (c *checker) exprScalar(e Expr) error {
+	if err := c.expr(e); err != nil {
+		return err
+	}
+	if e.ResultType() == TypeVoid {
+		return &CheckError{e.Position(), "void value used in a condition"}
+	}
+	return nil
+}
+
+// assignable checks a store of type src into dst (lenient, C89-flavoured).
+func assignable(dst, src Type, pos Pos) error {
+	if dst == TypeVoid || src == TypeVoid {
+		return &CheckError{pos, "void value in assignment"}
+	}
+	// int/char interconvert; pointers interconvert with each other and
+	// with integers (needed for sbrk results, address constants, NULL).
+	return nil
+}
+
+func (c *checker) expr(e Expr) error {
+	switch e := e.(type) {
+	case *IntLit:
+		e.Type = TypeInt
+		return nil
+
+	case *StrLit:
+		e.Type = TypeCharPtr
+		return nil
+
+	case *Ident:
+		switch ref := c.lookup(e.Name).(type) {
+		case *VarDecl:
+			e.VarRef = ref
+			if ref.IsArray() {
+				e.Type = ref.Type.PointerTo() // decay
+			} else {
+				e.Type = ref.Type
+			}
+		case *Param:
+			e.ParamRef = ref
+			e.Type = ref.Type
+		default:
+			return &CheckError{e.Pos, fmt.Sprintf("undefined identifier %q", e.Name)}
+		}
+		return nil
+
+	case *Unary:
+		if err := c.expr(e.X); err != nil {
+			return err
+		}
+		xt := e.X.ResultType()
+		switch e.Op {
+		case "-", "~", "!":
+			if xt == TypeVoid {
+				return &CheckError{e.Pos, "void operand"}
+			}
+			e.Type = TypeInt
+		case "*":
+			if !xt.IsPointer() {
+				return &CheckError{e.Pos, fmt.Sprintf("cannot dereference non-pointer %s", xt)}
+			}
+			e.Type = xt.Elem()
+			if e.Type == TypeVoid {
+				return &CheckError{e.Pos, "cannot dereference void*"}
+			}
+		case "&":
+			if id, ok := e.X.(*Ident); ok && id.ParamRef != nil {
+				return &CheckError{e.Pos, "cannot take the address of a parameter (copy it to a local first)"}
+			}
+			lv, err := c.lvalue(e.X)
+			if err != nil {
+				return err
+			}
+			if lv != nil {
+				lv.AddrUsed = true
+			}
+			e.Type = xt.PointerTo()
+		default:
+			return &CheckError{e.Pos, "unknown unary operator " + e.Op}
+		}
+		return nil
+
+	case *Binary:
+		if err := c.expr(e.X); err != nil {
+			return err
+		}
+		if err := c.expr(e.Y); err != nil {
+			return err
+		}
+		xt, yt := e.X.ResultType(), e.Y.ResultType()
+		if xt == TypeVoid || yt == TypeVoid {
+			return &CheckError{e.Pos, "void operand"}
+		}
+		switch e.Op {
+		case "+":
+			switch {
+			case xt.IsPointer() && yt.IsPointer():
+				return &CheckError{e.Pos, "cannot add two pointers"}
+			case xt.IsPointer():
+				e.Type = xt
+			case yt.IsPointer():
+				e.Type = yt
+			default:
+				e.Type = TypeInt
+			}
+		case "-":
+			switch {
+			case xt.IsPointer() && yt.IsPointer():
+				e.Type = TypeInt // scaled difference
+			case xt.IsPointer():
+				e.Type = xt
+			case yt.IsPointer():
+				return &CheckError{e.Pos, "cannot subtract a pointer from an integer"}
+			default:
+				e.Type = TypeInt
+			}
+		case "==", "!=", "<", "<=", ">", ">=", "&&", "||":
+			e.Type = TypeInt
+		default: // * / % & | ^ << >>
+			if xt.IsPointer() || yt.IsPointer() {
+				return &CheckError{e.Pos, fmt.Sprintf("pointer operand to %q", e.Op)}
+			}
+			e.Type = TypeInt
+		}
+		return nil
+
+	case *Assign:
+		if err := c.expr(e.LHS); err != nil {
+			return err
+		}
+		if _, err := c.lvalue(e.LHS); err != nil {
+			return err
+		}
+		if err := c.expr(e.RHS); err != nil {
+			return err
+		}
+		lt, rt := e.LHS.ResultType(), e.RHS.ResultType()
+		if err := assignable(lt, rt, e.Pos); err != nil {
+			return err
+		}
+		if e.Op != "=" && e.Op != "+=" && e.Op != "-=" && lt.IsPointer() {
+			return &CheckError{e.Pos, fmt.Sprintf("pointer operand to %q", e.Op)}
+		}
+		e.Type = lt
+		return nil
+
+	case *IncDec:
+		if err := c.expr(e.X); err != nil {
+			return err
+		}
+		if _, err := c.lvalue(e.X); err != nil {
+			return err
+		}
+		t := e.X.ResultType()
+		if t == TypeVoid {
+			return &CheckError{e.Pos, "void operand"}
+		}
+		e.Type = t
+		return nil
+
+	case *Call:
+		if intr, ok := Intrinsics[e.Name]; ok {
+			if len(e.Args) != len(intr.Params) {
+				return &CheckError{e.Pos, fmt.Sprintf("%s expects %d arguments, got %d", e.Name, len(intr.Params), len(e.Args))}
+			}
+			for _, a := range e.Args {
+				if err := c.expr(a); err != nil {
+					return err
+				}
+				if a.ResultType() == TypeVoid {
+					return &CheckError{a.Position(), "void argument"}
+				}
+			}
+			e.Intrinsic = intr.Syscall
+			e.Type = intr.Ret
+			return nil
+		}
+		fn, ok := c.unit.Funcs[e.Name]
+		if !ok {
+			return &CheckError{e.Pos, fmt.Sprintf("undefined function %q", e.Name)}
+		}
+		if len(e.Args) != len(fn.Params) {
+			return &CheckError{e.Pos, fmt.Sprintf("%s expects %d arguments, got %d", e.Name, len(fn.Params), len(e.Args))}
+		}
+		for i, a := range e.Args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+			if err := assignable(fn.Params[i].Type, a.ResultType(), a.Position()); err != nil {
+				return err
+			}
+		}
+		e.Func = fn
+		e.Type = fn.Ret
+		return nil
+
+	case *Index:
+		if err := c.expr(e.Base); err != nil {
+			return err
+		}
+		if err := c.expr(e.Idx); err != nil {
+			return err
+		}
+		bt := e.Base.ResultType()
+		if !bt.IsPointer() {
+			return &CheckError{e.Pos, fmt.Sprintf("cannot index non-pointer %s", bt)}
+		}
+		if e.Idx.ResultType().IsPointer() {
+			return &CheckError{e.Pos, "pointer used as index"}
+		}
+		e.Type = bt.Elem()
+		return nil
+
+	case *Cond:
+		if err := c.exprScalar(e.C); err != nil {
+			return err
+		}
+		if err := c.expr(e.A); err != nil {
+			return err
+		}
+		if err := c.expr(e.B); err != nil {
+			return err
+		}
+		if e.A.ResultType() == TypeVoid || e.B.ResultType() == TypeVoid {
+			return &CheckError{e.Pos, "void arm in conditional expression"}
+		}
+		e.Type = e.A.ResultType()
+		return nil
+	}
+	return fmt.Errorf("check: unknown expression %T", e)
+}
+
+// lvalue validates that e can be assigned through and returns the
+// underlying VarDecl when the lvalue is a variable (for AddrUsed marking);
+// derefs and indexes return nil with no error.
+func (c *checker) lvalue(e Expr) (*VarDecl, error) {
+	switch e := e.(type) {
+	case *Ident:
+		if e.VarRef != nil {
+			if e.VarRef.IsArray() {
+				return nil, &CheckError{e.Pos, "array is not assignable"}
+			}
+			return e.VarRef, nil
+		}
+		return nil, nil // parameter: assignable, register-resident
+	case *Unary:
+		if e.Op == "*" {
+			return nil, nil
+		}
+	case *Index:
+		return nil, nil
+	}
+	return nil, &CheckError{e.Position(), "expression is not assignable"}
+}

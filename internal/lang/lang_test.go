@@ -1,0 +1,281 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse("test.mc", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func mustCheck(t *testing.T, src string) *Unit {
+	t.Helper()
+	u, err := Check(mustParse(t, src))
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return u
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`int x = 0x1f; // comment
+/* block
+   comment */ char c = '\n'; char *s = "a\tb";`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	if toks[0].Text != "int" || toks[0].Kind != TokKeyword {
+		t.Errorf("first token %+v", toks[0])
+	}
+	if toks[3].Kind != TokInt || toks[3].Val != 0x1f {
+		t.Errorf("hex literal %+v", toks[3])
+	}
+	found := false
+	for _, tk := range toks {
+		if tk.Kind == TokChar && tk.Val == '\n' {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("char escape not lexed")
+	}
+	for _, tk := range toks {
+		if tk.Kind == TokString && tk.Str != "a\tb" {
+			t.Errorf("string literal %q", tk.Str)
+		}
+	}
+	_ = kinds
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"`", `"unterminated`, "'x", "/* unterminated", `'\q'`} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("lex accepted %q", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("int\n  x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("x at %d:%d, want 2:3", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestParseProgramShapes(t *testing.T) {
+	f := mustParse(t, `
+int g;
+char buf[64] = "hi";
+int tbl[4] = {1, 2, -3, 4};
+
+int add(int a, int b) { return a + b; }
+
+void main() {
+	int i;
+	for (i = 0; i < 10; i++) {
+		if (i % 2 == 0) continue;
+		g += add(i, tbl[i % 4]);
+	}
+	while (g > 100) { g--; break; }
+	exit(g);
+}
+`)
+	if len(f.Vars) != 3 || len(f.Funcs) != 2 {
+		t.Fatalf("got %d vars, %d funcs", len(f.Vars), len(f.Funcs))
+	}
+	if f.Vars[1].InitStr != "hi" || f.Vars[1].ArrayLen != 64 {
+		t.Errorf("buf decl wrong: %+v", f.Vars[1])
+	}
+	if len(f.Vars[2].InitList) != 4 || f.Vars[2].InitList[2] != -3 {
+		t.Errorf("tbl init wrong: %v", f.Vars[2].InitList)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f := mustParse(t, "void main() { int x; x = 1 + 2 * 3; }")
+	body := f.Funcs[0].Body.Stmts[1].(*ExprStmt)
+	asn := body.X.(*Assign)
+	add := asn.RHS.(*Binary)
+	if add.Op != "+" {
+		t.Fatalf("top op %q, want +", add.Op)
+	}
+	if mul, ok := add.Y.(*Binary); !ok || mul.Op != "*" {
+		t.Fatalf("rhs of + is %T, want * binary", add.Y)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"int;",
+		"void main() { return 1 }",
+		"void main() { int x[0]; }",
+		"void main() { if (1 { } }",
+		"void main() { break }",
+		"int main(,) {}",
+		"void main() { x ===; }",
+	}
+	for _, src := range bad {
+		if _, err := Parse("t", src); err == nil {
+			t.Errorf("parsed invalid program %q", src)
+		}
+	}
+}
+
+func TestCheckResolvesAndTypes(t *testing.T) {
+	u := mustCheck(t, `
+int g = 5;
+int twice(int v) { return v * 2; }
+void main() {
+	int x = twice(g);
+	int *p = &x;
+	*p = x + 1;
+	char buf[8];
+	buf[0] = 'a';
+	exit(*p);
+}
+`)
+	if u.Funcs["twice"] == nil || u.Globals["g"] == nil {
+		t.Fatal("symbols not recorded")
+	}
+	// &x forces x into memory.
+	var xDecl *VarDecl
+	body := u.Funcs["main"].Body
+	for _, s := range body.Stmts {
+		if d, ok := s.(*DeclStmt); ok && d.Decl.Name == "x" {
+			xDecl = d.Decl
+		}
+	}
+	if xDecl == nil || !xDecl.AddrUsed {
+		t.Error("address-taken local not marked AddrUsed")
+	}
+}
+
+func TestCheckIntrinsics(t *testing.T) {
+	u := mustCheck(t, `
+void main() {
+	char buf[16];
+	int n = recv(buf, 16);
+	write(1, buf, n);
+	exit(0);
+}
+`)
+	_ = u
+	// Wrong arity.
+	if _, err := Check(mustParse(t, "void main() { recv(); }")); err == nil {
+		t.Error("intrinsic arity not checked")
+	}
+	// Reserved name.
+	if _, err := Check(mustParse(t, "int recv(int a) { return a; } void main() {}")); err == nil {
+		t.Error("reserved intrinsic name redefinition accepted")
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	bad := map[string]string{
+		"undefined var":       "void main() { x = 1; }",
+		"undefined func":      "void main() { frob(); }",
+		"void deref":          "void main() { void *p; *p = 1; }",
+		"non-pointer deref":   "void main() { int x; *x = 1; }",
+		"add two pointers":    "void main() { int *a; int *b; a = a + b; }",
+		"array assign":        "void main() { int a[3]; int b[3]; a = b; }",
+		"no main":             "int f() { return 0; }",
+		"dup global":          "int g; int g; void main() {}",
+		"dup func":            "void f() {} void f() {} void main() {}",
+		"dup param":           "void f(int a, int a) {} void main() {}",
+		"break outside loop":  "void main() { break; }",
+		"return value void":   "void main() { return 3; }",
+		"missing return val":  "int f() { return; } void main() {}",
+		"string into int arr": "int a[4] = \"abc\"; void main() {}",
+		"string overflow":     "char a[2] = \"abc\"; void main() {}",
+		"assign to rvalue":    "void main() { 3 = 4; }",
+		"pointer modulo":      "void main() { int *p; int x; x = p % 3; }",
+	}
+	for name, src := range bad {
+		f, err := Parse("t", src)
+		if err != nil {
+			continue // rejected even earlier, fine
+		}
+		if _, err := Check(f); err == nil {
+			t.Errorf("%s: checker accepted %q", name, src)
+		}
+	}
+}
+
+func TestCheckPointerArithmeticTypes(t *testing.T) {
+	u := mustCheck(t, `
+void main() {
+	int a[10];
+	int *p = a;
+	int *q = p + 3;
+	int d = q - p;
+	exit(d);
+}
+`)
+	_ = u
+}
+
+func TestTypeSizes(t *testing.T) {
+	if TypeInt.Size() != 8 || TypeChar.Size() != 1 || TypeCharPtr.Size() != 8 {
+		t.Error("type sizes wrong")
+	}
+	if TypeCharPtr.Elem() != TypeChar || TypeChar.PointerTo() != TypeCharPtr {
+		t.Error("pointer algebra wrong")
+	}
+	if TypeIntPtr.String() != "int*" || TypeVoid.String() != "void" {
+		t.Error("type printing wrong")
+	}
+}
+
+func TestSizeofIsConstant(t *testing.T) {
+	f := mustParse(t, "void main() { int x = sizeof(int) + sizeof(char*); }")
+	ds := f.Funcs[0].Body.Stmts[0].(*DeclStmt)
+	bin := ds.Decl.Init.(*Binary)
+	if bin.X.(*IntLit).Val != 8 || bin.Y.(*IntLit).Val != 8 {
+		t.Error("sizeof not folded to literals")
+	}
+	f2 := mustParse(t, "void main() { int x = sizeof(char); }")
+	ds2 := f2.Funcs[0].Body.Stmts[0].(*DeclStmt)
+	if ds2.Decl.Init.(*IntLit).Val != 1 {
+		t.Error("sizeof(char) != 1")
+	}
+}
+
+func TestTernary(t *testing.T) {
+	mustCheck(t, "void main() { int a = 1; int b = a > 0 ? 10 : 20; exit(b); }")
+}
+
+func TestCommentOnlyBodyAndNesting(t *testing.T) {
+	mustCheck(t, `
+void main() {
+	// nothing
+	/* here
+	   either */
+	{ { { exit(0); } } }
+}
+`)
+}
+
+func TestParseCompoundAssign(t *testing.T) {
+	src := "void main() { int x = 1; x += 2; x -= 1; x *= 3; x /= 2; x %= 2; x <<= 1; x >>= 1; x &= 3; x |= 4; x ^= 5; exit(x); }"
+	mustCheck(t, src)
+}
+
+func TestErrorMessagesCarryPositions(t *testing.T) {
+	_, err := Parse("t", "void main() {\n  $;\n}")
+	if err == nil || !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error lacks line info: %v", err)
+	}
+}

@@ -1,0 +1,253 @@
+// Package lang implements the front-end of minic, the C-subset language
+// used to write the runtime library, the SPEC-like workloads and the
+// vulnerable programs of the security evaluation. It plays the role GCC's
+// front-end plays in the paper: SHIFT itself never looks at this level —
+// the instrumentation pass runs on the low-level instruction stream that
+// internal/codegen emits.
+//
+// The language: int (8 bytes), char (1 byte, unsigned), pointers, fixed
+// arrays, string literals, functions, if/else, while, for, break,
+// continue, return, the usual C operators, and a set of built-in
+// system-call intrinsics (read, write, open, recv, send, sql_exec,
+// system, html_write, sbrk, taint, untaint, is_tainted, getarg, putc,
+// exit). No structs, no typedefs, no varargs, no preprocessor.
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TokKind classifies tokens.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokChar
+	TokString
+	TokPunct   // operators and delimiters
+	TokKeyword // reserved words
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string // identifier text, punct text, or keyword
+	Val  int64  // integer / char value
+	Str  string // decoded string literal
+	Line int
+	Col  int
+}
+
+var keywords = map[string]bool{
+	"int": true, "char": true, "void": true,
+	"if": true, "else": true, "while": true, "for": true,
+	"return": true, "break": true, "continue": true, "sizeof": true,
+}
+
+// puncts in longest-match-first order.
+var puncts = []string{
+	"<<=", ">>=",
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+	"+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+	"(", ")", "{", "}", "[", "]", ",", ";", "?", ":",
+}
+
+// LexError is a lexical diagnostic.
+type LexError struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *LexError) Error() string {
+	return fmt.Sprintf("lex: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Lex tokenizes source, returning the token stream ending in TokEOF.
+func Lex(source string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(source)
+
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if source[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += k
+	}
+
+	for i < n {
+		c := source[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+
+		case c == '/' && i+1 < n && source[i+1] == '/':
+			for i < n && source[i] != '\n' {
+				advance(1)
+			}
+
+		case c == '/' && i+1 < n && source[i+1] == '*':
+			start := Token{Line: line, Col: col}
+			advance(2)
+			for {
+				if i+1 >= n {
+					return nil, &LexError{start.Line, start.Col, "unterminated block comment"}
+				}
+				if source[i] == '*' && source[i+1] == '/' {
+					advance(2)
+					break
+				}
+				advance(1)
+			}
+
+		case isAlpha(c):
+			startLine, startCol := line, col
+			j := i
+			for j < n && (isAlpha(source[j]) || isDigit(source[j])) {
+				j++
+			}
+			word := source[i:j]
+			kind := TokIdent
+			if keywords[word] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: word, Line: startLine, Col: startCol})
+			advance(j - i)
+
+		case isDigit(c):
+			startLine, startCol := line, col
+			j := i
+			if c == '0' && j+1 < n && (source[j+1] == 'x' || source[j+1] == 'X') {
+				j += 2
+				for j < n && isHex(source[j]) {
+					j++
+				}
+			} else {
+				for j < n && isDigit(source[j]) {
+					j++
+				}
+			}
+			text := source[i:j]
+			v, err := strconv.ParseInt(text, 0, 64)
+			if err != nil {
+				return nil, &LexError{startLine, startCol, "bad integer literal " + text}
+			}
+			toks = append(toks, Token{Kind: TokInt, Val: v, Text: text, Line: startLine, Col: startCol})
+			advance(j - i)
+
+		case c == '\'':
+			startLine, startCol := line, col
+			j := i + 1
+			var v int64
+			if j < n && source[j] == '\\' {
+				if j+1 >= n {
+					return nil, &LexError{startLine, startCol, "unterminated char literal"}
+				}
+				e, ok := escape(source[j+1])
+				if !ok {
+					return nil, &LexError{startLine, startCol, "bad escape in char literal"}
+				}
+				v = int64(e)
+				j += 2
+			} else if j < n {
+				v = int64(source[j])
+				j++
+			}
+			if j >= n || source[j] != '\'' {
+				return nil, &LexError{startLine, startCol, "unterminated char literal"}
+			}
+			j++
+			toks = append(toks, Token{Kind: TokChar, Val: v, Line: startLine, Col: startCol})
+			advance(j - i)
+
+		case c == '"':
+			startLine, startCol := line, col
+			var sb strings.Builder
+			j := i + 1
+			for {
+				if j >= n {
+					return nil, &LexError{startLine, startCol, "unterminated string literal"}
+				}
+				if source[j] == '"' {
+					j++
+					break
+				}
+				if source[j] == '\\' {
+					if j+1 >= n {
+						return nil, &LexError{startLine, startCol, "unterminated string literal"}
+					}
+					e, ok := escape(source[j+1])
+					if !ok {
+						return nil, &LexError{startLine, startCol, "bad escape in string literal"}
+					}
+					sb.WriteByte(e)
+					j += 2
+					continue
+				}
+				sb.WriteByte(source[j])
+				j++
+			}
+			toks = append(toks, Token{Kind: TokString, Str: sb.String(), Line: startLine, Col: startCol})
+			advance(j - i)
+
+		default:
+			matched := false
+			for _, p := range puncts {
+				if strings.HasPrefix(source[i:], p) {
+					toks = append(toks, Token{Kind: TokPunct, Text: p, Line: line, Col: col})
+					advance(len(p))
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, &LexError{line, col, fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func escape(c byte) (byte, bool) {
+	switch c {
+	case 'n':
+		return '\n', true
+	case 't':
+		return '\t', true
+	case 'r':
+		return '\r', true
+	case '0':
+		return 0, true
+	case '\\':
+		return '\\', true
+	case '\'':
+		return '\'', true
+	case '"':
+		return '"', true
+	}
+	return 0, false
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHex(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

@@ -1,0 +1,625 @@
+package lang
+
+import "fmt"
+
+// ParseError is a syntax diagnostic.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("parse: %s: %s", e.Pos, e.Msg)
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses a translation unit.
+func Parse(name, source string) (*File, error) {
+	toks, err := Lex(source)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{Name: name}
+	for !p.atEOF() {
+		if err := p.topDecl(f); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().Kind == TokEOF }
+
+func (p *parser) curPos() Pos {
+	t := p.cur()
+	return Pos{t.Line, t.Col}
+}
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &ParseError{Pos: p.curPos(), Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) isPunct(s string) bool {
+	t := p.cur()
+	return t.Kind == TokPunct && t.Text == s
+}
+
+func (p *parser) isKeyword(s string) bool {
+	t := p.cur()
+	return t.Kind == TokKeyword && t.Text == s
+}
+
+func (p *parser) accept(s string) bool {
+	if p.isPunct(s) || p.isKeyword(s) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(s string) error {
+	if p.accept(s) {
+		return nil
+	}
+	return p.errf("expected %q, found %q", s, p.cur().Text)
+}
+
+func (p *parser) expectIdent() (Token, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return t, p.errf("expected identifier, found %q", t.Text)
+	}
+	p.next()
+	return t, nil
+}
+
+// typeStart reports whether the current token begins a type.
+func (p *parser) typeStart() bool {
+	return p.isKeyword("int") || p.isKeyword("char") || p.isKeyword("void")
+}
+
+func (p *parser) parseType() (Type, error) {
+	t := Type{}
+	switch {
+	case p.accept("int"):
+		t.Kind = KindInt
+	case p.accept("char"):
+		t.Kind = KindChar
+	case p.accept("void"):
+		t.Kind = KindVoid
+	default:
+		return t, p.errf("expected type, found %q", p.cur().Text)
+	}
+	for p.accept("*") {
+		t.Ptr++
+	}
+	return t, nil
+}
+
+// topDecl parses one global variable or function definition.
+func (p *parser) topDecl(f *File) error {
+	pos := p.curPos()
+	typ, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if p.isPunct("(") {
+		fn, err := p.funcRest(pos, typ, name.Text)
+		if err != nil {
+			return err
+		}
+		f.Funcs = append(f.Funcs, fn)
+		return nil
+	}
+	d, err := p.varRest(pos, typ, name.Text)
+	if err != nil {
+		return err
+	}
+	d.Global = true
+	f.Vars = append(f.Vars, d)
+	return nil
+}
+
+// varRest parses the remainder of a variable declaration after the name.
+func (p *parser) varRest(pos Pos, typ Type, name string) (*VarDecl, error) {
+	d := &VarDecl{Pos: pos, Name: name, Type: typ, ArrayLen: -1}
+	if p.accept("[") {
+		t := p.cur()
+		if t.Kind != TokInt {
+			return nil, p.errf("array length must be an integer literal")
+		}
+		p.next()
+		if t.Val <= 0 {
+			return nil, p.errf("array length must be positive")
+		}
+		d.ArrayLen = t.Val
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept("=") {
+		d.HasInit = true
+		switch {
+		case p.cur().Kind == TokString && d.IsArray():
+			d.InitStr = p.next().Str
+		case p.accept("{"):
+			for !p.accept("}") {
+				t := p.cur()
+				neg := false
+				if p.accept("-") {
+					neg = true
+					t = p.cur()
+				}
+				if t.Kind != TokInt && t.Kind != TokChar {
+					return nil, p.errf("brace initializers must be integer literals")
+				}
+				p.next()
+				v := t.Val
+				if neg {
+					v = -v
+				}
+				d.InitList = append(d.InitList, v)
+				if !p.accept(",") && !p.isPunct("}") {
+					return nil, p.errf("expected ',' or '}' in initializer list")
+				}
+			}
+		default:
+			e, err := p.assignment()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = e
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) funcRest(pos Pos, ret Type, name string) (*FuncDecl, error) {
+	fn := &FuncDecl{Pos: pos, Name: name, Ret: ret}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if !p.accept(")") {
+		// Allow (void).
+		if p.isKeyword("void") && p.toks[p.pos+1].Kind == TokPunct && p.toks[p.pos+1].Text == ")" {
+			p.next()
+			p.next()
+		} else {
+			for {
+				ppos := p.curPos()
+				typ, err := p.parseType()
+				if err != nil {
+					return nil, err
+				}
+				id, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				// An array parameter decays to a pointer.
+				if p.accept("[") {
+					if p.cur().Kind == TokInt {
+						p.next()
+					}
+					if err := p.expect("]"); err != nil {
+						return nil, err
+					}
+					typ = typ.PointerTo()
+				}
+				fn.Params = append(fn.Params, &Param{Pos: ppos, Name: id.Text, Type: typ})
+				if p.accept(")") {
+					break
+				}
+				if err := p.expect(","); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	pos := p.curPos()
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: pos}
+	for !p.accept("}") {
+		if p.atEOF() {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	pos := p.curPos()
+	switch {
+	case p.typeStart():
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		id, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		d, err := p.varRest(pos, typ, id.Text)
+		if err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Decl: d}, nil
+
+	case p.isPunct("{"):
+		return p.block()
+
+	case p.accept("if"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		var els Stmt
+		if p.accept("else") {
+			els, err = p.stmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Pos: pos, Cond: cond, Then: then, Else: els}, nil
+
+	case p.accept("while"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Pos: pos, Cond: cond, Body: body}, nil
+
+	case p.accept("for"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		f := &ForStmt{Pos: pos}
+		if !p.accept(";") {
+			if p.typeStart() {
+				dpos := p.curPos()
+				typ, err := p.parseType()
+				if err != nil {
+					return nil, err
+				}
+				id, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				d, err := p.varRest(dpos, typ, id.Text)
+				if err != nil {
+					return nil, err
+				}
+				f.Init = &DeclStmt{Decl: d}
+			} else {
+				e, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect(";"); err != nil {
+					return nil, err
+				}
+				f.Init = &ExprStmt{Pos: dposOf(e), X: e}
+			}
+		}
+		if !p.accept(";") {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			f.Cond = e
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		if !p.accept(")") {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			f.Post = e
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		f.Body = body
+		return f, nil
+
+	case p.accept("return"):
+		r := &ReturnStmt{Pos: pos}
+		if !p.accept(";") {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			r.Value = e
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		return r, nil
+
+	case p.accept("break"):
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: pos}, nil
+
+	case p.accept("continue"):
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: pos}, nil
+
+	default:
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{Pos: pos, X: e}, nil
+	}
+}
+
+func dposOf(e Expr) Pos { return e.Position() }
+
+// expression parses a full expression (assignment level).
+func (p *parser) expression() (Expr, error) { return p.assignment() }
+
+func (p *parser) assignment() (Expr, error) {
+	lhs, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="} {
+		if p.isPunct(op) {
+			pos := p.curPos()
+			p.next()
+			rhs, err := p.assignment()
+			if err != nil {
+				return nil, err
+			}
+			return &Assign{exprBase: exprBase{Pos: pos}, Op: op, LHS: lhs, RHS: rhs}, nil
+		}
+	}
+	return lhs, nil
+}
+
+func (p *parser) ternary() (Expr, error) {
+	c, err := p.binary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.isPunct("?") {
+		pos := p.curPos()
+		p.next()
+		a, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		b, err := p.ternary()
+		if err != nil {
+			return nil, err
+		}
+		return &Cond{exprBase: exprBase{Pos: pos}, C: c, A: a, B: b}, nil
+	}
+	return c, nil
+}
+
+// binOps lists binary operators by precedence level, lowest first.
+var binOps = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) binary(level int) (Expr, error) {
+	if level >= len(binOps) {
+		return p.unary()
+	}
+	lhs, err := p.binary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := ""
+		for _, op := range binOps[level] {
+			if p.isPunct(op) {
+				matched = op
+				break
+			}
+		}
+		if matched == "" {
+			return lhs, nil
+		}
+		pos := p.curPos()
+		p.next()
+		rhs, err := p.binary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{exprBase: exprBase{Pos: pos}, Op: matched, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	pos := p.curPos()
+	for _, op := range []string{"-", "!", "~", "*", "&"} {
+		if p.isPunct(op) {
+			p.next()
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{exprBase: exprBase{Pos: pos}, Op: op, X: x}, nil
+		}
+	}
+	if p.isPunct("++") || p.isPunct("--") {
+		op := p.next().Text
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &IncDec{exprBase: exprBase{Pos: pos}, Op: op, X: x}, nil
+	}
+	if p.isKeyword("sizeof") {
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &IntLit{exprBase: exprBase{Pos: pos, Type: TypeInt}, Val: t.Size()}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		pos := p.curPos()
+		switch {
+		case p.accept("["):
+			idx, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			x = &Index{exprBase: exprBase{Pos: pos}, Base: x, Idx: idx}
+		case p.isPunct("++") || p.isPunct("--"):
+			op := p.next().Text
+			x = &IncDec{exprBase: exprBase{Pos: pos}, Op: op, Post: true, X: x}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	pos := p.curPos()
+	switch t.Kind {
+	case TokInt, TokChar:
+		p.next()
+		return &IntLit{exprBase: exprBase{Pos: pos, Type: TypeInt}, Val: t.Val}, nil
+	case TokString:
+		p.next()
+		return &StrLit{exprBase: exprBase{Pos: pos, Type: TypeCharPtr}, Val: t.Str}, nil
+	case TokIdent:
+		p.next()
+		if p.accept("(") {
+			c := &Call{exprBase: exprBase{Pos: pos}, Name: t.Text}
+			if !p.accept(")") {
+				for {
+					arg, err := p.assignment()
+					if err != nil {
+						return nil, err
+					}
+					c.Args = append(c.Args, arg)
+					if p.accept(")") {
+						break
+					}
+					if err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return c, nil
+		}
+		return &Ident{exprBase: exprBase{Pos: pos}, Name: t.Text}, nil
+	case TokPunct:
+		if p.accept("(") {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("unexpected token %q", t.Text)
+}

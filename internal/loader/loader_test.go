@@ -1,0 +1,80 @@
+package loader
+
+import (
+	"testing"
+
+	"shift/internal/asm"
+	"shift/internal/isa"
+	"shift/internal/mem"
+)
+
+func TestLoadBasics(t *testing.T) {
+	p, err := asm.Assemble(`
+	.data
+greet:	.asciz "hello"
+	.text
+	.entry main
+main:
+	nop
+	syscall 1
+`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := Load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Regions 0 (tags), 1 (data+heap), 2 (stack) mapped; others not.
+	for r := uint64(0); r < 8; r++ {
+		want := r <= 2
+		if img.Mem.RegionMapped(r) != want {
+			t.Errorf("region %d mapped = %v, want %v", r, img.Mem.RegionMapped(r), want)
+		}
+	}
+	// Data image written.
+	s, f := img.Mem.ReadCString(p.DataSymbols["greet"], 16)
+	if f != nil || s != "hello" {
+		t.Errorf("data = %q, %v", s, f)
+	}
+	// Heap starts past the data, aligned.
+	end := p.DataBase + uint64(len(p.Data))
+	if img.HeapBase <= end || img.HeapBase%HeapAlign != 0 {
+		t.Errorf("heap base %#x (data ends %#x)", img.HeapBase, end)
+	}
+	// Cache model installed.
+	if img.Mem.Cache == nil {
+		t.Error("no L1 model installed")
+	}
+}
+
+func TestNewMachineState(t *testing.T) {
+	p, err := asm.Assemble("main:\nsyscall 1\n", asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := Load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := img.NewMachine()
+	if uint64(m.GR[isa.RegSP]) != img.StackTop {
+		t.Errorf("SP = %#x, want %#x", m.GR[isa.RegSP], img.StackTop)
+	}
+	if uint64(m.GR[isa.RegGP]) != p.DataBase {
+		t.Errorf("GP = %#x, want %#x", m.GR[isa.RegGP], p.DataBase)
+	}
+	if mem.Region(img.StackTop) != 2 {
+		t.Errorf("stack not in region 2: %#x", img.StackTop)
+	}
+	if m.PC != p.Entry {
+		t.Errorf("PC = %d, want %d", m.PC, p.Entry)
+	}
+}
+
+func TestLoadRejectsInvalidProgram(t *testing.T) {
+	p := &isa.Program{Text: []isa.Instruction{{Op: isa.OpBr, Target: 99}}}
+	if _, err := Load(p); err == nil {
+		t.Error("invalid program loaded")
+	}
+}

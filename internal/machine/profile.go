@@ -1,0 +1,120 @@
+package machine
+
+import "sort"
+
+// Profiling support: per-PC retirement counts. The paper repeatedly
+// points at profiling-guided decisions (when control speculation pays
+// off, §3.3.4; adaptive tracking, §4.4); this is the measurement substrate
+// for them.
+
+// EnableProfile starts counting retirements per instruction index.
+func (m *Machine) EnableProfile() {
+	m.Profile = make([]uint64, len(m.Prog.Text))
+}
+
+// Hotspot is one profiled instruction.
+type Hotspot struct {
+	PC     int
+	Count  uint64
+	Symbol string // nearest preceding code symbol
+	Ins    string
+}
+
+// Hotspots returns the n most-retired instructions, hottest first.
+func (m *Machine) Hotspots(n int) []Hotspot {
+	if m.Profile == nil {
+		return nil
+	}
+	// Nearest-symbol table.
+	type symAt struct {
+		idx  int
+		name string
+	}
+	var syms []symAt
+	for name, idx := range m.Prog.Symbols {
+		if len(name) > 0 && name[0] == '.' {
+			continue // internal labels are not function boundaries
+		}
+		syms = append(syms, symAt{idx, name})
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].idx != syms[j].idx {
+			return syms[i].idx < syms[j].idx
+		}
+		return syms[i].name < syms[j].name
+	})
+	nearest := func(pc int) string {
+		name := ""
+		for _, s := range syms {
+			if s.idx > pc {
+				break
+			}
+			name = s.name
+		}
+		return name
+	}
+
+	var out []Hotspot
+	for pc, count := range m.Profile {
+		if count > 0 {
+			out = append(out, Hotspot{PC: pc, Count: count})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].PC < out[j].PC
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	for i := range out {
+		out[i].Symbol = nearest(out[i].PC)
+		out[i].Ins = m.Prog.Text[out[i].PC].String()
+	}
+	return out
+}
+
+// FunctionProfile aggregates retirement counts by nearest symbol,
+// busiest first.
+func (m *Machine) FunctionProfile() []Hotspot {
+	if m.Profile == nil {
+		return nil
+	}
+	hs := make([]Hotspot, 0, 16)
+	byName := make(map[string]uint64)
+	type symAt struct {
+		idx  int
+		name string
+	}
+	var syms []symAt
+	for name, idx := range m.Prog.Symbols {
+		if len(name) > 0 && name[0] == '.' {
+			continue
+		}
+		syms = append(syms, symAt{idx, name})
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i].idx < syms[j].idx })
+	si := 0
+	current := ""
+	for pc, count := range m.Profile {
+		for si < len(syms) && syms[si].idx <= pc {
+			current = syms[si].name
+			si++
+		}
+		byName[current] += count
+	}
+	for name, count := range byName {
+		if count > 0 {
+			hs = append(hs, Hotspot{Symbol: name, Count: count})
+		}
+	}
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].Count != hs[j].Count {
+			return hs[i].Count > hs[j].Count
+		}
+		return hs[i].Symbol < hs[j].Symbol
+	})
+	return hs
+}

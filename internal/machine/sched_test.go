@@ -1,0 +1,191 @@
+package machine
+
+import (
+	"testing"
+
+	"shift/internal/asm"
+	"shift/internal/isa"
+	"shift/internal/mem"
+)
+
+// schedOS handles exit and yield for scheduler tests.
+type schedOS struct{}
+
+func (schedOS) Syscall(m *Machine, num int64) (uint64, *Trap) {
+	switch num {
+	case isa.SysExit:
+		m.Halt(m.GR[isa.RegArg0])
+		return 0, nil
+	case isa.SysYield:
+		m.YieldReq = true
+		return 0, nil
+	}
+	return 0, &Trap{Kind: TrapHostError, PC: m.PC, Ins: "syscall"}
+}
+
+func schedProg(t *testing.T, src string) (*isa.Program, *mem.Memory) {
+	t.Helper()
+	p, err := asm.Assemble(src, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	m.MapRegion(1, 0)
+	m.MapRegion(2, 0)
+	if len(p.Data) > 0 {
+		if f := m.WriteBytes(p.DataBase, p.Data); f != nil {
+			t.Fatal(f)
+		}
+	}
+	return p, m
+}
+
+func TestSchedulerSingleThread(t *testing.T) {
+	p, memory := schedProg(t, "main:\nmovl r32 = 7\nsyscall 1\n")
+	m := New(p, memory)
+	m.OS = schedOS{}
+	s := NewScheduler(m)
+	if trap := s.Run(); trap != nil {
+		t.Fatal(trap)
+	}
+	if m.ExitStatus != 7 {
+		t.Errorf("exit = %d", m.ExitStatus)
+	}
+	if s.TotalCycles() != m.Cycles || s.TotalRetired() != m.Retired {
+		t.Error("aggregate counters disagree with the single thread")
+	}
+}
+
+func TestSchedulerSpawnRoundRobin(t *testing.T) {
+	// Each worker deposits its argument into its own slot (shared
+	// read-modify-writes between preemptible threads would lose updates
+	// — the very §4.4 hazard the shift-level tests demonstrate — so
+	// well-behaved guest code avoids them). Main spins until both slots
+	// are filled.
+	src := `
+	.data
+slots: .word8 0, 0
+	.text
+	.entry main
+worker:
+	; slot index: arg >= 16 ? 0 : 1
+	movl r1 = slots
+	cmpi.lt p6, p7 = r32, 16
+	(p6) addi r1 = r1, 8
+	st8 [r1] = r32
+halt:
+	br halt          ; workers spin; the test checks memory
+main:
+	movl r1 = slots
+	movl r2 = slots+8
+wait:
+	syscall 19       ; yield
+	ld8 r3 = [r1]
+	ld8 r4 = [r2]
+	cmpi.eq p6, p7 = r3, 0
+	(p6) br wait
+	cmpi.eq p6, p7 = r4, 0
+	(p6) br wait
+	add r32 = r3, r4
+	syscall 1
+`
+	p, memory := schedProg(t, src)
+	m := New(p, memory)
+	m.OS = schedOS{}
+	m.Budget = 5_000_000
+	s := NewScheduler(m)
+	s.Quantum = 10
+	s.Spawn(p.Symbols["worker"], 30, mem.Addr(2, 0x100000))
+	s.Spawn(p.Symbols["worker"], 12, mem.Addr(2, 0x200000))
+	if trap := s.Run(); trap != nil {
+		t.Fatal(trap)
+	}
+	if m.ExitStatus != 42 {
+		t.Errorf("counter = %d, want 42", m.ExitStatus)
+	}
+	if len(s.Threads) != 3 {
+		t.Errorf("threads = %d", len(s.Threads))
+	}
+	if s.Threads[1].TID != 1 || s.Threads[2].TID != 2 {
+		t.Error("TIDs not assigned in order")
+	}
+}
+
+func TestSpawnedThreadReturnHalts(t *testing.T) {
+	// A spawned entry that returns through b0 (HaltPC) halts cleanly
+	// with its r8 as exit status.
+	src := `
+	.entry main
+worker:
+	movl r8 = 55
+	br.ret b0
+main:
+	syscall 19
+	syscall 19
+	mov r32 = r0
+	syscall 1
+`
+	p, memory := schedProg(t, src)
+	m := New(p, memory)
+	m.OS = schedOS{}
+	s := NewScheduler(m)
+	s.Quantum = 5
+	s.Spawn(p.Symbols["worker"], 0, mem.Addr(2, 0x100000))
+	if trap := s.Run(); trap != nil {
+		t.Fatal(trap)
+	}
+	w := s.Threads[1]
+	if !w.Halted || w.ExitStatus != 55 {
+		t.Errorf("worker halted=%v exit=%d", w.Halted, w.ExitStatus)
+	}
+}
+
+func TestSchedulerDeterministic(t *testing.T) {
+	run := func() (uint64, int64) {
+		p, memory := schedProg(t, `
+	.data
+x: .word8 0
+	.text
+	.entry main
+worker:
+	movl r1 = x
+	ld8 r2 = [r1]
+	addi r2 = r2, 3
+	st8 [r1] = r2
+	movl r8 = 0
+	br.ret b0
+main:
+	syscall 19
+	syscall 19
+	syscall 19
+	movl r1 = x
+	ld8 r32 = [r1]
+	syscall 1
+`)
+		m := New(p, memory)
+		m.OS = schedOS{}
+		s := NewScheduler(m)
+		s.Quantum = 7
+		s.Spawn(p.Symbols["worker"], 0, mem.Addr(2, 0x100000))
+		if trap := s.Run(); trap != nil {
+			t.Fatal(trap)
+		}
+		return s.TotalCycles(), m.ExitStatus
+	}
+	c1, e1 := run()
+	c2, e2 := run()
+	if c1 != c2 || e1 != e2 {
+		t.Errorf("non-deterministic scheduling: (%d,%d) vs (%d,%d)", c1, e1, c2, e2)
+	}
+}
+
+func TestJoinSemantics(t *testing.T) {
+	m := New(&isa.Program{Text: []isa.Instruction{{Op: isa.OpNop}}}, mem.New())
+	s := NewScheduler(m)
+	if s.Join(0, 0) {
+		t.Error("self-join accepted")
+	}
+	if s.Join(0, 5) {
+		t.Error("join of unknown thread accepted")
+	}
+}

@@ -1,0 +1,56 @@
+package mem
+
+// Cache is a direct-mapped L1 data cache model used only for cost
+// accounting: it tracks hits and misses so the machine can charge a miss
+// penalty, supporting the paper's observation (§6.4) that "most memory
+// accesses actually hit in L1 cache" and so tag-bitmap accesses are cheap
+// relative to tag-address computation.
+type Cache struct {
+	lineBits uint
+	sets     []uint64 // tag per set; tagValid marks a filled line
+	valid    []bool
+
+	Hits   uint64
+	Misses uint64
+}
+
+// NewCache builds a direct-mapped cache of the given total size and line
+// size, both powers of two.
+func NewCache(totalBytes, lineBytes int) *Cache {
+	if totalBytes <= 0 || lineBytes <= 0 || totalBytes%lineBytes != 0 {
+		panic("mem: invalid cache geometry")
+	}
+	lineBits := uint(0)
+	for 1<<lineBits < lineBytes {
+		lineBits++
+	}
+	n := totalBytes / lineBytes
+	return &Cache{
+		lineBits: lineBits,
+		sets:     make([]uint64, n),
+		valid:    make([]bool, n),
+	}
+}
+
+// Access touches addr, recording a hit or a miss and filling the line.
+// It returns true on a hit.
+func (c *Cache) Access(addr uint64) bool {
+	line := addr >> c.lineBits
+	idx := line % uint64(len(c.sets))
+	if c.valid[idx] && c.sets[idx] == line {
+		c.Hits++
+		return true
+	}
+	c.sets[idx] = line
+	c.valid[idx] = true
+	c.Misses++
+	return false
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+	c.Hits, c.Misses = 0, 0
+}

@@ -1,0 +1,226 @@
+// Package mem implements the simulated machine's virtual memory: the
+// Itanium-style region-partitioned 64-bit address space with unimplemented
+// bits (paper §4.1, Figure 4), a sparse paged byte store, and a small L1
+// cache model used by the cost accounting.
+//
+// The top three bits of an address select one of eight regions. Only
+// ImplBits low bits of the region offset are implemented; any address with
+// a set bit in the unimplemented hole faults, exactly the property that
+// prevents SHIFT from deriving a tag address with a single shift and
+// forces the region-number relocation of Figure 4.
+package mem
+
+import "fmt"
+
+// Address-space geometry.
+const (
+	RegionShift = 61                  // region number lives in bits 63:61
+	ImplBits    = 36                  // implemented offset bits per region
+	OffsetMask  = (1 << ImplBits) - 1 // mask of implemented offset bits
+
+	// unimplMask covers the hole between the implemented offset and the
+	// region bits: any set bit here makes the address unimplemented.
+	unimplMask = ((uint64(1) << RegionShift) - 1) &^ uint64(OffsetMask)
+)
+
+// Region extracts the region number (0..7) of a virtual address.
+func Region(addr uint64) uint64 { return addr >> RegionShift }
+
+// Offset extracts the implemented offset of a virtual address.
+func Offset(addr uint64) uint64 { return addr & OffsetMask }
+
+// Addr builds a virtual address from a region number and offset.
+func Addr(region, offset uint64) uint64 {
+	return region<<RegionShift | (offset & OffsetMask)
+}
+
+// Implemented reports whether the address has no bits set in the
+// unimplemented hole.
+func Implemented(addr uint64) bool { return addr&unimplMask == 0 }
+
+// FaultKind classifies memory faults.
+type FaultKind uint8
+
+// Memory fault kinds.
+const (
+	FaultNone          FaultKind = iota
+	FaultUnimplemented           // set bits in the unimplemented hole
+	FaultUnmapped                // page not mapped
+	FaultUnaligned               // access not aligned to its size
+)
+
+// Fault describes a failed memory access.
+type Fault struct {
+	Kind FaultKind
+	Addr uint64
+	Size int
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	kind := "unknown"
+	switch f.Kind {
+	case FaultUnimplemented:
+		kind = "unimplemented address bits"
+	case FaultUnmapped:
+		kind = "unmapped address"
+	case FaultUnaligned:
+		kind = "unaligned access"
+	}
+	return fmt.Sprintf("memory fault: %s at %#x (size %d)", kind, f.Addr, f.Size)
+}
+
+// pageBits is the page size used by the sparse store (not architectural;
+// purely an implementation choice for the map of frames).
+const pageBits = 12
+
+const pageSize = 1 << pageBits
+
+// Memory is a sparse 64-bit byte-addressed store. Pages are allocated on
+// first write; reads of never-written but mapped regions return zeroes.
+// Mapping is tracked at region granularity: a region must be enabled with
+// MapRegion before any access inside it succeeds.
+type Memory struct {
+	pages   map[uint64]*[pageSize]byte
+	mapped  [8]bool
+	limit   [8]uint64 // highest mapped offset +1 per region (0 = whole region)
+	Cache   *Cache    // optional L1 model; nil disables cache accounting
+	touched uint64    // pages allocated, for footprint reporting
+}
+
+// New returns an empty memory with no regions mapped.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+// MapRegion enables a region. limit, if non-zero, is the exclusive upper
+// bound on offsets valid within the region.
+func (m *Memory) MapRegion(region uint64, limit uint64) {
+	m.mapped[region&7] = true
+	m.limit[region&7] = limit
+}
+
+// RegionMapped reports whether the region is enabled.
+func (m *Memory) RegionMapped(region uint64) bool { return m.mapped[region&7] }
+
+// check validates an access and returns a fault or nil.
+func (m *Memory) check(addr uint64, size int) *Fault {
+	if !Implemented(addr) {
+		return &Fault{Kind: FaultUnimplemented, Addr: addr, Size: size}
+	}
+	r := Region(addr)
+	if !m.mapped[r] {
+		return &Fault{Kind: FaultUnmapped, Addr: addr, Size: size}
+	}
+	off := Offset(addr)
+	if lim := m.limit[r]; lim != 0 && off+uint64(size) > lim {
+		return &Fault{Kind: FaultUnmapped, Addr: addr, Size: size}
+	}
+	if size > 1 && addr&uint64(size-1) != 0 {
+		return &Fault{Kind: FaultUnaligned, Addr: addr, Size: size}
+	}
+	return nil
+}
+
+// page returns the frame for addr, allocating if alloc is set. A nil
+// return with alloc=false means the page has never been written.
+func (m *Memory) page(addr uint64, alloc bool) *[pageSize]byte {
+	key := addr >> pageBits
+	p := m.pages[key]
+	if p == nil && alloc {
+		p = new([pageSize]byte)
+		m.pages[key] = p
+		m.touched++
+	}
+	return p
+}
+
+// Read reads size bytes (1, 2, 4 or 8) little-endian.
+func (m *Memory) Read(addr uint64, size int) (uint64, *Fault) {
+	if f := m.check(addr, size); f != nil {
+		return 0, f
+	}
+	if m.Cache != nil {
+		m.Cache.Access(addr)
+	}
+	var v uint64
+	// An aligned access never crosses a page boundary (sizes divide
+	// pageSize), so a single frame lookup suffices.
+	p := m.page(addr, false)
+	if p == nil {
+		return 0, nil
+	}
+	base := addr & (pageSize - 1)
+	for i := 0; i < size; i++ {
+		v |= uint64(p[base+uint64(i)]) << (8 * i)
+	}
+	return v, nil
+}
+
+// Write writes size bytes (1, 2, 4 or 8) little-endian.
+func (m *Memory) Write(addr uint64, size int, v uint64) *Fault {
+	if f := m.check(addr, size); f != nil {
+		return f
+	}
+	if m.Cache != nil {
+		m.Cache.Access(addr)
+	}
+	p := m.page(addr, true)
+	base := addr & (pageSize - 1)
+	for i := 0; i < size; i++ {
+		p[base+uint64(i)] = byte(v >> (8 * i))
+	}
+	return nil
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice. It is a
+// host-side helper (syscall handlers, policy engine) and bypasses the
+// cache model and alignment rules, but still respects mapping.
+func (m *Memory) ReadBytes(addr uint64, n int) ([]byte, *Fault) {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		a := addr + uint64(i)
+		if f := m.check(a, 1); f != nil {
+			return nil, f
+		}
+		if p := m.page(a, false); p != nil {
+			out[i] = p[a&(pageSize-1)]
+		}
+	}
+	return out, nil
+}
+
+// WriteBytes copies b into memory at addr (host-side helper).
+func (m *Memory) WriteBytes(addr uint64, b []byte) *Fault {
+	for i, c := range b {
+		a := addr + uint64(i)
+		if f := m.check(a, 1); f != nil {
+			return f
+		}
+		m.page(a, true)[a&(pageSize-1)] = c
+	}
+	return nil
+}
+
+// ReadCString reads a NUL-terminated string of at most max bytes.
+func (m *Memory) ReadCString(addr uint64, max int) (string, *Fault) {
+	var out []byte
+	for i := 0; i < max; i++ {
+		a := addr + uint64(i)
+		if f := m.check(a, 1); f != nil {
+			return "", f
+		}
+		var c byte
+		if p := m.page(a, false); p != nil {
+			c = p[a&(pageSize-1)]
+		}
+		if c == 0 {
+			break
+		}
+		out = append(out, c)
+	}
+	return string(out), nil
+}
+
+// PagesTouched returns the number of 4KiB frames ever written.
+func (m *Memory) PagesTouched() uint64 { return m.touched }

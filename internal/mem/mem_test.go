@@ -1,0 +1,180 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddressDecomposition(t *testing.T) {
+	a := Addr(3, 0x1234)
+	if Region(a) != 3 || Offset(a) != 0x1234 {
+		t.Errorf("Addr/Region/Offset inconsistent: %#x -> region %d offset %#x", a, Region(a), Offset(a))
+	}
+	if !Implemented(a) {
+		t.Errorf("constructed address %#x reported unimplemented", a)
+	}
+	// Any bit in the hole between ImplBits and RegionShift is a fault.
+	hole := a | 1<<ImplBits
+	if Implemented(hole) {
+		t.Errorf("address with hole bit %#x reported implemented", hole)
+	}
+}
+
+func TestAddrDecomposeRoundTrip(t *testing.T) {
+	f := func(region uint8, off uint64) bool {
+		r := uint64(region) & 7
+		o := off & OffsetMask
+		a := Addr(r, o)
+		return Region(a) == r && Offset(a) == o && Implemented(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New()
+	m.MapRegion(1, 0)
+	f := func(off uint64, v uint64, sizeIdx uint8) bool {
+		size := []int{1, 2, 4, 8}[sizeIdx%4]
+		addr := Addr(1, off&OffsetMask) &^ uint64(size-1)
+		if f := m.Write(addr, size, v); f != nil {
+			return false
+		}
+		got, f := m.Read(addr, size)
+		if f != nil {
+			return false
+		}
+		mask := ^uint64(0)
+		if size < 8 {
+			mask = 1<<(8*size) - 1
+		}
+		return got == v&mask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	m := New()
+	m.MapRegion(1, 0)
+	addr := Addr(1, 0x1000)
+	if f := m.Write(addr, 8, 0x0807060504030201); f != nil {
+		t.Fatal(f)
+	}
+	for i := 0; i < 8; i++ {
+		v, f := m.Read(addr+uint64(i), 1)
+		if f != nil {
+			t.Fatal(f)
+		}
+		if v != uint64(i+1) {
+			t.Errorf("byte %d = %#x, want %#x", i, v, i+1)
+		}
+	}
+}
+
+func TestFaults(t *testing.T) {
+	m := New()
+	m.MapRegion(1, 0x2000)
+
+	cases := []struct {
+		name string
+		addr uint64
+		size int
+		kind FaultKind
+	}{
+		{"unmapped region", Addr(2, 0), 8, FaultUnmapped},
+		{"unimplemented bits", Addr(1, 0) | 1<<40, 8, FaultUnimplemented},
+		{"beyond region limit", Addr(1, 0x2000), 1, FaultUnmapped},
+		{"straddles limit", Addr(1, 0x1ff8) + 8, 8, FaultUnmapped},
+		{"unaligned", Addr(1, 1), 8, FaultUnaligned},
+	}
+	for _, c := range cases {
+		_, f := m.Read(c.addr, c.size)
+		if f == nil || f.Kind != c.kind {
+			t.Errorf("%s: fault = %v, want kind %v", c.name, f, c.kind)
+		}
+		if f != nil && f.Error() == "" {
+			t.Errorf("%s: empty fault message", c.name)
+		}
+	}
+
+	// In-bounds access succeeds and unwritten memory reads as zero.
+	v, f := m.Read(Addr(1, 0x1ff8), 8)
+	if f != nil || v != 0 {
+		t.Errorf("in-bounds read = %d, %v", v, f)
+	}
+}
+
+func TestBytesHelpers(t *testing.T) {
+	m := New()
+	m.MapRegion(1, 0)
+	base := Addr(1, 0x500)
+	if f := m.WriteBytes(base, []byte("hello\x00world")); f != nil {
+		t.Fatal(f)
+	}
+	s, f := m.ReadCString(base, 64)
+	if f != nil || s != "hello" {
+		t.Errorf("ReadCString = %q, %v", s, f)
+	}
+	b, f := m.ReadBytes(base+6, 5)
+	if f != nil || string(b) != "world" {
+		t.Errorf("ReadBytes = %q, %v", b, f)
+	}
+	// Truncation at max.
+	s, f = m.ReadCString(base, 3)
+	if f != nil || s != "hel" {
+		t.Errorf("truncated ReadCString = %q, %v", s, f)
+	}
+}
+
+func TestCacheModel(t *testing.T) {
+	c := NewCache(1024, 64)
+	if hit := c.Access(0); hit {
+		t.Error("cold access reported hit")
+	}
+	if hit := c.Access(8); !hit {
+		t.Error("same-line access reported miss")
+	}
+	if hit := c.Access(64); hit {
+		t.Error("next-line access reported hit")
+	}
+	// Conflict: 1024-byte direct-mapped, so addr and addr+1024 collide.
+	c.Access(4096)
+	if hit := c.Access(4096 + 1024); hit {
+		t.Error("conflicting access reported hit")
+	}
+	if c.Hits == 0 || c.Misses == 0 {
+		t.Errorf("counters not maintained: hits=%d misses=%d", c.Hits, c.Misses)
+	}
+	c.Reset()
+	if c.Hits != 0 || c.Misses != 0 {
+		t.Error("reset did not clear counters")
+	}
+}
+
+func TestMemoryWithCacheCounts(t *testing.T) {
+	m := New()
+	m.MapRegion(1, 0)
+	m.Cache = NewCache(16*1024, 64)
+	addr := Addr(1, 0)
+	m.Write(addr, 8, 1)
+	if m.Cache.Misses != 1 {
+		t.Errorf("first touch misses = %d, want 1", m.Cache.Misses)
+	}
+	m.Read(addr, 8)
+	if m.Cache.Hits != 1 {
+		t.Errorf("second touch hits = %d, want 1", m.Cache.Hits)
+	}
+}
+
+func TestPagesTouched(t *testing.T) {
+	m := New()
+	m.MapRegion(1, 0)
+	m.Write(Addr(1, 0), 1, 1)
+	m.Write(Addr(1, 5000), 1, 1) // second 4K page
+	if got := m.PagesTouched(); got != 2 {
+		t.Errorf("PagesTouched = %d, want 2", got)
+	}
+}

@@ -1,0 +1,338 @@
+// Package policy implements SHIFT's security-policy layer: the part the
+// paper deliberately keeps in software and decoupled from the tracking
+// mechanism (§3, §5.1). It provides the Table 1 policy catalogue, a
+// configuration-file parser (taint sources, enabled policies, wrap
+// functions), character-granular checks for the high-level policies
+// H1–H5 at syscall sinks, and the mapping from the machine's
+// NaT-consumption faults to the low-level policies L1–L3.
+package policy
+
+import (
+	"fmt"
+	"strings"
+
+	"shift/internal/machine"
+	"shift/internal/taint"
+)
+
+// Rule describes one catalogue entry (Table 1).
+type Rule struct {
+	ID          string
+	Attack      string
+	Description string
+}
+
+// Catalog returns the paper's Table 1.
+func Catalog() []Rule {
+	return []Rule{
+		{"H1", "Directory Traversal", "Tainted data cannot be used as an absolute file path"},
+		{"H2", "Directory Traversal", "Tainted data cannot be used as a file path which traverses out of the document root"},
+		{"H3", "SQL Injection", "Tainted data cannot contain SQL meta characters when used as part of a SQL string"},
+		{"H4", "Command Injection", "Tainted data cannot contain shell meta characters when used as arguments to system()"},
+		{"H5", "Cross Site Scripting", "No tainted script tag in HTML output"},
+		{"L1", "De-referencing tainted pointer", "Tainted data cannot be used as a load address"},
+		{"L2", "Format string vulnerability", "Tainted data cannot be used as a store address"},
+		{"L3", "Modify critical CPU state", "Tainted data cannot be moved into special registers"},
+	}
+}
+
+// Violation reports a detected policy breach. For the high-level sink
+// policies it carries the sink data and its per-byte taint, the raw
+// material for forensics (internal/forensics turns it into an intrusion
+// signature, the feedback loop the paper's introduction describes).
+type Violation struct {
+	Policy string
+	Detail string
+
+	// Sink context (high-level policies only).
+	SinkLabel string // "open", "sql_exec", "system", "html_write"
+	SinkData  []byte
+	SinkTaint []bool
+}
+
+// Error implements the error interface.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("security alert: policy %s: %s", v.Policy, v.Detail)
+}
+
+// Config is the parsed policy configuration — the paper's "configuration
+// file for the instrumentation compiler" (§3.3.1).
+type Config struct {
+	Granularity taint.Granularity
+	// Sources selects which OS channels produce tainted data:
+	// "network", "file", "args", "stdin".
+	Sources map[string]bool
+	// Enabled lists active policies by ID (H1..H5, L1..L3).
+	Enabled map[string]bool
+	// DocRoot is the document root for H2.
+	DocRoot string
+	// NoTrack lists functions the instrumentation pass must skip
+	// (the paper's escape hatch for bounds-checked translation tables).
+	NoTrack map[string]bool
+}
+
+// DefaultConfig enables every policy with network+file sources at
+// byte-level granularity.
+func DefaultConfig() *Config {
+	c := &Config{
+		Granularity: taint.Byte,
+		Sources:     map[string]bool{"network": true, "file": true, "args": true},
+		Enabled:     make(map[string]bool),
+		DocRoot:     "/www",
+		NoTrack:     make(map[string]bool),
+	}
+	for _, r := range Catalog() {
+		c.Enabled[r.ID] = true
+	}
+	return c
+}
+
+// Parse reads the textual configuration format:
+//
+//	# taint sources and policies for the wiki frontend
+//	granularity byte
+//	source network
+//	source file
+//	docroot /www
+//	enable H2 H5 L1 L2 L3
+//	notrack lookup_table
+//
+// Unknown directives are errors; an empty "enable" list enables nothing.
+func Parse(text string) (*Config, error) {
+	c := &Config{
+		Granularity: taint.Byte,
+		Sources:     make(map[string]bool),
+		Enabled:     make(map[string]bool),
+		DocRoot:     "/www",
+		NoTrack:     make(map[string]bool),
+	}
+	known := make(map[string]bool)
+	for _, r := range Catalog() {
+		known[r.ID] = true
+	}
+	for ln, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "granularity":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("policy: line %d: granularity needs one argument", ln+1)
+			}
+			switch fields[1] {
+			case "byte":
+				c.Granularity = taint.Byte
+			case "word":
+				c.Granularity = taint.Word
+			default:
+				return nil, fmt.Errorf("policy: line %d: unknown granularity %q", ln+1, fields[1])
+			}
+		case "source":
+			for _, s := range fields[1:] {
+				switch s {
+				case "network", "file", "args", "stdin":
+					c.Sources[s] = true
+				default:
+					return nil, fmt.Errorf("policy: line %d: unknown source %q", ln+1, s)
+				}
+			}
+		case "docroot":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("policy: line %d: docroot needs one argument", ln+1)
+			}
+			c.DocRoot = fields[1]
+		case "enable":
+			for _, id := range fields[1:] {
+				if !known[id] {
+					return nil, fmt.Errorf("policy: line %d: unknown policy %q", ln+1, id)
+				}
+				c.Enabled[id] = true
+			}
+		case "notrack":
+			for _, fn := range fields[1:] {
+				c.NoTrack[fn] = true
+			}
+		default:
+			return nil, fmt.Errorf("policy: line %d: unknown directive %q", ln+1, fields[0])
+		}
+	}
+	return c, nil
+}
+
+// Engine evaluates policies against tainted data at syscall sinks and
+// classifies NaT-consumption traps.
+type Engine struct {
+	Conf *Config
+	// Alerts accumulates every violation seen (detection does not stop
+	// at the first when running in audit mode).
+	Alerts []*Violation
+}
+
+// NewEngine builds an engine over a configuration.
+func NewEngine(conf *Config) *Engine {
+	if conf == nil {
+		conf = DefaultConfig()
+	}
+	return &Engine{Conf: conf}
+}
+
+func (e *Engine) on(id string) bool { return e.Conf.Enabled[id] }
+
+func (e *Engine) raise(id, format string, args ...interface{}) *Violation {
+	v := &Violation{Policy: id, Detail: fmt.Sprintf(format, args...)}
+	e.Alerts = append(e.Alerts, v)
+	return v
+}
+
+// raiseAt raises a violation carrying its sink context.
+func (e *Engine) raiseAt(id, sink string, data []byte, tb []bool, format string, args ...interface{}) *Violation {
+	v := e.raise(id, format, args...)
+	v.SinkLabel = sink
+	v.SinkData = append([]byte(nil), data...)
+	v.SinkTaint = append([]bool(nil), tb...)
+	return v
+}
+
+// anyTainted reports whether tb marks any of the byte positions in idxs.
+func anyTainted(tb []bool, idxs ...int) bool {
+	for _, i := range idxs {
+		if i >= 0 && i < len(tb) && tb[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckOpen applies H1 and H2 to a file path about to be opened.
+// tb holds per-byte taint for the path string.
+func (e *Engine) CheckOpen(path string, tb []bool) *Violation {
+	if e.on("H1") && strings.HasPrefix(path, "/") && anyTainted(tb, 0) {
+		return e.raiseAt("H1", "open", []byte(path), tb, "tainted absolute path %q", path)
+	}
+	if e.on("H2") {
+		if v := e.checkTraversal(path, tb); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// checkTraversal walks the path segments tracking depth relative to the
+// document root; a tainted ".." that climbs out of the root violates H2.
+func (e *Engine) checkTraversal(path string, tb []bool) *Violation {
+	rel := path
+	depth := 0
+	if strings.HasPrefix(path, e.Conf.DocRoot) {
+		rel = strings.TrimPrefix(path, e.Conf.DocRoot)
+	}
+	off := len(path) - len(rel)
+	i := 0
+	for i < len(rel) {
+		j := i
+		for j < len(rel) && rel[j] != '/' {
+			j++
+		}
+		seg := rel[i:j]
+		switch seg {
+		case "", ".":
+		case "..":
+			depth--
+			if depth < 0 && anyTainted(tb, off+i, off+i+1) {
+				return e.raiseAt("H2", "open", []byte(path), tb,
+					"tainted path %q traverses out of document root %q", path, e.Conf.DocRoot)
+			}
+		default:
+			depth++
+		}
+		i = j + 1
+	}
+	return nil
+}
+
+// sqlMeta are the characters H3 forbids from tainted input inside a query.
+const sqlMeta = `'";`
+
+// CheckSQL applies H3 to a query string.
+func (e *Engine) CheckSQL(query string, tb []bool) *Violation {
+	if !e.on("H3") {
+		return nil
+	}
+	for i := 0; i < len(query); i++ {
+		if strings.IndexByte(sqlMeta, query[i]) >= 0 && anyTainted(tb, i) {
+			return e.raiseAt("H3", "sql_exec", []byte(query), tb,
+				"tainted SQL meta character %q at offset %d of %q", query[i], i, query)
+		}
+		// "--" comment introducer from tainted input.
+		if query[i] == '-' && i+1 < len(query) && query[i+1] == '-' && anyTainted(tb, i, i+1) {
+			return e.raiseAt("H3", "sql_exec", []byte(query), tb,
+				"tainted SQL comment introducer at offset %d of %q", i, query)
+		}
+	}
+	return nil
+}
+
+// shellMeta are the characters H4 forbids from tainted input to system().
+const shellMeta = ";|&`$><\n"
+
+// CheckSystem applies H4 to a shell command.
+func (e *Engine) CheckSystem(cmd string, tb []bool) *Violation {
+	if !e.on("H4") {
+		return nil
+	}
+	for i := 0; i < len(cmd); i++ {
+		if strings.IndexByte(shellMeta, cmd[i]) >= 0 && anyTainted(tb, i) {
+			return e.raiseAt("H4", "system", []byte(cmd), tb,
+				"tainted shell meta character %q at offset %d of %q", cmd[i], i, cmd)
+		}
+	}
+	return nil
+}
+
+// CheckHTML applies H5 to a chunk of HTML output: a script tag whose
+// characters came from tainted input is an XSS attempt.
+func (e *Engine) CheckHTML(buf []byte, tb []bool) *Violation {
+	if !e.on("H5") {
+		return nil
+	}
+	lower := strings.ToLower(string(buf))
+	for i := 0; ; {
+		j := strings.Index(lower[i:], "<script")
+		if j < 0 {
+			return nil
+		}
+		at := i + j
+		if anyTainted(tb, at, at+1, at+2, at+3, at+4, at+5, at+6) {
+			return e.raiseAt("H5", "html_write", buf, tb, "tainted <script> tag at output offset %d", at)
+		}
+		i = at + 1
+	}
+}
+
+// ClassifyTrap maps a NaT-consumption fault to its low-level policy.
+// It returns nil for traps that are not policy violations or when the
+// corresponding policy is disabled.
+func (e *Engine) ClassifyTrap(t *machine.Trap) *Violation {
+	if t == nil {
+		return nil
+	}
+	switch t.Kind {
+	case machine.TrapNaTLoadAddr:
+		if e.on("L1") {
+			return e.raise("L1", "tainted pointer dereferenced as a load address (pc=%d, addr=%#x)", t.PC, t.Addr)
+		}
+	case machine.TrapNaTStoreAddr, machine.TrapNaTStoreData:
+		if e.on("L2") {
+			return e.raise("L2", "tainted data reached a store (pc=%d, addr=%#x)", t.PC, t.Addr)
+		}
+	case machine.TrapNaTBranch, machine.TrapNaTSyscall:
+		if e.on("L3") {
+			return e.raise("L3", "tainted data moved into critical CPU state (pc=%d, r%d)", t.PC, t.Reg)
+		}
+	}
+	return nil
+}

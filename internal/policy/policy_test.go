@@ -1,0 +1,226 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"shift/internal/machine"
+	"shift/internal/taint"
+)
+
+func TestCatalog(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 8 {
+		t.Fatalf("catalogue has %d rows, want 8", len(cat))
+	}
+	want := []string{"H1", "H2", "H3", "H4", "H5", "L1", "L2", "L3"}
+	for i, r := range cat {
+		if r.ID != want[i] {
+			t.Errorf("row %d: %s, want %s", i, r.ID, want[i])
+		}
+		if r.Attack == "" || r.Description == "" {
+			t.Errorf("row %s incomplete", r.ID)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	conf, err := Parse(`
+# full server policy
+granularity word
+source network file
+docroot /srv/site
+enable H2 H5 L1 L2 L3
+notrack lookup hash_probe
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Granularity != taint.Word {
+		t.Error("granularity not parsed")
+	}
+	if !conf.Sources["network"] || !conf.Sources["file"] || conf.Sources["args"] {
+		t.Errorf("sources = %v", conf.Sources)
+	}
+	if conf.DocRoot != "/srv/site" {
+		t.Errorf("docroot = %q", conf.DocRoot)
+	}
+	if !conf.Enabled["H2"] || conf.Enabled["H1"] {
+		t.Errorf("enabled = %v", conf.Enabled)
+	}
+	if !conf.NoTrack["lookup"] || !conf.NoTrack["hash_probe"] {
+		t.Errorf("notrack = %v", conf.NoTrack)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"granularity nibble\n",
+		"granularity\n",
+		"source carrier-pigeon\n",
+		"enable H9\n",
+		"docroot\n",
+		"frobnicate on\n",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestDefaultConfigEnablesEverything(t *testing.T) {
+	c := DefaultConfig()
+	for _, r := range Catalog() {
+		if !c.Enabled[r.ID] {
+			t.Errorf("default config disables %s", r.ID)
+		}
+	}
+}
+
+// tb builds a taint vector with the given indices set.
+func tb(n int, tainted ...int) []bool {
+	out := make([]bool, n)
+	for _, i := range tainted {
+		out[i] = true
+	}
+	return out
+}
+
+func TestH1AbsolutePath(t *testing.T) {
+	e := NewEngine(nil)
+	if v := e.CheckOpen("/etc/passwd", tb(11, 0)); v == nil || v.Policy != "H1" {
+		t.Errorf("tainted absolute path: %v", v)
+	}
+	if v := e.CheckOpen("/www/x", tb(6)); v != nil {
+		t.Errorf("clean absolute path flagged: %v", v)
+	}
+	if v := e.CheckOpen("relative/path", tb(13, 0)); v != nil {
+		t.Errorf("tainted relative path flagged as H1: %v", v)
+	}
+}
+
+func TestH2Traversal(t *testing.T) {
+	e := NewEngine(nil)
+	// Tainted ".." escaping the root fires.
+	path := "/www/pages/../../etc/passwd"
+	marks := tb(len(path))
+	for i := strings.Index(path, ".."); i < len(path); i++ {
+		marks[i] = true
+	}
+	if v := e.checkTraversal(path, marks); v == nil || v.Policy != "H2" {
+		t.Errorf("escaping traversal not caught: %v", v)
+	}
+	// ".." that stays inside the root is fine.
+	inside := "/www/a/b/../c"
+	if v := e.checkTraversal(inside, tb(len(inside), 9, 10)); v != nil {
+		t.Errorf("inside-root traversal flagged: %v", v)
+	}
+	// Untainted ".." escaping the root is the program's own business.
+	if v := e.checkTraversal(path, tb(len(path))); v != nil {
+		t.Errorf("clean traversal flagged: %v", v)
+	}
+}
+
+func TestH3SQLMeta(t *testing.T) {
+	e := NewEngine(nil)
+	q := "SELECT x FROM t WHERE id = '1' OR '1'='1'"
+	i := strings.Index(q, "'1' OR")
+	marks := tb(len(q))
+	for j := i; j < len(q); j++ {
+		marks[j] = true
+	}
+	if v := e.CheckSQL(q, marks); v == nil || v.Policy != "H3" {
+		t.Errorf("tainted quote not caught: %v", v)
+	}
+	if v := e.CheckSQL(q, tb(len(q))); v != nil {
+		t.Errorf("clean query flagged: %v", v)
+	}
+	// The "--" comment introducer.
+	q2 := "SELECT x FROM t WHERE a=1 --drop"
+	at := strings.Index(q2, "--")
+	if v := e.CheckSQL(q2, tb(len(q2), at, at+1)); v == nil {
+		t.Error("tainted comment introducer not caught")
+	}
+}
+
+func TestH4ShellMeta(t *testing.T) {
+	e := NewEngine(nil)
+	cmd := "convert photo.png; rm -rf /"
+	at := strings.IndexByte(cmd, ';')
+	if v := e.CheckSystem(cmd, tb(len(cmd), at)); v == nil || v.Policy != "H4" {
+		t.Errorf("tainted semicolon not caught: %v", v)
+	}
+	if v := e.CheckSystem(cmd, tb(len(cmd))); v != nil {
+		t.Errorf("clean command flagged: %v", v)
+	}
+}
+
+func TestH5ScriptTag(t *testing.T) {
+	e := NewEngine(nil)
+	page := "<html><SCRIPT>x()</SCRIPT></html>"
+	at := strings.Index(strings.ToLower(page), "<script")
+	if v := e.CheckHTML([]byte(page), tb(len(page), at)); v == nil || v.Policy != "H5" {
+		t.Errorf("tainted script tag not caught: %v", v)
+	}
+	// A template's own script tag is fine.
+	if v := e.CheckHTML([]byte(page), tb(len(page))); v != nil {
+		t.Errorf("clean script tag flagged: %v", v)
+	}
+	// Second occurrence tainted, first clean.
+	page2 := "<script>ok()</script><script>evil()</script>"
+	second := strings.LastIndex(page2, "<script")
+	if v := e.CheckHTML([]byte(page2), tb(len(page2), second+3)); v == nil {
+		t.Error("tainted second script tag not caught")
+	}
+}
+
+func TestClassifyTrap(t *testing.T) {
+	e := NewEngine(nil)
+	cases := []struct {
+		kind machine.TrapKind
+		want string
+	}{
+		{machine.TrapNaTLoadAddr, "L1"},
+		{machine.TrapNaTStoreAddr, "L2"},
+		{machine.TrapNaTStoreData, "L2"},
+		{machine.TrapNaTBranch, "L3"},
+		{machine.TrapNaTSyscall, "L3"},
+	}
+	for _, c := range cases {
+		v := e.ClassifyTrap(&machine.Trap{Kind: c.kind})
+		if v == nil || v.Policy != c.want {
+			t.Errorf("%v classified as %v, want %s", c.kind, v, c.want)
+		}
+	}
+	if v := e.ClassifyTrap(&machine.Trap{Kind: machine.TrapDivZero}); v != nil {
+		t.Errorf("non-policy trap classified: %v", v)
+	}
+	if v := e.ClassifyTrap(nil); v != nil {
+		t.Errorf("nil trap classified: %v", v)
+	}
+}
+
+func TestDisabledPoliciesStaySilent(t *testing.T) {
+	conf := DefaultConfig()
+	conf.Enabled = map[string]bool{}
+	e := NewEngine(conf)
+	if v := e.CheckOpen("/etc/passwd", tb(11, 0)); v != nil {
+		t.Errorf("disabled H1 fired: %v", v)
+	}
+	if v := e.ClassifyTrap(&machine.Trap{Kind: machine.TrapNaTLoadAddr}); v != nil {
+		t.Errorf("disabled L1 fired: %v", v)
+	}
+}
+
+func TestAlertsAccumulate(t *testing.T) {
+	e := NewEngine(nil)
+	e.CheckOpen("/etc/passwd", tb(11, 0))
+	e.CheckSystem("x;y", tb(3, 1))
+	if len(e.Alerts) != 2 {
+		t.Errorf("alerts = %d, want 2", len(e.Alerts))
+	}
+	if !strings.Contains(e.Alerts[0].Error(), "H1") {
+		t.Error("alert message lacks policy id")
+	}
+}

@@ -1,0 +1,326 @@
+// Package rtlib holds the minic runtime library. It is compiled and
+// instrumented together with user code, so taint propagates through
+// strcpy, memcpy and friends exactly as it does in the paper's glibc
+// build — by the instrumentation of their own loads and stores, not by
+// host-side magic. (Host-side "wrap" summaries exist only at the syscall
+// boundary, the analogue of the paper's 17 wrap functions for assembly
+// routines.)
+package rtlib
+
+// Source is the library, one translation unit of minic.
+const Source = `
+// ---------------------------------------------------------------------------
+// String functions. Taint flows byte by byte through the instrumented
+// loads and stores in these loops.
+
+int strlen(char *s) {
+	int n = 0;
+	while (s[n]) n++;
+	return n;
+}
+
+char *strcpy(char *dst, char *src) {
+	int i = 0;
+	while (src[i]) { dst[i] = src[i]; i++; }
+	dst[i] = 0;
+	return dst;
+}
+
+char *strncpy(char *dst, char *src, int n) {
+	int i = 0;
+	while (i < n && src[i]) { dst[i] = src[i]; i++; }
+	while (i < n) { dst[i] = 0; i++; }
+	return dst;
+}
+
+char *strcat(char *dst, char *src) {
+	int n = strlen(dst);
+	int i = 0;
+	while (src[i]) { dst[n + i] = src[i]; i++; }
+	dst[n + i] = 0;
+	return dst;
+}
+
+int strcmp(char *a, char *b) {
+	int i = 0;
+	while (a[i] && a[i] == b[i]) i++;
+	return a[i] - b[i];
+}
+
+int strncmp(char *a, char *b, int n) {
+	int i = 0;
+	while (i < n && a[i] && a[i] == b[i]) i++;
+	if (i == n) return 0;
+	return a[i] - b[i];
+}
+
+int tolower_c(int c) {
+	if (c >= 'A' && c <= 'Z') return c + 32;
+	return c;
+}
+
+int strcasecmp(char *a, char *b) {
+	int i = 0;
+	while (a[i] && tolower_c(a[i]) == tolower_c(b[i])) i++;
+	return tolower_c(a[i]) - tolower_c(b[i]);
+}
+
+// strstr_at returns the index of the first occurrence of needle in
+// haystack, or -1.
+int strstr_at(char *hay, char *needle) {
+	int n = strlen(hay);
+	int m = strlen(needle);
+	int i;
+	for (i = 0; i + m <= n; i++) {
+		if (strncmp(hay + i, needle, m) == 0) return i;
+	}
+	return -1;
+}
+
+char *memcpy(char *dst, char *src, int n) {
+	int i;
+	for (i = 0; i < n; i++) dst[i] = src[i];
+	return dst;
+}
+
+char *memset(char *dst, int c, int n) {
+	int i;
+	for (i = 0; i < n; i++) dst[i] = c;
+	return dst;
+}
+
+int memcmp_b(char *a, char *b, int n) {
+	int i;
+	for (i = 0; i < n; i++) {
+		if (a[i] != b[i]) return a[i] - b[i];
+	}
+	return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Conversions.
+
+int atoi(char *s) {
+	int v = 0;
+	int i = 0;
+	int neg = 0;
+	while (s[i] == ' ') i++;
+	if (s[i] == '-') { neg = 1; i++; }
+	while (s[i] >= '0' && s[i] <= '9') {
+		v = v * 10 + (s[i] - '0');
+		i++;
+	}
+	if (neg) return -v;
+	return v;
+}
+
+// itoa writes the decimal form of v into buf and returns its length.
+int itoa(int v, char *buf) {
+	char tmp[24];
+	int i = 0;
+	int n = 0;
+	int neg = 0;
+	if (v < 0) { neg = 1; v = -v; }
+	if (v == 0) { tmp[i] = '0'; i++; }
+	while (v > 0) {
+		tmp[i] = '0' + v % 10;
+		v = v / 10;
+		i++;
+	}
+	if (neg) { buf[n] = '-'; n++; }
+	while (i > 0) {
+		i--;
+		buf[n] = tmp[i];
+		n++;
+	}
+	buf[n] = 0;
+	return n;
+}
+
+// ---------------------------------------------------------------------------
+// Output helpers.
+
+void print_str(char *s) {
+	write(1, s, strlen(s));
+}
+
+void print_int(int v) {
+	char buf[24];
+	itoa(v, buf);
+	print_str(buf);
+}
+
+void println(char *s) {
+	print_str(s);
+	putc('\n');
+}
+
+// itohex writes the hexadecimal form of v (no prefix) and returns its
+// length.
+int itohex(int v, char *buf) {
+	char digits[17] = "0123456789abcdef";
+	char tmp[20];
+	int i = 0;
+	int n = 0;
+	if (v == 0) { buf[0] = '0'; buf[1] = 0; return 1; }
+	int neg = 0;
+	if (v < 0) { neg = 1; v = -v; }
+	while (v > 0) {
+		tmp[i] = digits[v & 15];
+		v = v >> 4;
+		i++;
+	}
+	if (neg) { buf[n] = '-'; n++; }
+	while (i > 0) { i--; buf[n] = tmp[i]; n++; }
+	buf[n] = 0;
+	return n;
+}
+
+// atoihex parses a hexadecimal number (optionally with 0x prefix).
+int atoihex(char *s) {
+	int i = 0;
+	int v = 0;
+	if (s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) i = 2;
+	while (s[i]) {
+		char c = s[i];
+		if (c >= '0' && c <= '9') v = v * 16 + (c - '0');
+		else if (c >= 'a' && c <= 'f') v = v * 16 + (c - 'a' + 10);
+		else if (c >= 'A' && c <= 'F') v = v * 16 + (c - 'A' + 10);
+		else break;
+		i++;
+	}
+	return v;
+}
+
+// ---------------------------------------------------------------------------
+// Miscellaneous helpers.
+
+int abs_i(int v) {
+	if (v < 0) return -v;
+	return v;
+}
+
+int min_i(int a, int b) {
+	if (a < b) return a;
+	return b;
+}
+
+int max_i(int a, int b) {
+	if (a > b) return a;
+	return b;
+}
+
+int startswith(char *s, char *prefix) {
+	int i = 0;
+	while (prefix[i]) {
+		if (s[i] != prefix[i]) return 0;
+		i++;
+	}
+	return 1;
+}
+
+int endswith(char *s, char *suffix) {
+	int n = strlen(s);
+	int m = strlen(suffix);
+	if (m > n) return 0;
+	return strcmp(s + n - m, suffix) == 0;
+}
+
+// strchr_at returns the index of the first c in s, or -1.
+int strchr_at(char *s, int c) {
+	int i = 0;
+	while (s[i]) {
+		if (s[i] == c) return i;
+		i++;
+	}
+	return -1;
+}
+
+// strrchr_at returns the index of the last c in s, or -1.
+int strrchr_at(char *s, int c) {
+	int i = 0;
+	int at = -1;
+	while (s[i]) {
+		if (s[i] == c) at = i;
+		i++;
+	}
+	return at;
+}
+
+// str_tolower lowercases s in place and returns its length.
+int str_tolower(char *s) {
+	int i = 0;
+	while (s[i]) {
+		s[i] = tolower_c(s[i]);
+		i++;
+	}
+	return i;
+}
+
+// ---------------------------------------------------------------------------
+// Sorting and searching over int arrays.
+
+void swap_ints(int *a, int i, int j) {
+	int t = a[i];
+	a[i] = a[j];
+	a[j] = t;
+}
+
+// qsort_ints sorts a[lo..hi] in place (recursive quicksort with a
+// median-of-ends pivot and insertion sort for short runs).
+void qsort_ints(int *a, int lo, int hi) {
+	if (hi - lo < 8) {
+		int i;
+		for (i = lo + 1; i <= hi; i++) {
+			int v = a[i];
+			int j = i - 1;
+			while (j >= lo && a[j] > v) {
+				a[j + 1] = a[j];
+				j--;
+			}
+			a[j + 1] = v;
+		}
+		return;
+	}
+	int mid = (lo + hi) / 2;
+	if (a[mid] < a[lo]) swap_ints(a, lo, mid);
+	if (a[hi] < a[lo]) swap_ints(a, lo, hi);
+	if (a[hi] < a[mid]) swap_ints(a, mid, hi);
+	int pivot = a[mid];
+	int i = lo;
+	int j = hi;
+	while (i <= j) {
+		while (a[i] < pivot) i++;
+		while (a[j] > pivot) j--;
+		if (i <= j) {
+			swap_ints(a, i, j);
+			i++;
+			j--;
+		}
+	}
+	if (lo < j) qsort_ints(a, lo, j);
+	if (i < hi) qsort_ints(a, i, hi);
+}
+
+// bsearch_ints returns the index of v in sorted a[0..n), or -1.
+int bsearch_ints(int *a, int n, int v) {
+	int lo = 0;
+	int hi = n - 1;
+	while (lo <= hi) {
+		int mid = (lo + hi) / 2;
+		if (a[mid] == v) return mid;
+		if (a[mid] < v) lo = mid + 1;
+		else hi = mid - 1;
+	}
+	return -1;
+}
+
+// issorted_ints reports whether a[0..n) is non-decreasing.
+int issorted_ints(int *a, int n) {
+	int i;
+	for (i = 1; i < n; i++) {
+		if (a[i - 1] > a[i]) return 0;
+	}
+	return 1;
+}
+`

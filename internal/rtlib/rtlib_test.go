@@ -1,0 +1,243 @@
+package rtlib_test
+
+import (
+	"fmt"
+	"testing"
+
+	"shift/internal/shift"
+)
+
+// check runs a main() body that exits 0 on success and a distinct code
+// per failed assertion, in baseline and instrumented modes.
+func check(t *testing.T, body string) {
+	t.Helper()
+	src := "void main() {\n" + body + "\nexit(0);\n}\n"
+	for _, instrument := range []bool{false, true} {
+		res, err := shift.BuildAndRun([]shift.Source{{Name: "t.mc", Text: src}},
+			shift.NewWorld(), shift.Options{Instrument: instrument})
+		if err != nil {
+			t.Fatalf("instrument=%v: %v", instrument, err)
+		}
+		if res.Trap != nil || res.Alert != nil {
+			t.Fatalf("instrument=%v: trap=%v alert=%v", instrument, res.Trap, res.Alert)
+		}
+		if res.ExitStatus != 0 {
+			t.Fatalf("instrument=%v: assertion %d failed", instrument, res.ExitStatus)
+		}
+	}
+}
+
+func TestStrlen(t *testing.T) {
+	check(t, `
+	if (strlen("") != 0) exit(1);
+	if (strlen("abc") != 3) exit(2);
+	char buf[64];
+	memset(buf, 'x', 63);
+	buf[63] = 0;
+	if (strlen(buf) != 63) exit(3);
+`)
+}
+
+func TestStrcpyStrncpy(t *testing.T) {
+	check(t, `
+	char a[16];
+	strcpy(a, "hello");
+	if (strcmp(a, "hello") != 0) exit(1);
+	char b[8];
+	strncpy(b, "hello", 3);
+	if (b[0] != 'h' || b[2] != 'l') exit(2);
+	// strncpy pads with NULs to n.
+	char c[8];
+	c[4] = 'Z';
+	strncpy(c, "ab", 5);
+	if (c[4] != 0) exit(3);
+`)
+}
+
+func TestStrcatAndCompare(t *testing.T) {
+	check(t, `
+	char a[32];
+	strcpy(a, "foo");
+	strcat(a, "bar");
+	if (strcmp(a, "foobar") != 0) exit(1);
+	if (strcmp("abc", "abd") >= 0) exit(2);
+	if (strcmp("abd", "abc") <= 0) exit(3);
+	if (strncmp("abcde", "abcxx", 3) != 0) exit(4);
+	if (strncmp("abcde", "abcxx", 4) >= 0) exit(5);
+`)
+}
+
+func TestStrcasecmp(t *testing.T) {
+	check(t, `
+	if (strcasecmp("Hello", "hELLO") != 0) exit(1);
+	if (strcasecmp("abc", "abd") >= 0) exit(2);
+	if (tolower_c('A') != 'a') exit(3);
+	if (tolower_c('z') != 'z') exit(4);
+	if (tolower_c('0') != '0') exit(5);
+`)
+}
+
+func TestStrstrAt(t *testing.T) {
+	check(t, `
+	if (strstr_at("hello world", "world") != 6) exit(1);
+	if (strstr_at("hello", "x") != -1) exit(2);
+	if (strstr_at("aaa", "aaaa") != -1) exit(3);
+	if (strstr_at("abc", "") != 0) exit(4);
+`)
+}
+
+func TestMemFunctions(t *testing.T) {
+	check(t, `
+	char a[8];
+	char b[8];
+	memset(a, 7, 8);
+	memcpy(b, a, 8);
+	if (memcmp_b(a, b, 8) != 0) exit(1);
+	b[3] = 9;
+	if (memcmp_b(a, b, 8) >= 0) exit(2);
+	if (memcmp_b(a, b, 3) != 0) exit(3);
+`)
+}
+
+func TestAtoiItoa(t *testing.T) {
+	check(t, `
+	if (atoi("0") != 0) exit(1);
+	if (atoi("12345") != 12345) exit(2);
+	if (atoi("  -987") != -987) exit(3);
+	if (atoi("42abc") != 42) exit(4);
+	char buf[24];
+	if (itoa(0, buf) != 1) exit(5);
+	if (strcmp(buf, "0") != 0) exit(6);
+	itoa(-12034, buf);
+	if (strcmp(buf, "-12034") != 0) exit(7);
+	itoa(9223372036854775807, buf);
+	if (strcmp(buf, "9223372036854775807") != 0) exit(8);
+`)
+}
+
+func TestAtoiItoaRoundTrip(t *testing.T) {
+	// A property check at the Go level: itoa(atoi(s)) round-trips for a
+	// spread of values.
+	for _, v := range []int64{0, 1, -1, 7, 99, -4096, 1 << 40, -(1 << 40)} {
+		body := fmt.Sprintf(`
+	char buf[24];
+	itoa(%d, buf);
+	if (atoi(buf) != %d) exit(1);
+`, v, v)
+		check(t, body)
+	}
+}
+
+func TestPrintHelpers(t *testing.T) {
+	src := `
+void main() {
+	print_str("n=");
+	print_int(-42);
+	println("!");
+	exit(0);
+}
+`
+	res, err := shift.BuildAndRun([]shift.Source{{Name: "t.mc", Text: src}},
+		shift.NewWorld(), shift.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(res.World.Stdout); got != "n=-42!\n" {
+		t.Errorf("stdout = %q", got)
+	}
+}
+
+func TestHexConversions(t *testing.T) {
+	check(t, `
+	char buf[24];
+	if (itohex(0, buf) != 1) exit(1);
+	if (strcmp(buf, "0") != 0) exit(2);
+	itohex(255, buf);
+	if (strcmp(buf, "ff") != 0) exit(3);
+	itohex(-4096, buf);
+	if (strcmp(buf, "-1000") != 0) exit(4);
+	if (atoihex("ff") != 255) exit(5);
+	if (atoihex("0x1A2b") != 6699) exit(6);
+	if (atoihex("10zz") != 16) exit(7);
+`)
+}
+
+func TestMiscHelpers(t *testing.T) {
+	check(t, `
+	if (abs_i(-5) != 5 || abs_i(5) != 5 || abs_i(0) != 0) exit(1);
+	if (min_i(3, 9) != 3 || max_i(3, 9) != 9) exit(2);
+	if (!startswith("foobar", "foo")) exit(3);
+	if (startswith("fo", "foo")) exit(4);
+	if (!endswith("foobar", "bar")) exit(5);
+	if (endswith("ar", "bar")) exit(6);
+	if (strchr_at("hello", 'l') != 2) exit(7);
+	if (strrchr_at("hello", 'l') != 3) exit(8);
+	if (strchr_at("hello", 'z') != -1) exit(9);
+	char s[16];
+	strcpy(s, "MiXeD");
+	str_tolower(s);
+	if (strcmp(s, "mixed") != 0) exit(10);
+`)
+}
+
+func TestSortAndSearch(t *testing.T) {
+	check(t, `
+	int a[64];
+	int i;
+	int st = 12345;
+	for (i = 0; i < 64; i++) {
+		st = st * 1103515245 + 12345;
+		int v = st >> 16;
+		a[i] = abs_i(v) % 1000;
+	}
+	qsort_ints(a, 0, 63);
+	if (!issorted_ints(a, 64)) exit(1);
+	for (i = 0; i < 64; i++) {
+		if (bsearch_ints(a, 64, a[i]) < 0) exit(2);
+	}
+	if (bsearch_ints(a, 64, -1) != -1) exit(3);
+	// Already sorted and reverse-sorted inputs.
+	int b[16];
+	for (i = 0; i < 16; i++) b[i] = i;
+	qsort_ints(b, 0, 15);
+	if (!issorted_ints(b, 16)) exit(4);
+	for (i = 0; i < 16; i++) b[i] = 15 - i;
+	qsort_ints(b, 0, 15);
+	if (!issorted_ints(b, 16)) exit(5);
+	if (b[0] != 0 || b[15] != 15) exit(6);
+`)
+}
+
+// TestSortTaintedData: sorting tainted values preserves taint through the
+// swaps (byte-level tags follow every store).
+func TestSortTaintedData(t *testing.T) {
+	src := `
+int vals[32];
+void main() {
+	char buf[32];
+	recv(buf, 32);
+	int i;
+	for (i = 0; i < 32; i++) vals[i] = buf[i];
+	qsort_ints(vals, 0, 31);
+	if (!issorted_ints(vals, 32)) exit(1);
+	exit(is_tainted(vals, 256) ? 0 : 2);
+}
+`
+	world := shift.NewWorld()
+	input := make([]byte, 32)
+	for i := range input {
+		input[i] = byte(97 - i*3%50)
+	}
+	world.NetIn = input
+	res, err := shift.BuildAndRun([]shift.Source{{Name: "t.mc", Text: src}}, world,
+		shift.Options{Instrument: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trap != nil || res.Alert != nil {
+		t.Fatalf("trap=%v alert=%v", res.Trap, res.Alert)
+	}
+	if res.ExitStatus != 0 {
+		t.Fatalf("exit=%d", res.ExitStatus)
+	}
+}

@@ -1,0 +1,189 @@
+package shift
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"shift/internal/machine"
+	"shift/internal/taint"
+)
+
+// progGen generates random but well-defined minic programs that consume
+// tainted input. Two variable pools keep the programs policy-clean: index
+// expressions use only control variables (never derived from input), so
+// the strict pointer policy cannot fire; value expressions may mix in
+// tainted data freely. Division is excluded (no trap source), loops are
+// bounded, and every output travels through write()/print_int, so the
+// differential check below can compare byte-for-byte behaviour.
+type progGen struct {
+	rng  *rand.Rand
+	sb   strings.Builder
+	vals []string // value variables (may be tainted)
+	idxs []string // control variables (always clean)
+}
+
+func (g *progGen) pick(pool []string) string { return pool[g.rng.Intn(len(pool))] }
+
+// cleanExpr builds an expression over control variables and literals.
+func (g *progGen) cleanExpr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		if g.rng.Intn(2) == 0 {
+			return fmt.Sprint(g.rng.Intn(100))
+		}
+		return g.pick(g.idxs)
+	}
+	op := []string{"+", "-", "*", "&", "|", "^"}[g.rng.Intn(6)]
+	return "(" + g.cleanExpr(depth-1) + " " + op + " " + g.cleanExpr(depth-1) + ")"
+}
+
+// valExpr builds an expression that may involve tainted values.
+func (g *progGen) valExpr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(4) {
+		case 0:
+			return fmt.Sprint(g.rng.Intn(1000))
+		case 1:
+			return g.pick(g.idxs)
+		case 2:
+			return g.pick(g.vals)
+		default:
+			return "data[" + g.cleanExpr(1) + " & 63]"
+		}
+	}
+	switch g.rng.Intn(8) {
+	case 0:
+		return "(" + g.valExpr(depth-1) + " << " + fmt.Sprint(1+g.rng.Intn(3)) + ")"
+	case 1:
+		return "(" + g.valExpr(depth-1) + " >> " + fmt.Sprint(1+g.rng.Intn(3)) + ")"
+	case 2:
+		// A comparison used as a value exercises relaxed compares.
+		rel := []string{"<", ">", "==", "!=", "<=", ">="}[g.rng.Intn(6)]
+		return "(" + g.valExpr(depth-1) + " " + rel + " " + g.valExpr(depth-1) + ")"
+	default:
+		op := []string{"+", "-", "*", "&", "|", "^"}[g.rng.Intn(6)]
+		return "(" + g.valExpr(depth-1) + " " + op + " " + g.valExpr(depth-1) + ")"
+	}
+}
+
+func (g *progGen) stmt(depth int) {
+	switch g.rng.Intn(6) {
+	case 0: // value assignment
+		fmt.Fprintf(&g.sb, "\t%s = %s;\n", g.pick(g.vals), g.valExpr(2))
+	case 1: // array store at a clean index
+		fmt.Fprintf(&g.sb, "\tdata[%s & 63] = %s;\n", g.cleanExpr(1), g.valExpr(2))
+	case 2: // conditional on possibly-tainted data (relaxed compares)
+		if depth > 0 {
+			rel := []string{"<", ">", "==", "!="}[g.rng.Intn(4)]
+			fmt.Fprintf(&g.sb, "\tif (%s %s %s) {\n", g.valExpr(1), rel, g.valExpr(1))
+			g.stmt(depth - 1)
+			fmt.Fprintf(&g.sb, "\t} else {\n")
+			g.stmt(depth - 1)
+			fmt.Fprintf(&g.sb, "\t}\n")
+		} else {
+			fmt.Fprintf(&g.sb, "\t%s += %s;\n", g.pick(g.vals), g.valExpr(1))
+		}
+	case 3: // bounded loop over a clean counter, reserved for this loop
+		if depth > 0 && len(g.idxs) > 1 {
+			c := g.idxs[len(g.idxs)-1]
+			g.idxs = g.idxs[:len(g.idxs)-1]
+			fmt.Fprintf(&g.sb, "\tfor (%s = 0; %s < %d; %s++) {\n", c, c, 2+g.rng.Intn(10), c)
+			g.stmt(depth - 1)
+			fmt.Fprintf(&g.sb, "\t}\n")
+			g.idxs = append(g.idxs, c)
+		} else {
+			fmt.Fprintf(&g.sb, "\t%s ^= %s;\n", g.pick(g.vals), g.valExpr(1))
+		}
+	case 4: // compound ops
+		op := []string{"+=", "-=", "^=", "|=", "&="}[g.rng.Intn(5)]
+		fmt.Fprintf(&g.sb, "\t%s %s %s;\n", g.pick(g.vals), op, g.valExpr(2))
+	default: // char-level traffic through the runtime
+		fmt.Fprintf(&g.sb, "\tbuf[%s & 31] = %s;\n", g.cleanExpr(1), g.valExpr(1))
+	}
+}
+
+// generate returns a complete program.
+func generate(seed int64) string {
+	g := &progGen{
+		rng:  rand.New(rand.NewSource(seed)),
+		vals: []string{"v0", "v1", "v2"},
+		idxs: []string{"i", "j"},
+	}
+	g.sb.WriteString("int data[64];\nchar buf[32];\n")
+	g.sb.WriteString("void main() {\n")
+	g.sb.WriteString("\tchar in[64];\n\tint n = recv(in, 64);\n")
+	g.sb.WriteString("\tint i; int j; int v0 = 1; int v1 = 2; int v2 = 3;\n")
+	g.sb.WriteString("\tfor (i = 0; i < 64; i++) data[i] = in[i & 63];\n")
+	for s := 0; s < 8+g.rng.Intn(8); s++ {
+		g.stmt(2)
+	}
+	// Fold all state into an output the host can diff; the values are
+	// tainted, which is fine for write() but not for exit().
+	g.sb.WriteString("\tint sum = v0 ^ v1 ^ v2;\n")
+	g.sb.WriteString("\tfor (i = 0; i < 64; i++) sum += data[i] * (i + 1);\n")
+	g.sb.WriteString("\tfor (i = 0; i < 32; i++) sum ^= buf[i] << (i & 7);\n")
+	g.sb.WriteString("\tprint_int(sum); putc('\\n');\n")
+	g.sb.WriteString("\texit(0);\n}\n")
+	return g.sb.String()
+}
+
+// TestInstrumentationPreservesSemantics is the central differential
+// property: for randomly generated programs over tainted input, the
+// instrumented runs (byte, word, enhanced, per-function NaT) must produce
+// exactly the baseline's output and exit status, with no alerts.
+func TestInstrumentationPreservesSemantics(t *testing.T) {
+	count := 25
+	if testing.Short() {
+		count = 6
+	}
+	modes := []struct {
+		name string
+		opt  Options
+	}{
+		{"byte", Options{Instrument: true, Granularity: taint.Byte}},
+		{"word", Options{Instrument: true, Granularity: taint.Word}},
+		{"byte+enh", Options{Instrument: true, Granularity: taint.Byte,
+			Features: machine.Features{SetClrNaT: true, NaTAwareCmp: true}}},
+		{"byte+perfn", Options{Instrument: true, Granularity: taint.Byte, NaTPerFunction: true}},
+		{"byte+opt", Options{Instrument: true, Granularity: taint.Byte, Optimize: true}},
+		{"word+opt", Options{Instrument: true, Granularity: taint.Word, Optimize: true}},
+		{"byte+ser", Options{Instrument: true, Granularity: taint.Byte, SerializedTags: true}},
+		{"byte+guards", Options{Instrument: true, Granularity: taint.Byte, UserGuards: true}},
+	}
+	for seed := int64(1); seed <= int64(count); seed++ {
+		src := generate(seed)
+		input := make([]byte, 64)
+		r := rand.New(rand.NewSource(seed * 7919))
+		r.Read(input)
+
+		world := NewWorld()
+		world.NetIn = input
+		base, err := BuildAndRun([]Source{{Name: "fuzz.mc", Text: src}}, world, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: baseline: %v\n%s", seed, err, src)
+		}
+		if base.Trap != nil {
+			t.Fatalf("seed %d: baseline trap: %v\n%s", seed, base.Trap, src)
+		}
+
+		for _, m := range modes {
+			world := NewWorld()
+			world.NetIn = input
+			res, err := BuildAndRun([]Source{{Name: "fuzz.mc", Text: src}}, world, m.opt)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, m.name, err)
+			}
+			if res.Trap != nil || res.Alert != nil {
+				t.Fatalf("seed %d %s: trap=%v alert=%v\n%s", seed, m.name, res.Trap, res.Alert, src)
+			}
+			if string(res.World.Stdout) != string(base.World.Stdout) {
+				t.Fatalf("seed %d %s: output %q != baseline %q\n%s",
+					seed, m.name, res.World.Stdout, base.World.Stdout, src)
+			}
+			if res.Cycles <= base.Cycles {
+				t.Errorf("seed %d %s: instrumentation cost nothing", seed, m.name)
+			}
+		}
+	}
+}

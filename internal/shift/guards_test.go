@@ -1,0 +1,108 @@
+package shift
+
+import (
+	"strings"
+	"testing"
+
+	"shift/internal/machine"
+)
+
+// The §3.3.3 user-level guard tests: with UserGuards, a tainted critical
+// use is intercepted by a chk.s branch to a generated handler instead of
+// a hardware NaT-consumption fault — same verdict, different delivery.
+
+const taintedExitProg = `
+void main() {
+	char b[8];
+	recv(b, 8);
+	exit(b[0]);        // tainted scalar syscall argument
+}
+`
+
+func TestUserGuardsCatchTaintedSyscallArg(t *testing.T) {
+	world := NewWorld()
+	world.NetIn = []byte("X")
+	res, err := BuildAndRun([]Source{{Name: "t", Text: taintedExitProg}}, world,
+		Options{Instrument: true, UserGuards: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alert == nil {
+		t.Fatalf("no alert; trap=%v", res.Trap)
+	}
+	if res.Alert.Violation.Policy != "L3" {
+		t.Errorf("policy = %s, want L3", res.Alert.Violation.Policy)
+	}
+	if !strings.Contains(res.Alert.Violation.Detail, "user-level") {
+		t.Errorf("detail does not credit the user-level handler: %q", res.Alert.Violation.Detail)
+	}
+	// The guard fires before the syscall: no hardware NaT fault occurred.
+	if res.Alert.Trap.Kind != machine.TrapHostError {
+		t.Errorf("delivered via %v, want the handler's host path", res.Alert.Trap.Kind)
+	}
+}
+
+func TestWithoutGuardsHardwareFaultDelivers(t *testing.T) {
+	world := NewWorld()
+	world.NetIn = []byte("X")
+	res, err := BuildAndRun([]Source{{Name: "t", Text: taintedExitProg}}, world,
+		Options{Instrument: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alert == nil || res.Alert.Violation.Policy != "L3" {
+		t.Fatalf("want hardware L3, got alert=%v trap=%v", res.Alert, res.Trap)
+	}
+	if res.Alert.Trap.Kind != machine.TrapNaTSyscall {
+		t.Errorf("delivered via %v, want the NaT-consumption fault", res.Alert.Trap.Kind)
+	}
+}
+
+func TestUserGuardsQuietOnCleanRuns(t *testing.T) {
+	src := `
+void main() {
+	char b[16];
+	int n = recv(b, 16);
+	write(1, b, n);     // content tainted, but every scalar arg clean
+	exit(n > 0 ? 0 : 1);
+}
+`
+	world := NewWorld()
+	world.NetIn = []byte("hello")
+	res, err := BuildAndRun([]Source{{Name: "t", Text: src}}, world,
+		Options{Instrument: true, UserGuards: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alert != nil || res.Trap != nil {
+		t.Fatalf("clean run raised: alert=%v trap=%v", res.Alert, res.Trap)
+	}
+	if string(res.World.Stdout) != "hello" {
+		t.Errorf("stdout = %q", res.World.Stdout)
+	}
+}
+
+func TestUserGuardsCatchTaintedBranchTarget(t *testing.T) {
+	// Build a guarded program whose tainted value reaches a branch
+	// register via a hand-wired machine state; easier: minic cannot
+	// produce indirect branches, so drive the guard through the exit
+	// path of a helper returning tainted data.
+	src := `
+int pass(int v) { return v; }
+void main() {
+	char b[8];
+	recv(b, 8);
+	exit(pass(b[0]));
+}
+`
+	world := NewWorld()
+	world.NetIn = []byte{7}
+	res, err := BuildAndRun([]Source{{Name: "t", Text: src}}, world,
+		Options{Instrument: true, UserGuards: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alert == nil || !strings.Contains(res.Alert.Violation.Detail, "user-level") {
+		t.Fatalf("guard did not intercept: alert=%v trap=%v", res.Alert, res.Trap)
+	}
+}

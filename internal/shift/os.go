@@ -1,0 +1,559 @@
+package shift
+
+import (
+	"fmt"
+
+	"shift/internal/isa"
+	"shift/internal/machine"
+	"shift/internal/policy"
+	"shift/internal/taint"
+)
+
+// IOCosts models the cycle cost of moving bytes across the OS boundary.
+// The evaluation's Apache result (Figure 6) depends on I/O dominating
+// request service time, so the defaults are deliberately disk/NIC-like.
+type IOCosts struct {
+	PerByte uint64 // cycles per byte moved by read/write/recv/send
+	PerOpen uint64 // extra cycles per open
+}
+
+// DefaultIOCosts returns the model used in the evaluation.
+func DefaultIOCosts() IOCosts { return IOCosts{PerByte: 6, PerOpen: 2000} }
+
+// file is one open descriptor.
+type file struct {
+	path string
+	off  int
+}
+
+// World is the OS model: files, the network, program arguments, output
+// channels, the heap break — and, when tracking is on, the taint sources
+// (§3.3.1) and policy sinks (Table 1).
+type World struct {
+	// Inputs.
+	Files map[string][]byte
+	NetIn []byte
+	Stdin []byte
+	Args  []string
+
+	// Outputs.
+	Stdout  []byte
+	NetOut  []byte
+	HTMLOut []byte
+	SQLLog  []string
+	SysLog  []string
+	Opened  []string
+
+	// Tags is the taint bitmap; nil disables all taint marking (the
+	// uninstrumented baseline).
+	Tags *taint.Space
+	// Engine checks policies at sinks; nil disables checking.
+	Engine *policy.Engine
+
+	IO IOCosts
+
+	// HeapBase seeds the sbrk break; the loader supplies it.
+	HeapBase uint64
+	// Sched and StackTop wire up guest threading (spawn/join/yield);
+	// Run establishes them.
+	Sched    *machine.Scheduler
+	StackTop uint64
+
+	brk      uint64
+	netOff   int
+	stdinOff int
+	fds      []*file
+}
+
+// NewWorld returns an empty world with default I/O costs.
+func NewWorld() *World {
+	return &World{Files: make(map[string][]byte), IO: DefaultIOCosts()}
+}
+
+// Clone returns a fresh world with the same inputs and configuration but
+// reset consumption state and outputs — for running the same workload
+// repeatedly.
+func (w *World) Clone() *World {
+	nw := NewWorld()
+	for k, v := range w.Files {
+		nw.Files[k] = v
+	}
+	nw.NetIn = w.NetIn
+	nw.Stdin = w.Stdin
+	nw.Args = w.Args
+	nw.IO = w.IO
+	nw.HeapBase = w.HeapBase
+	return nw
+}
+
+func (w *World) source(name string) bool {
+	return w.Engine != nil && w.Engine.Conf.Sources[name]
+}
+
+// markTaint taints guest memory [addr, addr+n) when tracking is enabled
+// and the channel is an untrusted source.
+func (w *World) markTaint(m *machine.Machine, addr uint64, n int, channel string) error {
+	if w.Tags == nil || n <= 0 || !w.source(channel) {
+		return nil
+	}
+	return w.Tags.SetRange(addr, uint64(n))
+}
+
+// hostTrap wraps an internal error.
+func hostTrap(m *machine.Machine, err error) *machine.Trap {
+	return &machine.Trap{Kind: machine.TrapHostError, PC: m.PC, Ins: "syscall", Err: err}
+}
+
+// violationTrap surfaces a policy violation as a trap that Run converts
+// into an Alert.
+func violationTrap(m *machine.Machine, v *policy.Violation) *machine.Trap {
+	return &machine.Trap{Kind: machine.TrapHostError, PC: m.PC, Ins: "syscall", Err: v}
+}
+
+// taintedBytes reads per-byte taint for a guest buffer; without tracking
+// it returns all-clean.
+func (w *World) taintedBytes(addr uint64, n int) ([]bool, error) {
+	if w.Tags == nil {
+		return make([]bool, n), nil
+	}
+	return w.Tags.TaintedBytes(addr, n)
+}
+
+// arg fetches syscall argument i, faulting on a tainted scalar: tainted
+// data may not reach the kernel interface through registers (the syscall
+// half of policy L3).
+func arg(m *machine.Machine, i int) (int64, *machine.Trap) {
+	r := uint8(isa.RegArg0 + i)
+	if m.NaT[r] {
+		return 0, &machine.Trap{Kind: machine.TrapNaTSyscall, PC: m.PC, Reg: r, Ins: "syscall"}
+	}
+	return m.GR[r], nil
+}
+
+// Syscall implements machine.SyscallHandler.
+func (w *World) Syscall(m *machine.Machine, num int64) (uint64, *machine.Trap) {
+	switch num {
+	case isa.SysExit:
+		status, trap := arg(m, 0)
+		if trap != nil {
+			return 0, trap
+		}
+		m.Halt(status)
+		return 0, nil
+
+	case isa.SysRead:
+		return w.sysRead(m)
+	case isa.SysWrite:
+		return w.sysWrite(m)
+	case isa.SysOpen:
+		return w.sysOpen(m)
+	case isa.SysRecv:
+		return w.sysRecv(m)
+	case isa.SysSend:
+		return w.sysSend(m)
+	case isa.SysSqlExec:
+		return w.sysSQL(m)
+	case isa.SysSystem:
+		return w.sysSystem(m)
+	case isa.SysHTMLWrite:
+		return w.sysHTML(m)
+
+	case isa.SysSbrk:
+		n, trap := arg(m, 0)
+		if trap != nil {
+			return 0, trap
+		}
+		if w.brk == 0 {
+			w.brk = w.HeapBase
+		}
+		old := w.brk
+		w.brk += uint64((n + 15) &^ 15)
+		m.GR[isa.RegRet] = int64(old)
+		m.NaT[isa.RegRet] = false
+		return 0, nil
+
+	case isa.SysTaint, isa.SysUntaint, isa.SysIsTainted:
+		return w.sysTaintOps(m, num)
+
+	case isa.SysGetArg:
+		return w.sysGetArg(m)
+
+	case isa.SysPutc:
+		c, trap := arg(m, 0)
+		if trap != nil {
+			return 0, trap
+		}
+		w.Stdout = append(w.Stdout, byte(c))
+		return 1, nil
+
+	case isa.SysSpawn:
+		return w.sysSpawn(m)
+
+	case isa.SysJoin:
+		tid, trap := arg(m, 0)
+		if trap != nil {
+			return 0, trap
+		}
+		if w.Sched == nil || !w.Sched.Join(m.TID, int(tid)) {
+			m.GR[isa.RegRet] = -1
+		} else {
+			m.GR[isa.RegRet] = 0
+			m.YieldReq = true
+		}
+		m.NaT[isa.RegRet] = false
+		return 0, nil
+
+	case isa.SysYield:
+		m.YieldReq = true
+		return 0, nil
+
+	case isa.SysUserAlert:
+		// A §3.3.3 user-level guard (chk.s before a critical use)
+		// caught a taint token and transferred control here instead of
+		// taking a hardware fault.
+		v := &policy.Violation{
+			Policy: "L3",
+			Detail: fmt.Sprintf("user-level chk.s handler caught tainted critical data (pc=%d)", m.PC),
+		}
+		if w.Engine != nil {
+			w.Engine.Alerts = append(w.Engine.Alerts, v)
+		}
+		return 0, violationTrap(m, v)
+	}
+	return 0, hostTrap(m, fmt.Errorf("unknown syscall %d", num))
+}
+
+// threadStackSlice separates per-thread stacks inside region 2.
+const threadStackSlice = 1 << 20
+
+// maxThreads bounds spawned threads so stacks stay inside the region.
+const maxThreads = 15
+
+func (w *World) sysSpawn(m *machine.Machine) (uint64, *machine.Trap) {
+	namePtr, trap := arg(m, 0)
+	if trap != nil {
+		return 0, trap
+	}
+	threadArg, trap := arg(m, 1)
+	if trap != nil {
+		return 0, trap
+	}
+	if w.Sched == nil {
+		return 0, hostTrap(m, fmt.Errorf("spawn: no scheduler installed"))
+	}
+	name, f := m.Mem.ReadCString(uint64(namePtr), 256)
+	if f != nil {
+		return 0, hostTrap(m, f)
+	}
+	entry, ok := m.Prog.Symbols[name]
+	if !ok || len(w.Sched.Threads) >= maxThreads {
+		m.GR[isa.RegRet] = -1
+		m.NaT[isa.RegRet] = false
+		return 0, nil
+	}
+	sp := w.StackTop - uint64(len(w.Sched.Threads))*threadStackSlice
+	tid := w.Sched.Spawn(entry, threadArg, sp)
+	m.GR[isa.RegRet] = int64(tid)
+	m.NaT[isa.RegRet] = false
+	return 0, nil
+}
+
+func (w *World) sysRead(m *machine.Machine) (uint64, *machine.Trap) {
+	fd, trap := arg(m, 0)
+	if trap != nil {
+		return 0, trap
+	}
+	buf, trap := arg(m, 1)
+	if trap != nil {
+		return 0, trap
+	}
+	n, trap := arg(m, 2)
+	if trap != nil {
+		return 0, trap
+	}
+	var src []byte
+	var off *int
+	channel := "file"
+	switch {
+	case fd == 0:
+		src, off, channel = w.Stdin, &w.stdinOff, "stdin"
+	case fd >= 3 && int(fd-3) < len(w.fds) && w.fds[fd-3] != nil:
+		f := w.fds[fd-3]
+		src, off = w.Files[f.path], &f.off
+	default:
+		m.GR[isa.RegRet] = -1
+		m.NaT[isa.RegRet] = false
+		return 0, nil
+	}
+	avail := len(src) - *off
+	if avail < 0 {
+		avail = 0
+	}
+	count := int(n)
+	if count > avail {
+		count = avail
+	}
+	if count > 0 {
+		if f := m.Mem.WriteBytes(uint64(buf), src[*off:*off+count]); f != nil {
+			return 0, hostTrap(m, f)
+		}
+		*off += count
+		if err := w.markTaint(m, uint64(buf), count, channel); err != nil {
+			return 0, hostTrap(m, err)
+		}
+	}
+	m.GR[isa.RegRet] = int64(count)
+	m.NaT[isa.RegRet] = false
+	return uint64(count) * w.IO.PerByte, nil
+}
+
+func (w *World) sysWrite(m *machine.Machine) (uint64, *machine.Trap) {
+	_, trap := arg(m, 0)
+	if trap != nil {
+		return 0, trap
+	}
+	buf, trap := arg(m, 1)
+	if trap != nil {
+		return 0, trap
+	}
+	n, trap := arg(m, 2)
+	if trap != nil {
+		return 0, trap
+	}
+	b, f := m.Mem.ReadBytes(uint64(buf), int(n))
+	if f != nil {
+		return 0, hostTrap(m, f)
+	}
+	w.Stdout = append(w.Stdout, b...)
+	m.GR[isa.RegRet] = n
+	m.NaT[isa.RegRet] = false
+	return uint64(n) * w.IO.PerByte, nil
+}
+
+func (w *World) sysOpen(m *machine.Machine) (uint64, *machine.Trap) {
+	pathPtr, trap := arg(m, 0)
+	if trap != nil {
+		return 0, trap
+	}
+	if _, t := arg(m, 1); t != nil { // flags
+		return 0, t
+	}
+	path, f := m.Mem.ReadCString(uint64(pathPtr), 4096)
+	if f != nil {
+		return 0, hostTrap(m, f)
+	}
+	w.Opened = append(w.Opened, path)
+	if w.Engine != nil {
+		tb, err := w.taintedBytes(uint64(pathPtr), len(path))
+		if err != nil {
+			return 0, hostTrap(m, err)
+		}
+		if v := w.Engine.CheckOpen(path, tb); v != nil {
+			return 0, violationTrap(m, v)
+		}
+	}
+	if _, ok := w.Files[path]; !ok {
+		m.GR[isa.RegRet] = -1
+		m.NaT[isa.RegRet] = false
+		return w.IO.PerOpen, nil
+	}
+	w.fds = append(w.fds, &file{path: path})
+	m.GR[isa.RegRet] = int64(len(w.fds) - 1 + 3)
+	m.NaT[isa.RegRet] = false
+	return w.IO.PerOpen, nil
+}
+
+func (w *World) sysRecv(m *machine.Machine) (uint64, *machine.Trap) {
+	buf, trap := arg(m, 0)
+	if trap != nil {
+		return 0, trap
+	}
+	n, trap := arg(m, 1)
+	if trap != nil {
+		return 0, trap
+	}
+	avail := len(w.NetIn) - w.netOff
+	count := int(n)
+	if count > avail {
+		count = avail
+	}
+	if count > 0 {
+		if f := m.Mem.WriteBytes(uint64(buf), w.NetIn[w.netOff:w.netOff+count]); f != nil {
+			return 0, hostTrap(m, f)
+		}
+		w.netOff += count
+		if err := w.markTaint(m, uint64(buf), count, "network"); err != nil {
+			return 0, hostTrap(m, err)
+		}
+	}
+	m.GR[isa.RegRet] = int64(count)
+	m.NaT[isa.RegRet] = false
+	return uint64(count) * w.IO.PerByte, nil
+}
+
+func (w *World) sysSend(m *machine.Machine) (uint64, *machine.Trap) {
+	buf, trap := arg(m, 0)
+	if trap != nil {
+		return 0, trap
+	}
+	n, trap := arg(m, 1)
+	if trap != nil {
+		return 0, trap
+	}
+	b, f := m.Mem.ReadBytes(uint64(buf), int(n))
+	if f != nil {
+		return 0, hostTrap(m, f)
+	}
+	w.NetOut = append(w.NetOut, b...)
+	m.GR[isa.RegRet] = n
+	m.NaT[isa.RegRet] = false
+	return uint64(n) * w.IO.PerByte, nil
+}
+
+func (w *World) sysSQL(m *machine.Machine) (uint64, *machine.Trap) {
+	qPtr, trap := arg(m, 0)
+	if trap != nil {
+		return 0, trap
+	}
+	q, f := m.Mem.ReadCString(uint64(qPtr), 65536)
+	if f != nil {
+		return 0, hostTrap(m, f)
+	}
+	w.SQLLog = append(w.SQLLog, q)
+	if w.Engine != nil {
+		tb, err := w.taintedBytes(uint64(qPtr), len(q))
+		if err != nil {
+			return 0, hostTrap(m, err)
+		}
+		if v := w.Engine.CheckSQL(q, tb); v != nil {
+			return 0, violationTrap(m, v)
+		}
+	}
+	m.GR[isa.RegRet] = 0
+	m.NaT[isa.RegRet] = false
+	return uint64(len(q)), nil
+}
+
+func (w *World) sysSystem(m *machine.Machine) (uint64, *machine.Trap) {
+	cPtr, trap := arg(m, 0)
+	if trap != nil {
+		return 0, trap
+	}
+	cmd, f := m.Mem.ReadCString(uint64(cPtr), 65536)
+	if f != nil {
+		return 0, hostTrap(m, f)
+	}
+	w.SysLog = append(w.SysLog, cmd)
+	if w.Engine != nil {
+		tb, err := w.taintedBytes(uint64(cPtr), len(cmd))
+		if err != nil {
+			return 0, hostTrap(m, err)
+		}
+		if v := w.Engine.CheckSystem(cmd, tb); v != nil {
+			return 0, violationTrap(m, v)
+		}
+	}
+	m.GR[isa.RegRet] = 0
+	m.NaT[isa.RegRet] = false
+	return uint64(len(cmd)), nil
+}
+
+func (w *World) sysHTML(m *machine.Machine) (uint64, *machine.Trap) {
+	buf, trap := arg(m, 0)
+	if trap != nil {
+		return 0, trap
+	}
+	n, trap := arg(m, 1)
+	if trap != nil {
+		return 0, trap
+	}
+	b, f := m.Mem.ReadBytes(uint64(buf), int(n))
+	if f != nil {
+		return 0, hostTrap(m, f)
+	}
+	if w.Engine != nil {
+		tb, err := w.taintedBytes(uint64(buf), int(n))
+		if err != nil {
+			return 0, hostTrap(m, err)
+		}
+		if v := w.Engine.CheckHTML(b, tb); v != nil {
+			return 0, violationTrap(m, v)
+		}
+	}
+	w.HTMLOut = append(w.HTMLOut, b...)
+	m.GR[isa.RegRet] = n
+	m.NaT[isa.RegRet] = false
+	return uint64(n) * w.IO.PerByte, nil
+}
+
+func (w *World) sysTaintOps(m *machine.Machine, num int64) (uint64, *machine.Trap) {
+	buf, trap := arg(m, 0)
+	if trap != nil {
+		return 0, trap
+	}
+	n, trap := arg(m, 1)
+	if trap != nil {
+		return 0, trap
+	}
+	switch num {
+	case isa.SysTaint:
+		if w.Tags != nil {
+			if err := w.Tags.SetRange(uint64(buf), uint64(n)); err != nil {
+				return 0, hostTrap(m, err)
+			}
+		}
+	case isa.SysUntaint:
+		if w.Tags != nil {
+			if err := w.Tags.ClearRange(uint64(buf), uint64(n)); err != nil {
+				return 0, hostTrap(m, err)
+			}
+		}
+	case isa.SysIsTainted:
+		var res int64
+		if w.Tags != nil {
+			t, err := w.Tags.Tainted(uint64(buf), uint64(n))
+			if err != nil {
+				return 0, hostTrap(m, err)
+			}
+			if t {
+				res = 1
+			}
+		}
+		m.GR[isa.RegRet] = res
+		m.NaT[isa.RegRet] = false
+	}
+	return 0, nil
+}
+
+func (w *World) sysGetArg(m *machine.Machine) (uint64, *machine.Trap) {
+	i, trap := arg(m, 0)
+	if trap != nil {
+		return 0, trap
+	}
+	buf, trap := arg(m, 1)
+	if trap != nil {
+		return 0, trap
+	}
+	capacity, trap := arg(m, 2)
+	if trap != nil {
+		return 0, trap
+	}
+	if i < 0 || int(i) >= len(w.Args) {
+		m.GR[isa.RegRet] = -1
+		m.NaT[isa.RegRet] = false
+		return 0, nil
+	}
+	s := w.Args[i]
+	if int64(len(s)+1) > capacity {
+		s = s[:capacity-1]
+	}
+	if f := m.Mem.WriteBytes(uint64(buf), append([]byte(s), 0)); f != nil {
+		return 0, hostTrap(m, f)
+	}
+	if err := w.markTaint(m, uint64(buf), len(s), "args"); err != nil {
+		return 0, hostTrap(m, err)
+	}
+	m.GR[isa.RegRet] = int64(len(s))
+	m.NaT[isa.RegRet] = false
+	return 0, nil
+}

@@ -1,0 +1,206 @@
+package shift
+
+import (
+	"strings"
+	"testing"
+
+	"shift/internal/policy"
+)
+
+// Targeted OS-model tests: channel semantics, edge cases and error paths
+// of the syscall layer.
+
+func TestFileReadSemantics(t *testing.T) {
+	src := `
+void main() {
+	char buf[16];
+	// Missing file.
+	if (open("nope", 0) != -1) exit(1);
+	int fd = open("data", 0);
+	if (fd < 0) exit(2);
+	// Short reads drain the file across calls.
+	if (read(fd, buf, 4) != 4) exit(3);
+	if (buf[0] != 'a' || buf[3] != 'd') exit(4);
+	if (read(fd, buf, 16) != 2) exit(5);
+	if (buf[0] != 'e' || buf[1] != 'f') exit(6);
+	if (read(fd, buf, 16) != 0) exit(7);
+	// Reading a bogus descriptor fails.
+	if (read(99, buf, 4) != -1) exit(8);
+	exit(0);
+}
+`
+	world := NewWorld()
+	world.Files["data"] = []byte("abcdef")
+	res, err := BuildAndRun([]Source{{Name: "t", Text: src}}, world, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitStatus != 0 {
+		t.Fatalf("exit=%d trap=%v", res.ExitStatus, res.Trap)
+	}
+}
+
+func TestStdinChannel(t *testing.T) {
+	src := `
+void main() {
+	char buf[8];
+	int n = read(0, buf, 8);
+	write(1, buf, n);
+	exit(is_tainted(buf, n));
+}
+`
+	world := NewWorld()
+	world.Stdin = []byte("hiya")
+	// stdin is a taint source only when configured.
+	res, err := BuildAndRun([]Source{{Name: "t", Text: src}}, world, Options{Instrument: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.World.Stdout) != "hiya" {
+		t.Errorf("stdout = %q", res.World.Stdout)
+	}
+	if res.ExitStatus != 0 {
+		t.Error("stdin tainted though not configured as a source")
+	}
+
+	conf := func() *World {
+		w := NewWorld()
+		w.Stdin = []byte("hiya")
+		return w
+	}
+	pc, err := Build([]Source{{Name: "t", Text: src}}, Options{Instrument: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Instrument: true}
+	opt.Policy = defaultConfWithSources(t, "stdin")
+	res, err = Run(pc, conf(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alert == nil && res.ExitStatus != 1 {
+		t.Errorf("stdin source not tainting: exit=%d", res.ExitStatus)
+	}
+}
+
+// defaultConfWithSources builds a config with only the given sources.
+func defaultConfWithSources(t *testing.T, sources ...string) *policy.Config {
+	t.Helper()
+	conf := policy.DefaultConfig()
+	conf.Sources = map[string]bool{}
+	for _, s := range sources {
+		conf.Sources[s] = true
+	}
+	return conf
+}
+
+func TestGetArgTruncationAndBounds(t *testing.T) {
+	src := `
+void main() {
+	char buf[8];
+	int n = getarg(0, buf, 8);
+	if (n != 7) exit(1);             // truncated to cap-1
+	if (strcmp(buf, "0123456") != 0) exit(2);
+	if (getarg(5, buf, 8) != -1) exit(3);
+	if (getarg(-1, buf, 8) != -1) exit(4);
+	exit(0);
+}
+`
+	world := NewWorld()
+	world.Args = []string{"0123456789"}
+	res, err := BuildAndRun([]Source{{Name: "t", Text: src}}, world, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitStatus != 0 {
+		t.Fatalf("exit=%d", res.ExitStatus)
+	}
+}
+
+func TestSbrkGrowsDisjointly(t *testing.T) {
+	src := `
+void main() {
+	char *a = sbrk(100);
+	char *b = sbrk(100);
+	if (b - a < 100) exit(1);
+	// The regions do not alias.
+	a[0] = 'A';
+	b[0] = 'B';
+	if (a[0] != 'A') exit(2);
+	exit(0);
+}
+`
+	res, err := BuildAndRun([]Source{{Name: "t", Text: src}}, NewWorld(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitStatus != 0 {
+		t.Fatalf("exit=%d trap=%v", res.ExitStatus, res.Trap)
+	}
+}
+
+func TestWorldClonePreservesInputsOnly(t *testing.T) {
+	w := NewWorld()
+	w.Files["f"] = []byte("x")
+	w.NetIn = []byte("net")
+	w.Args = []string{"a"}
+	w.Stdout = []byte("old output")
+	w.SQLLog = []string{"old"}
+	c := w.Clone()
+	if string(c.Files["f"]) != "x" || string(c.NetIn) != "net" || len(c.Args) != 1 {
+		t.Error("clone lost inputs")
+	}
+	if len(c.Stdout) != 0 || len(c.SQLLog) != 0 {
+		t.Error("clone kept outputs")
+	}
+}
+
+func TestUnknownSyscallTraps(t *testing.T) {
+	// Hand-build a program issuing a bogus syscall number.
+	src := `
+void main() {
+	exit(0);
+}
+`
+	prog, err := Build([]Source{{Name: "t", Text: src}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patch the exit syscall number to something unknown.
+	for i := range prog.Text {
+		if prog.Text[i].String() == "syscall 1" {
+			prog.Text[i].Imm = 99
+		}
+	}
+	res, err := Run(prog, NewWorld(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trap == nil || !strings.Contains(res.Trap.Error(), "unknown syscall") {
+		t.Errorf("trap = %v", res.Trap)
+	}
+}
+
+func TestHTMLAndSendOutputsRouted(t *testing.T) {
+	src := `
+void main() {
+	send("to-net", 6);
+	html_write("<p>ok</p>", 9);
+	putc('!');
+	exit(0);
+}
+`
+	res, err := BuildAndRun([]Source{{Name: "t", Text: src}}, NewWorld(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.World.NetOut) != "to-net" {
+		t.Errorf("netout = %q", res.World.NetOut)
+	}
+	if string(res.World.HTMLOut) != "<p>ok</p>" {
+		t.Errorf("htmlout = %q", res.World.HTMLOut)
+	}
+	if string(res.World.Stdout) != "!" {
+		t.Errorf("stdout = %q", res.World.Stdout)
+	}
+}

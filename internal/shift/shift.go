@@ -1,0 +1,235 @@
+// Package shift is the public façade of the SHIFT reproduction: build a
+// minic program with or without taint instrumentation, run it under a
+// policy engine, and collect performance accounting and security alerts.
+//
+// The division of labour follows the paper's thesis (§3): the machine and
+// instrumentation provide the *mechanism* (NaT-bit propagation in
+// registers, a bitmap in memory), while policies are pure software — a
+// configuration of taint sources and sink checks that can change without
+// touching the tracking machinery.
+package shift
+
+import (
+	"fmt"
+
+	"shift/internal/codegen"
+	"shift/internal/instrument"
+	"shift/internal/isa"
+	"shift/internal/lang"
+	"shift/internal/loader"
+	"shift/internal/machine"
+	"shift/internal/policy"
+	"shift/internal/rtlib"
+	"shift/internal/taint"
+)
+
+// Source is one minic translation unit.
+type Source struct {
+	Name string
+	Text string
+}
+
+// Options selects how a program is built and run.
+type Options struct {
+	// Instrument enables the SHIFT pass; false builds the baseline.
+	Instrument bool
+	// Granularity is byte- or word-level tracking (default byte).
+	Granularity taint.Granularity
+	// Features enables the paper's proposed enhancement instructions on
+	// both the pass and the machine.
+	Features machine.Features
+	// Policy configures sources, sinks and granularity overrides; nil
+	// uses policy.DefaultConfig when instrumenting.
+	Policy *policy.Config
+	// NaTPerFunction selects the §4.4 ablation (regenerate the NaT
+	// source at every function entry).
+	NaTPerFunction bool
+	// NaTPerUse regenerates the NaT source at every tainting site
+	// (the ablation's expensive extreme).
+	NaTPerUse bool
+	// Optimize enables the §4.4/§6.4 future-work compiler
+	// optimizations (kept mask register, tag-address reuse).
+	Optimize bool
+	// UserGuards inserts §3.3.3 chk.s checks before critical uses so
+	// violations are handled at user level instead of by a hardware
+	// fault.
+	UserGuards bool
+	// SerializedTags makes byte-level bitmap updates atomic via a
+	// cmpxchg retry loop, closing the §4.4 multi-threading hazard.
+	SerializedTags bool
+	// NoRuntime skips linking the runtime library (for tests that
+	// provide their own primitives).
+	NoRuntime bool
+	// Budget bounds retired instructions (0 = machine default).
+	Budget uint64
+	// Quantum is the scheduler time slice in cycles for multi-threaded
+	// guests (0 = machine.DefaultQuantum). Single-threaded programs are
+	// unaffected.
+	Quantum uint64
+	// Profile counts retirements per instruction on the main thread
+	// (inspect via Result.Machine.Hotspots / FunctionProfile).
+	Profile bool
+	// Costs overrides the cycle cost model (nil = machine defaults).
+	Costs *machine.Costs
+}
+
+// Build parses, checks, compiles and (optionally) instruments sources
+// together with the runtime library.
+func Build(sources []Source, opt Options) (*isa.Program, error) {
+	var files []*lang.File
+	if !opt.NoRuntime {
+		rt, err := lang.Parse("rtlib.mc", rtlib.Source)
+		if err != nil {
+			return nil, fmt.Errorf("shift: runtime library: %w", err)
+		}
+		files = append(files, rt)
+	}
+	for _, s := range sources {
+		f, err := lang.Parse(s.Name, s.Text)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	unit, err := lang.Check(files...)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := codegen.Compile(unit)
+	if err != nil {
+		return nil, err
+	}
+	if !opt.Instrument {
+		return prog, nil
+	}
+	conf := opt.Policy
+	if conf == nil {
+		conf = policy.DefaultConfig()
+	}
+	gran := opt.Granularity
+	if opt.Policy != nil {
+		gran = conf.Granularity
+	}
+	return instrument.Apply(prog, instrument.Options{
+		Gran:           gran,
+		Feat:           opt.Features,
+		NaTPerFunction: opt.NaTPerFunction,
+		NaTPerUse:      opt.NaTPerUse,
+		Optimize:       opt.Optimize,
+		UserGuards:     opt.UserGuards,
+		SerializedTags: opt.SerializedTags,
+		Permissive:     conf.NoTrack,
+	})
+}
+
+// Alert is a detected policy violation.
+type Alert struct {
+	Violation *policy.Violation
+	Trap      *machine.Trap // underlying hardware fault, if any
+}
+
+// String renders the alert.
+func (a *Alert) String() string {
+	if a.Violation != nil {
+		return a.Violation.Error()
+	}
+	return a.Trap.Error()
+}
+
+// Result collects everything a run produced.
+type Result struct {
+	ExitStatus int64
+	Alert      *Alert        // non-nil when a policy violation stopped the run
+	Trap       *machine.Trap // non-nil on a non-policy trap (a real bug)
+
+	Cycles        uint64
+	CyclesByClass [isa.NumCostClasses]uint64
+	Retired       uint64
+	World         *World
+	Machine       *machine.Machine
+}
+
+// Run loads and executes a program against a world. When opt.Instrument
+// is set the world is wired with a tag space and policy engine; taints
+// flow from the world's sources and violations surface as alerts.
+func Run(prog *isa.Program, world *World, opt Options) (*Result, error) {
+	img, err := loader.Load(prog)
+	if err != nil {
+		return nil, err
+	}
+	if world == nil {
+		world = NewWorld()
+	}
+	world.HeapBase = img.HeapBase
+
+	conf := opt.Policy
+	if conf == nil {
+		conf = policy.DefaultConfig()
+	}
+	if opt.Instrument {
+		gran := opt.Granularity
+		if opt.Policy != nil {
+			gran = conf.Granularity
+		}
+		world.Tags = taint.NewSpace(img.Mem, gran)
+		world.Engine = policy.NewEngine(conf)
+	}
+
+	mach := img.NewMachine()
+	mach.OS = world
+	mach.Feat = opt.Features
+	mach.Budget = opt.Budget
+	if opt.Profile {
+		mach.EnableProfile()
+	}
+	if opt.Costs != nil {
+		mach.Costs = *opt.Costs
+	}
+
+	sched := machine.NewScheduler(mach)
+	sched.Quantum = opt.Quantum
+	world.Sched = sched
+	world.StackTop = img.StackTop
+
+	trap := sched.Run()
+	res := &Result{
+		ExitStatus: mach.ExitStatus,
+		Cycles:     sched.TotalCycles(),
+		Retired:    sched.TotalRetired(),
+		World:      world,
+		Machine:    mach,
+	}
+	for _, th := range sched.Threads {
+		for i, c := range th.CyclesByClass {
+			res.CyclesByClass[i] += c
+		}
+	}
+	if trap == nil {
+		return res, nil
+	}
+
+	// Policy violations come back two ways: sink checks raise a host
+	// trap wrapping a Violation; NaT-consumption faults classify via the
+	// engine (L1–L3).
+	if v, ok := trap.Err.(*policy.Violation); ok {
+		res.Alert = &Alert{Violation: v, Trap: trap}
+		return res, nil
+	}
+	if trap.Kind.IsNaTConsumption() && world.Engine != nil {
+		if v := world.Engine.ClassifyTrap(trap); v != nil {
+			res.Alert = &Alert{Violation: v, Trap: trap}
+			return res, nil
+		}
+	}
+	res.Trap = trap
+	return res, nil
+}
+
+// BuildAndRun is the one-call convenience used by examples and tests.
+func BuildAndRun(sources []Source, world *World, opt Options) (*Result, error) {
+	prog, err := Build(sources, opt)
+	if err != nil {
+		return nil, err
+	}
+	return Run(prog, world, opt)
+}

@@ -1,0 +1,528 @@
+package shift
+
+import (
+	"strings"
+	"testing"
+
+	"shift/internal/machine"
+	"shift/internal/policy"
+	"shift/internal/taint"
+)
+
+// runProgram builds and runs src in every requested mode.
+func runProgram(t *testing.T, src string, world *World, opt Options) *Result {
+	t.Helper()
+	if world == nil {
+		world = NewWorld()
+	}
+	res, err := BuildAndRun([]Source{{Name: "test.mc", Text: src}}, world, opt)
+	if err != nil {
+		t.Fatalf("build/run: %v", err)
+	}
+	return res
+}
+
+// expectExit runs src and requires a clean exit with the given status.
+func expectExit(t *testing.T, src string, want int64, opt Options) *Result {
+	t.Helper()
+	res := runProgram(t, src, nil, opt)
+	if res.Trap != nil {
+		t.Fatalf("unexpected trap: %v", res.Trap)
+	}
+	if res.Alert != nil {
+		t.Fatalf("unexpected alert: %v", res.Alert)
+	}
+	if res.ExitStatus != want {
+		t.Fatalf("exit = %d, want %d", res.ExitStatus, want)
+	}
+	return res
+}
+
+// allModes runs a status-check in baseline, byte- and word-instrumented
+// modes with and without enhancements: the program must behave
+// identically everywhere.
+func allModes(t *testing.T, src string, want int64) {
+	t.Helper()
+	modes := []struct {
+		name string
+		opt  Options
+	}{
+		{"baseline", Options{}},
+		{"byte", Options{Instrument: true, Granularity: taint.Byte}},
+		{"word", Options{Instrument: true, Granularity: taint.Word}},
+		{"byte+enh", Options{Instrument: true, Granularity: taint.Byte,
+			Features: machine.Features{SetClrNaT: true, NaTAwareCmp: true}}},
+		{"byte+perfn", Options{Instrument: true, Granularity: taint.Byte, NaTPerFunction: true}},
+	}
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			expectExit(t, src, want, m.opt)
+		})
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	allModes(t, `
+void main() {
+	int a = 6;
+	int b = 7;
+	exit(a * b);
+}`, 42)
+}
+
+func TestControlFlow(t *testing.T) {
+	allModes(t, `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}
+void main() {
+	exit(fib(12));
+}`, 144)
+}
+
+func TestLoopsAndArrays(t *testing.T) {
+	allModes(t, `
+void main() {
+	int a[10];
+	int i;
+	int sum = 0;
+	for (i = 0; i < 10; i++) a[i] = i * i;
+	for (i = 0; i < 10; i++) sum += a[i];
+	exit(sum);
+}`, 285)
+}
+
+func TestGlobalsAndPointers(t *testing.T) {
+	allModes(t, `
+int counter = 10;
+int bump(int *p, int by) {
+	*p = *p + by;
+	return *p;
+}
+void main() {
+	bump(&counter, 5);
+	bump(&counter, 7);
+	exit(counter);
+}`, 22)
+}
+
+func TestStringsRuntime(t *testing.T) {
+	allModes(t, `
+void main() {
+	char a[32];
+	char b[32];
+	strcpy(a, "hello");
+	strcpy(b, "hello");
+	if (strcmp(a, b) != 0) exit(1);
+	strcat(a, " world");
+	if (strlen(a) != 11) exit(2);
+	if (strcasecmp(a, "HELLO WORLD") != 0) exit(3);
+	if (atoi("  -42") != -42) exit(4);
+	char num[24];
+	if (itoa(-1234, num) != 5) exit(5);
+	if (strcmp(num, "-1234") != 0) exit(6);
+	if (strstr_at("abcdef", "cde") != 2) exit(7);
+	exit(0);
+}`, 0)
+}
+
+func TestCharSemantics(t *testing.T) {
+	allModes(t, `
+void main() {
+	char c = 250;
+	c = c + 10;     // wraps at 8 bits
+	if (c != 4) exit(1);
+	char buf[4];
+	buf[0] = 300;   // truncates to 44
+	if (buf[0] != 44) exit(2);
+	exit(0);
+}`, 0)
+}
+
+func TestTernaryAndLogical(t *testing.T) {
+	allModes(t, `
+int calls = 0;
+int side(int v) { calls++; return v; }
+void main() {
+	int a = 1 ? 10 : 20;
+	if (a != 10) exit(1);
+	// Short-circuit: side() must not run.
+	if (0 && side(1)) exit(2);
+	if (calls != 0) exit(3);
+	if (1 || side(1)) { } else exit(4);
+	if (calls != 0) exit(5);
+	exit(0);
+}`, 0)
+}
+
+func TestHeapSbrk(t *testing.T) {
+	allModes(t, `
+void main() {
+	char *p = sbrk(64);
+	char *q = sbrk(64);
+	if (q - p < 64) exit(1);
+	p[0] = 'x';
+	p[63] = 'y';
+	if (p[0] != 'x' || p[63] != 'y') exit(2);
+	exit(0);
+}`, 0)
+}
+
+func TestStdoutWrite(t *testing.T) {
+	res := expectExit(t, `
+void main() {
+	print_str("hi ");
+	print_int(-7);
+	putc('\n');
+	exit(0);
+}`, 0, Options{})
+	if got := string(res.World.Stdout); got != "hi -7\n" {
+		t.Errorf("stdout = %q", got)
+	}
+}
+
+// --- Taint-flow semantics ---------------------------------------------------
+
+func TestTaintFlowsThroughStrcpy(t *testing.T) {
+	// Network data is tainted; copying it propagates taint through the
+	// instrumented runtime; is_tainted observes the bitmap.
+	src := `
+char dst[64];
+void main() {
+	char req[64];
+	recv(req, 64);
+	strcpy(dst, req);
+	exit(is_tainted(dst, 8));
+}`
+	world := NewWorld()
+	world.NetIn = []byte("payload")
+	res, err := BuildAndRun([]Source{{Name: "t", Text: src}}, world,
+		Options{Instrument: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trap != nil || res.Alert != nil {
+		t.Fatalf("trap=%v alert=%v", res.Trap, res.Alert)
+	}
+	if res.ExitStatus != 1 {
+		t.Errorf("copied network data not tainted (exit %d)", res.ExitStatus)
+	}
+}
+
+func TestUntaintedBaselineSeesNoTaint(t *testing.T) {
+	src := `
+void main() {
+	char req[64];
+	recv(req, 64);
+	exit(is_tainted(req, 8));
+}`
+	world := NewWorld()
+	world.NetIn = []byte("payload")
+	res, err := BuildAndRun([]Source{{Name: "t", Text: src}}, world, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitStatus != 0 {
+		t.Error("baseline run reported taint")
+	}
+}
+
+func TestTaintClearedByOverwrite(t *testing.T) {
+	src := `
+void main() {
+	char buf[64];
+	recv(buf, 8);
+	if (!is_tainted(buf, 8)) exit(1);
+	int i;
+	for (i = 0; i < 8; i++) buf[i] = 'x';   // clean constants overwrite
+	exit(is_tainted(buf, 8) ? 2 : 0);
+}`
+	world := NewWorld()
+	world.NetIn = []byte("AAAAAAAA")
+	res, err := BuildAndRun([]Source{{Name: "t", Text: src}}, world,
+		Options{Instrument: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trap != nil || res.Alert != nil {
+		t.Fatalf("trap=%v alert=%v", res.Trap, res.Alert)
+	}
+	if res.ExitStatus != 0 {
+		t.Errorf("exit = %d, want 0 (taint should clear on overwrite)", res.ExitStatus)
+	}
+}
+
+func TestTaintedComparisonStillComputes(t *testing.T) {
+	// Without relaxation, comparing tainted data would clear both
+	// predicates and corrupt control flow; SHIFT's relaxed compares keep
+	// the program semantics (paper §3.1).
+	src := `
+void main() {
+	char buf[16];
+	recv(buf, 4);
+	if (buf[0] == 'G' && buf[1] == 'E' && buf[2] == 'T') exit(7);
+	exit(1);
+}`
+	world := NewWorld()
+	world.NetIn = []byte("GET ")
+	res, err := BuildAndRun([]Source{{Name: "t", Text: src}}, world,
+		Options{Instrument: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trap != nil || res.Alert != nil {
+		t.Fatalf("trap=%v alert=%v", res.Trap, res.Alert)
+	}
+	if res.ExitStatus != 7 {
+		t.Errorf("tainted comparison broke control flow: exit %d", res.ExitStatus)
+	}
+}
+
+func TestTaintedWordGranularity(t *testing.T) {
+	src := `
+char dst[64];
+void main() {
+	char req[64];
+	recv(req, 16);
+	memcpy(dst, req, 16);
+	exit(is_tainted(dst, 16));
+}`
+	world := NewWorld()
+	world.NetIn = []byte("0123456789abcdef")
+	res, err := BuildAndRun([]Source{{Name: "t", Text: src}}, world,
+		Options{Instrument: true, Granularity: taint.Word})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trap != nil || res.Alert != nil {
+		t.Fatalf("trap=%v alert=%v", res.Trap, res.Alert)
+	}
+	if res.ExitStatus != 1 {
+		t.Errorf("word-level tracking lost the taint (exit %d)", res.ExitStatus)
+	}
+}
+
+// --- Policy detection ---------------------------------------------------------
+
+func TestL3TaintedExitStatus(t *testing.T) {
+	// Tainted data used as a syscall scalar argument trips the L3 check.
+	src := `
+void main() {
+	char buf[16];
+	recv(buf, 8);
+	exit(buf[0]);
+}`
+	world := NewWorld()
+	world.NetIn = []byte("A")
+	res, err := BuildAndRun([]Source{{Name: "t", Text: src}}, world,
+		Options{Instrument: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alert == nil || res.Alert.Violation.Policy != "L3" {
+		t.Fatalf("want L3 alert, got alert=%v trap=%v", res.Alert, res.Trap)
+	}
+}
+
+func TestL1TaintedLoadAddress(t *testing.T) {
+	src := `
+int table[256];
+void main() {
+	char buf[16];
+	recv(buf, 8);
+	int idx = buf[0];
+	exit(table[idx]);     // deref through tainted index
+}`
+	world := NewWorld()
+	world.NetIn = []byte{3}
+	res, err := BuildAndRun([]Source{{Name: "t", Text: src}}, world,
+		Options{Instrument: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alert == nil || res.Alert.Violation.Policy != "L1" {
+		t.Fatalf("want L1 alert, got alert=%v trap=%v", res.Alert, res.Trap)
+	}
+}
+
+func TestL2TaintedStoreAddress(t *testing.T) {
+	src := `
+int table[256];
+void main() {
+	char buf[16];
+	recv(buf, 8);
+	int idx = buf[0];
+	table[idx] = 1;       // store through tainted index
+	exit(0);
+}`
+	world := NewWorld()
+	world.NetIn = []byte{3}
+	res, err := BuildAndRun([]Source{{Name: "t", Text: src}}, world,
+		Options{Instrument: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alert == nil || res.Alert.Violation.Policy != "L2" {
+		t.Fatalf("want L2 alert, got alert=%v trap=%v", res.Alert, res.Trap)
+	}
+}
+
+func TestPermissivePointerPolicy(t *testing.T) {
+	// The same tainted-index lookup is allowed inside a notrack
+	// function (the paper's translation-table escape hatch, §3.3.2).
+	src := `
+int table[256];
+int lookup(int idx) { return table[idx]; }
+void main() {
+	char buf[16];
+	recv(buf, 8);
+	table[3] = 99;
+	int v = lookup(buf[0]);
+	exit(v == 99 ? 0 : 1);
+}`
+	conf := policy.DefaultConfig()
+	conf.NoTrack["lookup"] = true
+	world := NewWorld()
+	world.NetIn = []byte{3}
+	res, err := BuildAndRun([]Source{{Name: "t", Text: src}}, world,
+		Options{Instrument: true, Policy: conf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trap != nil || res.Alert != nil {
+		t.Fatalf("permissive lookup still trapped: alert=%v trap=%v", res.Alert, res.Trap)
+	}
+	if res.ExitStatus != 0 {
+		t.Errorf("lookup result wrong: exit %d", res.ExitStatus)
+	}
+}
+
+func TestNoFalsePositiveOnBenignInput(t *testing.T) {
+	// A server that checks lengths properly raises no alert even though
+	// all its input is tainted.
+	src := `
+void main() {
+	char req[128];
+	char name[32];
+	int n = recv(req, 128);
+	if (n > 31) n = 31;
+	strncpy(name, req, n);
+	name[n] = 0;
+	char path[64];
+	strcpy(path, "/www/");
+	strcat(path, name);
+	int fd = open(path, 0);
+	exit(fd >= 0 ? 0 : 1);
+}`
+	world := NewWorld()
+	world.NetIn = []byte("index.html")
+	world.Files["/www/index.html"] = []byte("<html>")
+	res, err := BuildAndRun([]Source{{Name: "t", Text: src}}, world,
+		Options{Instrument: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alert != nil {
+		t.Fatalf("false positive: %v", res.Alert)
+	}
+	if res.Trap != nil {
+		t.Fatalf("trap: %v", res.Trap)
+	}
+	if res.ExitStatus != 0 {
+		t.Errorf("exit %d", res.ExitStatus)
+	}
+}
+
+func TestH2DirectoryTraversal(t *testing.T) {
+	src := `
+void main() {
+	char req[128];
+	char path[192];
+	recv(req, 128);
+	strcpy(path, "/www/");
+	strcat(path, req);
+	open(path, 0);
+	exit(0);
+}`
+	world := NewWorld()
+	world.NetIn = []byte("../../etc/passwd")
+	res, err := BuildAndRun([]Source{{Name: "t", Text: src}}, world,
+		Options{Instrument: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alert == nil || res.Alert.Violation.Policy != "H2" {
+		t.Fatalf("want H2 alert, got alert=%v trap=%v", res.Alert, res.Trap)
+	}
+}
+
+func TestInstrumentationOverheadOrdering(t *testing.T) {
+	// Sanity for the evaluation: instrumented > baseline cycles, and the
+	// enhancements reduce instrumented cycles.
+	src := `
+void main() {
+	char buf[256];
+	recv(buf, 256);
+	int sum = 0;
+	int i;
+	int j;
+	for (j = 0; j < 20; j++) {
+		for (i = 0; i < 256; i++) {
+			if (buf[i] > 64) sum += buf[i];
+			else sum += 1;
+		}
+	}
+	// The sum is tainted; exit through a comparison, whose 0/1 result
+	// is clean (control-dependency taint is not tracked, §3.3.2).
+	exit(sum > 100000 ? 1 : 0);
+}`
+	world := func() *World {
+		w := NewWorld()
+		b := make([]byte, 256)
+		for i := range b {
+			b[i] = byte(i)
+		}
+		w.NetIn = b
+		return w
+	}
+
+	base, err := BuildAndRun([]Source{{Name: "t", Text: src}}, world(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr, err := BuildAndRun([]Source{{Name: "t", Text: src}}, world(),
+		Options{Instrument: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enh, err := BuildAndRun([]Source{{Name: "t", Text: src}}, world(),
+		Options{Instrument: true, Features: machine.Features{SetClrNaT: true, NaTAwareCmp: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*Result{base, instr, enh} {
+		if r.Trap != nil || r.Alert != nil {
+			t.Fatalf("trap=%v alert=%v", r.Trap, r.Alert)
+		}
+	}
+	if base.ExitStatus != instr.ExitStatus || base.ExitStatus != enh.ExitStatus {
+		t.Fatalf("semantics diverge: %d vs %d vs %d", base.ExitStatus, instr.ExitStatus, enh.ExitStatus)
+	}
+	if !(base.Cycles < enh.Cycles && enh.Cycles < instr.Cycles) {
+		t.Errorf("cycle ordering wrong: base=%d enh=%d instr=%d", base.Cycles, enh.Cycles, instr.Cycles)
+	}
+	if instr.CyclesByClass[0] == instr.Cycles {
+		t.Error("no cycles attributed to instrumentation classes")
+	}
+}
+
+func TestAlertStringAndCatalog(t *testing.T) {
+	if len(policy.Catalog()) != 8 {
+		t.Error("catalogue should list 8 policies")
+	}
+	a := &Alert{Violation: &policy.Violation{Policy: "H1", Detail: "x"}}
+	if !strings.Contains(a.String(), "H1") {
+		t.Error("alert string lacks policy id")
+	}
+}

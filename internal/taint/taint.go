@@ -1,0 +1,189 @@
+// Package taint implements SHIFT's in-memory tag space: a bitmap living in
+// region 0 of the simulated address space that holds one taint bit per
+// memory byte (byte-level tracking) or per 8-byte word (word-level
+// tracking), as in paper §3.2 and Figure 4.
+//
+// The same translation is computed two ways: host-side here (taint sources,
+// policy sinks, tests) and guest-side by the instruction sequences the
+// instrumentation pass emits. The two must agree bit-for-bit; a property
+// test in this repository checks that they do.
+package taint
+
+import (
+	"fmt"
+
+	"shift/internal/mem"
+)
+
+// Granularity selects the tracking unit (paper: byte-level vs word-level,
+// where a word is 8 bytes).
+type Granularity uint8
+
+// Tracking granularities.
+const (
+	Byte Granularity = iota // one tag bit per memory byte
+	Word                    // one tag bit per 8-byte word
+)
+
+// String returns "byte" or "word".
+func (g Granularity) String() string {
+	if g == Byte {
+		return "byte"
+	}
+	return "word"
+}
+
+// Tag encodings. Both granularities translate a virtual address to a tag
+// byte at
+//
+//	region 0, offset (R << RegionFold(g)) | (off >> DropBits(g))
+//
+// following Figure 4 (the region number folds down over the implemented
+// bits, since the unimplemented hole forbids a bare shift).
+//
+// Byte-level tracking packs eight tag bits into that byte — one per
+// tracked byte, selected by (off & 7) — the dense bitmap of §3.2.
+// Word-level tracking instead dedicates the whole tag byte to its 8-byte
+// word (a boolean 0/1 byte). That is the classic speed/space trade of
+// coarse DIFT maps: the same one-eighth memory overhead as the byte-level
+// bitmap, but stores become a plain tag-byte write with no read-modify-
+// write and loads need no bit extraction — which is where word-level
+// tracking's speed advantage over byte-level (paper Figures 7–9) comes
+// from.
+const dropBits = 3 // 8 tracked bytes per tag byte at either granularity
+
+// DropBits returns how many low offset bits the translation discards to
+// find the tag byte.
+func (g Granularity) DropBits() uint { return dropBits }
+
+// UnitShift returns the shift that yields the tracked-unit index.
+func (g Granularity) UnitShift() uint {
+	if g == Byte {
+		return 0
+	}
+	return 3
+}
+
+// WholeByte reports whether the tag byte is a boolean for one tracked
+// unit (word level) rather than a bitmap over eight units (byte level).
+func (g Granularity) WholeByte() bool { return g == Word }
+
+// RegionFold returns the position the region number is folded down to
+// inside the region-0 offset.
+func (g Granularity) RegionFold() uint { return mem.ImplBits - g.DropBits() }
+
+// UnitBytes returns the number of memory bytes covered by one tag bit.
+func (g Granularity) UnitBytes() uint64 { return 1 << g.UnitShift() }
+
+// TagAddr translates a virtual address to the address of its tag byte
+// (always in region 0) and the bit index within it. At word level the
+// whole byte is the tag and the bit index is always zero.
+func (g Granularity) TagAddr(addr uint64) (tagByte uint64, bit uint) {
+	r := mem.Region(addr)
+	off := mem.Offset(addr)
+	tagOff := r<<g.RegionFold() | off>>g.DropBits()
+	if g.WholeByte() {
+		return mem.Addr(0, tagOff), 0
+	}
+	return mem.Addr(0, tagOff), uint(off) & 7
+}
+
+// Space is the tag bitmap over a memory. It writes through the ordinary
+// memory interface so that guest instrumentation code and host-side
+// policy code observe the same bytes.
+type Space struct {
+	Gran Granularity
+	Mem  *mem.Memory
+}
+
+// NewSpace maps region 0 of m and returns the tag space over it.
+func NewSpace(m *mem.Memory, g Granularity) *Space {
+	m.MapRegion(0, 0)
+	return &Space{Gran: g, Mem: m}
+}
+
+// SetRange marks [addr, addr+n) tainted. Host-side (taint sources).
+func (s *Space) SetRange(addr uint64, n uint64) error {
+	return s.setRange(addr, n, true)
+}
+
+// ClearRange marks [addr, addr+n) untainted. Host-side.
+func (s *Space) ClearRange(addr uint64, n uint64) error {
+	return s.setRange(addr, n, false)
+}
+
+func (s *Space) setRange(addr, n uint64, v bool) error {
+	unit := s.Gran.UnitBytes()
+	// Walk tracked units; any byte tainted within a unit taints the unit.
+	start := addr &^ (unit - 1)
+	for a := start; a < addr+n; a += unit {
+		tb, bit := s.Gran.TagAddr(a)
+		old, f := s.Mem.Read(tb, 1)
+		if f != nil {
+			return fmt.Errorf("taint: reading tag byte for %#x: %w", a, f)
+		}
+		var nb uint64
+		if v {
+			nb = old | 1<<bit
+		} else {
+			nb = old &^ (1 << bit)
+		}
+		if nb != old {
+			if f := s.Mem.Write(tb, 1, nb); f != nil {
+				return fmt.Errorf("taint: writing tag byte for %#x: %w", a, f)
+			}
+		}
+	}
+	return nil
+}
+
+// Tainted reports whether any byte of [addr, addr+n) is tainted.
+func (s *Space) Tainted(addr uint64, n uint64) (bool, error) {
+	unit := s.Gran.UnitBytes()
+	start := addr &^ (unit - 1)
+	for a := start; a < addr+n; a += unit {
+		tb, bit := s.Gran.TagAddr(a)
+		v, f := s.Mem.Read(tb, 1)
+		if f != nil {
+			return false, fmt.Errorf("taint: reading tag byte for %#x: %w", a, f)
+		}
+		if v>>bit&1 != 0 {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// TaintedBytes returns, for each byte of [addr, addr+n), whether its
+// tracked unit is tainted. Used by character-granular policy checks
+// (H3/H5 need to know whether the meta-characters themselves came from
+// untrusted input).
+func (s *Space) TaintedBytes(addr uint64, n int) ([]bool, error) {
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		t, err := s.Tainted(addr+uint64(i), 1)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// CountTainted returns how many tracked units in [addr, addr+n) are
+// tainted (diagnostics and tests).
+func (s *Space) CountTainted(addr, n uint64) (uint64, error) {
+	unit := s.Gran.UnitBytes()
+	var count uint64
+	start := addr &^ (unit - 1)
+	for a := start; a < addr+n; a += unit {
+		t, err := s.Tainted(a, 1)
+		if err != nil {
+			return 0, err
+		}
+		if t {
+			count++
+		}
+	}
+	return count, nil
+}

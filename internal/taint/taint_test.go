@@ -1,0 +1,187 @@
+package taint
+
+import (
+	"testing"
+	"testing/quick"
+
+	"shift/internal/mem"
+)
+
+func TestGranularityParameters(t *testing.T) {
+	if Byte.UnitBytes() != 1 || Word.UnitBytes() != 8 {
+		t.Errorf("unit bytes: byte=%d word=%d", Byte.UnitBytes(), Word.UnitBytes())
+	}
+	if Byte.String() != "byte" || Word.String() != "word" {
+		t.Error("granularity names wrong")
+	}
+	if Byte.RegionFold() != 33 || Word.RegionFold() != 33 {
+		t.Errorf("region folds: byte=%d word=%d", Byte.RegionFold(), Word.RegionFold())
+	}
+	if Byte.WholeByte() || !Word.WholeByte() {
+		t.Error("WholeByte encodings wrong")
+	}
+}
+
+// TestTagAddrInRegion0 checks Figure 4's key property: every tag address
+// lands in region 0 with implemented bits only, for every region and
+// offset of the tracked address.
+func TestTagAddrInRegion0(t *testing.T) {
+	for _, g := range []Granularity{Byte, Word} {
+		f := func(region uint8, off uint64) bool {
+			a := mem.Addr(uint64(region)&7, off&mem.OffsetMask)
+			tb, bit := g.TagAddr(a)
+			return mem.Region(tb) == 0 && mem.Implemented(tb) && bit < 8
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Fatalf("%s: %v", g, err)
+		}
+	}
+}
+
+// TestTagAddrInjective checks that distinct tracked units from any two
+// regions never collide in the tag space: if two addresses map to the same
+// (tag byte, bit), they must belong to the same tracked unit.
+func TestTagAddrInjective(t *testing.T) {
+	for _, g := range []Granularity{Byte, Word} {
+		f := func(r1, r2 uint8, o1, o2 uint64) bool {
+			a1 := mem.Addr(uint64(r1)&7, o1&mem.OffsetMask)
+			a2 := mem.Addr(uint64(r2)&7, o2&mem.OffsetMask)
+			t1, b1 := g.TagAddr(a1)
+			t2, b2 := g.TagAddr(a2)
+			sameUnit := a1/g.UnitBytes() == a2/g.UnitBytes()
+			sameTag := t1 == t2 && b1 == b2
+			return sameTag == sameUnit
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Fatalf("%s: %v", g, err)
+		}
+	}
+}
+
+func TestTagAddrKnownValues(t *testing.T) {
+	// Region 1, offset 0: byte-level tag at region 0, offset 1<<33.
+	a := mem.Addr(1, 0)
+	tb, bit := Byte.TagAddr(a)
+	if tb != mem.Addr(0, 1<<33) || bit != 0 {
+		t.Errorf("byte TagAddr(region1,0) = %#x,%d", tb, bit)
+	}
+	// Offset 9 at byte level: tag byte offset 1, bit 1.
+	tb, bit = Byte.TagAddr(mem.Addr(1, 9))
+	if tb != mem.Addr(0, 1<<33|1) || bit != 1 {
+		t.Errorf("byte TagAddr(region1,9) = %#x,%d", tb, bit)
+	}
+	// Word level: one boolean tag byte per 8-byte word, bit always 0.
+	tb, bit = Word.TagAddr(mem.Addr(2, 64))
+	if tb != mem.Addr(0, 2<<33|8) || bit != 0 {
+		t.Errorf("word TagAddr(region2,64) = %#x,%d", tb, bit)
+	}
+	tb, bit = Word.TagAddr(mem.Addr(2, 8))
+	if tb != mem.Addr(0, 2<<33|1) || bit != 0 {
+		t.Errorf("word TagAddr(region2,8) = %#x,%d", tb, bit)
+	}
+}
+
+func newSpace(g Granularity) *Space {
+	m := mem.New()
+	m.MapRegion(1, 0)
+	m.MapRegion(2, 0)
+	return NewSpace(m, g)
+}
+
+func TestSetClearRoundTrip(t *testing.T) {
+	for _, g := range []Granularity{Byte, Word} {
+		s := newSpace(g)
+		f := func(off uint64, n uint16) bool {
+			addr := mem.Addr(1, off&0xffff)
+			size := uint64(n%128) + 1
+			if err := s.SetRange(addr, size); err != nil {
+				return false
+			}
+			tainted, err := s.Tainted(addr, size)
+			if err != nil || !tainted {
+				return false
+			}
+			if err := s.ClearRange(addr, size); err != nil {
+				return false
+			}
+			tainted, err = s.Tainted(addr, size)
+			return err == nil && !tainted
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("%s: %v", g, err)
+		}
+	}
+}
+
+func TestGranularitySpill(t *testing.T) {
+	// Word-level tracking taints the whole 8-byte unit; byte-level
+	// does not spill onto neighbours.
+	sb := newSpace(Byte)
+	sw := newSpace(Word)
+	addr := mem.Addr(1, 0x100)
+	for _, s := range []*Space{sb, sw} {
+		if err := s.SetRange(addr, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb, _ := sb.Tainted(addr+1, 1)
+	tw, _ := sw.Tainted(addr+1, 1)
+	if tb {
+		t.Error("byte-level taint spilled to the next byte")
+	}
+	if !tw {
+		t.Error("word-level taint did not cover the word")
+	}
+	// Beyond the word neither taints.
+	tb, _ = sb.Tainted(addr+8, 1)
+	tw, _ = sw.Tainted(addr+8, 1)
+	if tb || tw {
+		t.Error("taint spilled past the tracked unit")
+	}
+}
+
+func TestTaintedBytes(t *testing.T) {
+	s := newSpace(Byte)
+	base := mem.Addr(1, 0x200)
+	if err := s.SetRange(base+2, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.TaintedBytes(base, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, false, true, true, true, false, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("byte %d tainted = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCountTainted(t *testing.T) {
+	s := newSpace(Byte)
+	base := mem.Addr(1, 0x300)
+	if err := s.SetRange(base, 10); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.CountTainted(base, 20)
+	if err != nil || n != 10 {
+		t.Errorf("CountTainted = %d, %v; want 10", n, err)
+	}
+}
+
+func TestCrossRegionIsolation(t *testing.T) {
+	s := newSpace(Byte)
+	a1 := mem.Addr(1, 0x40)
+	a2 := mem.Addr(2, 0x40) // same offset, different region
+	if err := s.SetRange(a1, 8); err != nil {
+		t.Fatal(err)
+	}
+	tainted, err := s.Tainted(a2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tainted {
+		t.Error("taint in region 1 leaked into region 2's tags")
+	}
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"fmt"
+
+	"shift/internal/policy"
+	"shift/internal/shift"
+)
+
+// HTTPDSource is the Apache stand-in of Figure 6: a request-serving loop.
+// Requests arrive as fixed 64-byte records ("GET <name>", NUL padded);
+// the server validates the method, joins the name onto the document
+// root — with all request bytes tainted and H2 checking every open — and
+// streams the file back in 8 KiB chunks. Service time is dominated by
+// I/O, which is exactly why the paper measures ≈1% overhead here.
+const HTTPDSource = `
+char req[64];
+char path[128];
+char fbuf[8192];
+
+void main() {
+	int served = 0;
+	int errors = 0;
+	while (1) {
+		int n = recv(req, 64);
+		if (n < 64) break;
+		if (req[0] != 'G' || req[1] != 'E' || req[2] != 'T' || req[3] != ' ') {
+			send("400 bad request", 15);
+			errors++;
+			continue;
+		}
+		strcpy(path, "/www/htdocs/");
+		int i = 4;
+		int j = 12;
+		while (req[i] && i < 63) {
+			path[j] = req[i];
+			i++;
+			j++;
+		}
+		path[j] = 0;
+		int fd = open(path, 0);
+		if (fd < 0) {
+			send("404 not found", 13);
+			errors++;
+			continue;
+		}
+		while (1) {
+			int k = read(fd, fbuf, 8192);
+			if (k <= 0) break;
+			send(fbuf, k);
+		}
+		served++;
+	}
+	print_int(served); putc(' ');
+	print_int(errors); putc('\n');
+	exit(0);
+}
+`
+
+// HTTPDRequestSize is the fixed request record size.
+const HTTPDRequestSize = 64
+
+// HTTPDWorld builds a world carrying `requests` GETs for a single file of
+// `fileSize` bytes, mirroring the paper's ab run (single file, fixed
+// size).
+func HTTPDWorld(requests, fileSize int) *shift.World {
+	w := shift.NewWorld()
+	name := fmt.Sprintf("page%d.html", fileSize)
+	w.Files["/www/htdocs/"+name] = textInput(0xcafe, fileSize)
+	var net []byte
+	for i := 0; i < requests; i++ {
+		rec := make([]byte, HTTPDRequestSize)
+		copy(rec, "GET "+name)
+		net = append(net, rec...)
+	}
+	w.NetIn = net
+	return w
+}
+
+// HTTPDConfig returns the server's policy configuration.
+func HTTPDConfig() *policy.Config { return policy.DefaultConfig() }

@@ -1,0 +1,622 @@
+package workload
+
+// The eight SPEC-INT2000 analogues of the paper's Figure 7. Each mirrors
+// the character (instruction mix, amount of tainted data, table-lookup
+// habits) of the original program rather than its exact algorithm; the
+// per-benchmark spread of slowdowns and enhancement benefits comes from
+// those characteristics, which is what the reproduction needs.
+
+// GzipLike mirrors 164.gzip: an LZ77-style compressor. Byte-heavy loads
+// and stores, a hash table indexed by input data (permissive lookups),
+// long match-comparison loops over tainted bytes.
+var GzipLike = &Benchmark{
+	Name:      "gzip",
+	Character: "LZ77 compressor: hash-chain matching over tainted text",
+	Permissive: []string{
+		"hget", "hput",
+	},
+	Input:    func(scale int) []byte { return textInput(0x9121, scale) },
+	RefScale: 16384,
+	Source: `
+char inbuf[16384];
+char outbuf[20480];
+int head[1024];
+int inlen;
+
+int hget(int h) { return head[h]; }
+void hput(int h, int pos) { head[h] = pos; }
+
+int hash3(int a, int b, int c) {
+	return ((a * 33 + b) * 33 + c) & 1023;
+}
+
+void main() {
+	int fd = open("input.dat", 0);
+	if (fd < 0) exit(1);
+	inlen = read(fd, inbuf, 16384);
+	int i = 0;
+	int out = 0;
+	int lits = 0;
+	int matches = 0;
+	while (i < inlen) {
+		int len = 0;
+		int cand = 0 - 1;
+		if (i + 2 < inlen) {
+			int h = hash3(inbuf[i], inbuf[i + 1], inbuf[i + 2]);
+			cand = hget(h) - 1;
+			hput(h, i + 1);
+		}
+		if (cand >= 0 && cand < i) {
+			while (len < 250 && i + len < inlen && inbuf[cand + len] == inbuf[i + len]) {
+				len++;
+			}
+		}
+		if (len >= 4) {
+			outbuf[out] = 255; out++;
+			outbuf[out] = len; out++;
+			outbuf[out] = i - cand > 255 ? 255 : i - cand; out++;
+			i += len;
+			matches++;
+		} else {
+			outbuf[out] = inbuf[i]; out++;
+			i++;
+			lits++;
+		}
+	}
+	print_int(out); putc(' ');
+	print_int(matches); putc(' ');
+	print_int(lits); putc('\n');
+	exit(0);
+}
+`,
+}
+
+// GccLike mirrors 176.gcc: an expression compiler — tokeniser, recursive
+// descent parser, code emitter, constant folder. Compare-dense control
+// over tainted characters and values, which is exactly why gcc shows the
+// paper's largest benefit from the NaT-aware compare (Figure 8).
+var GccLike = &Benchmark{
+	Name:      "gcc",
+	Character: "expression compiler: tokenise, parse, emit, fold",
+	Input:     func(scale int) []byte { return exprInput(0x6217, scale) },
+	RefScale:  10240,
+	Source: `
+char src[12288];
+int srclen;
+int toks[6144];
+int tvals[6144];
+int ntok;
+int pos;
+int code[16384];
+int ncode;
+int folded;
+
+void emit2(int op, int val) {
+	code[ncode] = op; ncode++;
+	code[ncode] = val; ncode++;
+}
+
+void tokenize() {
+	int i = 0;
+	ntok = 0;
+	while (i < srclen) {
+		char c = src[i];
+		if (c >= '0' && c <= '9') {
+			int v = 0;
+			while (i < srclen && src[i] >= '0' && src[i] <= '9') {
+				v = v * 10 + (src[i] - '0');
+				i++;
+			}
+			toks[ntok] = 1;
+			tvals[ntok] = v;
+			ntok++;
+			continue;
+		}
+		if (c == '+') { toks[ntok] = 2; ntok++; }
+		else if (c == '-') { toks[ntok] = 3; ntok++; }
+		else if (c == '*') { toks[ntok] = 4; ntok++; }
+		else if (c == '(') { toks[ntok] = 5; ntok++; }
+		else if (c == ')') { toks[ntok] = 6; ntok++; }
+		else if (c == '\n') { toks[ntok] = 7; ntok++; }
+		i++;
+	}
+	toks[ntok] = 0;
+}
+
+int parse_factor() {
+	if (toks[pos] == 1) {
+		int v = tvals[pos];
+		pos++;
+		emit2(1, v);
+		return v;
+	}
+	if (toks[pos] == 5) {
+		pos++;
+		int v = parse_expr();
+		if (toks[pos] == 6) pos++;
+		return v;
+	}
+	pos++;
+	return 0;
+}
+
+int parse_term() {
+	int v = parse_factor();
+	while (toks[pos] == 4) {
+		pos++;
+		int r = parse_factor();
+		emit2(4, 0);
+		v = v * r;
+		folded++;
+	}
+	return v;
+}
+
+int parse_expr() {
+	int v = parse_term();
+	while (toks[pos] == 2 || toks[pos] == 3) {
+		int op = toks[pos];
+		pos++;
+		int r = parse_term();
+		emit2(op, 0);
+		if (op == 2) v = v + r;
+		else v = v - r;
+		folded++;
+	}
+	return v;
+}
+
+void main() {
+	int fd = open("input.dat", 0);
+	if (fd < 0) exit(1);
+	srclen = read(fd, src, 12288);
+	tokenize();
+	pos = 0;
+	int lines = 0;
+	int poscount = 0;
+	while (toks[pos] != 0) {
+		if (toks[pos] == 7) { pos++; continue; }
+		int v = parse_expr();
+		if (v > 0) poscount++;
+		lines++;
+	}
+	print_int(lines); putc(' ');
+	print_int(poscount); putc(' ');
+	print_int(ncode); putc(' ');
+	print_int(folded); putc('\n');
+	exit(0);
+}
+`,
+}
+
+// CraftyLike mirrors 186.crafty: game-tree search. The input is small
+// and immediately classified into clean board values, so almost no
+// tainted data flows — the benchmarks where the paper's enhancements buy
+// the least (mcf, crafty) share this shape.
+var CraftyLike = &Benchmark{
+	Name:      "crafty",
+	Character: "minimax game search over a small board, little tainted data",
+	Input:     func(scale int) []byte { return byteInput(0x40771, 64) },
+	RefScale:  64,
+	Source: `
+int board[16];
+int nodes;
+int weight[16] = {3, 2, 2, 3, 2, 4, 4, 2, 2, 4, 4, 2, 3, 2, 2, 3};
+
+int evaluate() {
+	int s = 0;
+	int i;
+	for (i = 0; i < 16; i++) {
+		if (board[i] == 1) s += weight[i];
+		else if (board[i] == 2) s -= weight[i];
+	}
+	return s;
+}
+
+int search(int depth, int side) {
+	nodes++;
+	if (depth == 0) return evaluate();
+	int best = side == 1 ? -10000 : 10000;
+	int moved = 0;
+	int i;
+	for (i = 0; i < 16; i++) {
+		if (board[i] != 0) continue;
+		moved = 1;
+		board[i] = side;
+		int v = search(depth - 1, 3 - side);
+		board[i] = 0;
+		if (side == 1) { if (v > best) best = v; }
+		else { if (v < best) best = v; }
+	}
+	if (!moved) return evaluate();
+	return best;
+}
+
+void main() {
+	char setup[64];
+	int fd = open("input.dat", 0);
+	if (fd < 0) exit(1);
+	int n = read(fd, setup, 64);
+	int i;
+	// Classify tainted bytes into clean board values: taint stops here.
+	for (i = 0; i < 16; i++) {
+		char c = setup[i];
+		if (c < 80) board[i] = 0;
+		else if (c < 168) board[i] = 1;
+		else board[i] = 2;
+	}
+	int v = search(5, 1);
+	print_int(nodes); putc(' ');
+	print_int(v); putc('\n');
+	exit(0);
+}
+`,
+}
+
+// Bzip2Like mirrors 256.bzip2: histogram (input-indexed, permissive),
+// move-to-front transform and run-length encoding over tainted bytes.
+var Bzip2Like = &Benchmark{
+	Name:      "bzip2",
+	Character: "histogram + move-to-front + RLE over tainted bytes",
+	Permissive: []string{
+		"cbump",
+	},
+	Input:    func(scale int) []byte { return textInput(0x5b21, scale) },
+	RefScale: 8192,
+	Source: `
+char block[8192];
+int count[256];
+char mtf[256];
+char out[16384];
+
+void cbump(int c) { count[c] = count[c] + 1; }
+
+void main() {
+	int fd = open("input.dat", 0);
+	if (fd < 0) exit(1);
+	int n = read(fd, block, 8192);
+	int i;
+	for (i = 0; i < 256; i++) mtf[i] = i;
+	for (i = 0; i < n; i++) cbump(block[i]);
+
+	// Move-to-front: the output indices come from comparisons and are
+	// clean even though the data is tainted.
+	int outn = 0;
+	for (i = 0; i < n; i++) {
+		char c = block[i];
+		int j = 0;
+		while (mtf[j] != c) j++;
+		int idx = j;
+		while (j > 0) { mtf[j] = mtf[j - 1]; j--; }
+		mtf[0] = c;
+		out[outn] = idx;
+		outn++;
+	}
+
+	// RLE over the MTF indices.
+	int rle = 0;
+	i = 0;
+	while (i < outn) {
+		int j = i + 1;
+		while (j < outn && out[j] == out[i] && j - i < 255) j++;
+		rle += 2;
+		i = j;
+	}
+
+	int used = 0;
+	for (i = 0; i < 256; i++) {
+		if (count[i] > 0) used++;
+	}
+	print_int(outn); putc(' ');
+	print_int(rle); putc(' ');
+	print_int(used); putc('\n');
+	exit(0);
+}
+`,
+}
+
+// VprLike mirrors 175.vpr: simulated-annealing placement. Net weights are
+// tainted; positions and indices are clean; accept/reject compares run on
+// tainted costs.
+var VprLike = &Benchmark{
+	Name:      "vpr",
+	Character: "placement annealing: wirelength cost with tainted weights",
+	Input:     func(scale int) []byte { return byteInput(0x77aa, scale) },
+	RefScale:  1024,
+	Source: `
+int cellx[256];
+int celly[256];
+int neta[512];
+int netb[512];
+int weight[512];
+int rngstate;
+
+int rnd(int n) {
+	rngstate = rngstate * 1103515245 + 12345;
+	int v = rngstate >> 16;
+	if (v < 0) v = -v;
+	return v % n;
+}
+
+int netcost(int n) {
+	int dx = cellx[neta[n]] - cellx[netb[n]];
+	int dy = celly[neta[n]] - celly[netb[n]];
+	if (dx < 0) dx = -dx;
+	if (dy < 0) dy = -dy;
+	return (dx + dy) * weight[n];
+}
+
+int totalcost() {
+	int c = 0;
+	int n;
+	for (n = 0; n < 512; n++) c += netcost(n);
+	return c;
+}
+
+void main() {
+	char wbuf[1024];
+	int fd = open("input.dat", 0);
+	if (fd < 0) exit(1);
+	int n = read(fd, wbuf, 1024);
+	rngstate = 12345;
+	int i;
+	for (i = 0; i < 256; i++) {
+		cellx[i] = rnd(64);
+		celly[i] = rnd(64);
+	}
+	for (i = 0; i < 512; i++) {
+		neta[i] = rnd(256);
+		netb[i] = rnd(256);
+		weight[i] = 1 + wbuf[i % n];       // tainted weights
+	}
+	int cost = totalcost();
+	int accepted = 0;
+	int moves;
+	for (moves = 0; moves < 200; moves++) {
+		int a = rnd(256);
+		int b = rnd(256);
+		int tx = cellx[a]; int ty = celly[a];
+		cellx[a] = cellx[b]; celly[a] = celly[b];
+		cellx[b] = tx; celly[b] = ty;
+		int nc = totalcost();
+		if (nc < cost) { cost = nc; accepted++; }
+		else {
+			tx = cellx[a]; ty = celly[a];
+			cellx[a] = cellx[b]; celly[a] = celly[b];
+			cellx[b] = tx; celly[b] = ty;
+		}
+	}
+	print_int(accepted); putc('\n');
+	exit(0);
+}
+`,
+}
+
+// McfLike mirrors 181.mcf: memory-bound graph relaxation. The graph is
+// procedural (clean); only a small slice of arc costs is tainted, so —
+// like the paper's mcf — the dynamic enhancement benefit is small.
+var McfLike = &Benchmark{
+	Name:      "mcf",
+	Character: "Bellman-Ford relaxation, memory-bound, little tainted data",
+	Input:     func(scale int) []byte { return byteInput(0x33c9, 64) },
+	RefScale:  64,
+	Source: `
+int arcsrc[4096];
+int arcdst[4096];
+int arccost[4096];
+int dist[1024];
+int rngstate;
+
+int rnd(int n) {
+	rngstate = rngstate * 1103515245 + 12345;
+	int v = rngstate >> 16;
+	if (v < 0) v = -v;
+	return v % n;
+}
+
+void main() {
+	char perturb[64];
+	int fd = open("input.dat", 0);
+	if (fd < 0) exit(1);
+	int pn = read(fd, perturb, 64);
+	rngstate = 999331;
+	int i;
+	for (i = 0; i < 1024; i++) dist[i] = 1000000;
+	for (i = 0; i < 4096; i++) {
+		if (i < 1024) {
+			arcsrc[i] = i;
+			arcdst[i] = (i + 1) % 1024;
+		} else {
+			arcsrc[i] = rnd(1024);
+			arcdst[i] = rnd(1024);
+		}
+		arccost[i] = 1 + rnd(100);
+	}
+	// Taint a small slice of the costs.
+	for (i = 0; i < pn; i++) {
+		arccost[i * 7 % 4096] += perturb[i] % 16;
+	}
+	dist[0] = 0;
+	int rounds = 0;
+	int changed = 1;
+	while (changed && rounds < 24) {
+		changed = 0;
+		for (i = 0; i < 4096; i++) {
+			int nd = dist[arcsrc[i]] + arccost[i];
+			if (nd < dist[arcdst[i]]) {
+				dist[arcdst[i]] = nd;
+				changed = 1;
+			}
+		}
+		rounds++;
+	}
+	int reach = 0;
+	for (i = 0; i < 1024; i++) {
+		if (dist[i] < 1000000) reach++;
+	}
+	print_int(rounds); putc(' ');
+	print_int(reach); putc('\n');
+	exit(0);
+}
+`,
+}
+
+// ParserLike mirrors 197.parser: tokenise text into words and binary-
+// search them in a dictionary. Character loads, string compares on
+// tainted data, clean indices from comparisons.
+var ParserLike = &Benchmark{
+	Name:      "parser",
+	Character: "word tokeniser + dictionary binary search over tainted text",
+	Input:     func(scale int) []byte { return textInput(0xfeed5, scale) },
+	RefScale:  12288,
+	Source: `
+char text[12288];
+char dict[320];
+int counts[20];
+int ndict;
+
+void dput(int slot, char *w) {
+	int i = 0;
+	while (w[i]) { dict[slot * 16 + i] = w[i]; i++; }
+	dict[slot * 16 + i] = 0;
+}
+
+int dcmp(char *w, int n, int slot) {
+	int i = 0;
+	while (i < n && dict[slot * 16 + i] && w[i] == dict[slot * 16 + i]) i++;
+	if (i == n) {
+		if (dict[slot * 16 + i] == 0) return 0;
+		return -1;
+	}
+	return w[i] - dict[slot * 16 + i];
+}
+
+void main() {
+	int fd = open("input.dat", 0);
+	if (fd < 0) exit(1);
+	int n = read(fd, text, 12288);
+
+	// Sorted dictionary.
+	dput(0, "black");  dput(1, "box");    dput(2, "brown");  dput(3, "dog");
+	dput(4, "dozen");  dput(5, "five");   dput(6, "fox");    dput(7, "jugs");
+	dput(8, "jumps");  dput(9, "lazy");   dput(10, "liquor"); dput(11, "my");
+	dput(12, "of");    dput(13, "over");  dput(14, "pack");  dput(15, "quartz");
+	dput(16, "quick"); dput(17, "sphinx"); dput(18, "the");  dput(19, "with");
+	ndict = 20;
+
+	int i = 0;
+	int words = 0;
+	int known = 0;
+	while (i < n) {
+		while (i < n && (text[i] == ' ' || text[i] == '\n')) i++;
+		int start = i;
+		while (i < n && text[i] != ' ' && text[i] != '\n') i++;
+		int len = i - start;
+		if (len == 0) continue;
+		words++;
+		int lo = 0;
+		int hi = ndict - 1;
+		while (lo <= hi) {
+			int mid = (lo + hi) / 2;
+			int c = dcmp(text + start, len, mid);
+			if (c == 0) { counts[mid]++; known++; break; }
+			if (c < 0) hi = mid - 1;
+			else lo = mid + 1;
+		}
+	}
+	print_int(words); putc(' ');
+	print_int(known); putc('\n');
+	exit(0);
+}
+`,
+}
+
+// TwolfLike mirrors 300.twolf: another annealer, but with bounding-box
+// net costs and single-cell displacement moves — store-heavier than vpr.
+var TwolfLike = &Benchmark{
+	Name:      "twolf",
+	Character: "cell displacement annealing with bounding-box net costs",
+	Input:     func(scale int) []byte { return byteInput(0xd00d, scale) },
+	RefScale:  1024,
+	Source: `
+int cx[200];
+int cy[200];
+int pin1[300];
+int pin2[300];
+int pin3[300];
+int wgt[300];
+int rngstate;
+
+int rnd(int n) {
+	rngstate = rngstate * 1103515245 + 12345;
+	int v = rngstate >> 16;
+	if (v < 0) v = -v;
+	return v % n;
+}
+
+int bbox(int n) {
+	int x1 = cx[pin1[n]];
+	int x2 = cx[pin2[n]];
+	int x3 = cx[pin3[n]];
+	int y1 = cy[pin1[n]];
+	int y2 = cy[pin2[n]];
+	int y3 = cy[pin3[n]];
+	int xmin = x1; int xmax = x1;
+	if (x2 < xmin) xmin = x2;
+	if (x2 > xmax) xmax = x2;
+	if (x3 < xmin) xmin = x3;
+	if (x3 > xmax) xmax = x3;
+	int ymin = y1; int ymax = y1;
+	if (y2 < ymin) ymin = y2;
+	if (y2 > ymax) ymax = y2;
+	if (y3 < ymin) ymin = y3;
+	if (y3 > ymax) ymax = y3;
+	return (xmax - xmin + ymax - ymin) * wgt[n];
+}
+
+int allcost() {
+	int c = 0;
+	int n;
+	for (n = 0; n < 300; n++) c += bbox(n);
+	return c;
+}
+
+void main() {
+	char wbuf[1024];
+	int fd = open("input.dat", 0);
+	if (fd < 0) exit(1);
+	int n = read(fd, wbuf, 1024);
+	rngstate = 777;
+	int i;
+	for (i = 0; i < 200; i++) { cx[i] = rnd(100); cy[i] = rnd(100); }
+	for (i = 0; i < 300; i++) {
+		pin1[i] = rnd(200);
+		pin2[i] = rnd(200);
+		pin3[i] = rnd(200);
+		wgt[i] = 1 + wbuf[i % n] % 8;      // tainted weights
+	}
+	int cost = allcost();
+	int accepted = 0;
+	int m;
+	for (m = 0; m < 150; m++) {
+		int c = rnd(200);
+		int ox = cx[c]; int oy = cy[c];
+		cx[c] = rnd(100);
+		cy[c] = rnd(100);
+		int nc = allcost();
+		if (nc < cost) { cost = nc; accepted++; }
+		else { cx[c] = ox; cy[c] = oy; }
+	}
+	print_int(accepted); putc('\n');
+	exit(0);
+}
+`,
+}
+
+// All returns the Figure 7 benchmark list in the paper's order.
+func All() []*Benchmark {
+	return []*Benchmark{
+		GzipLike, VprLike, GccLike, McfLike,
+		CraftyLike, ParserLike, Bzip2Like, TwolfLike,
+	}
+}

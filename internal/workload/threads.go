@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"fmt"
+
+	"shift/internal/policy"
+	"shift/internal/shift"
+)
+
+// MTSource is the multi-threaded evaluation program — the "performance
+// implications" experiment the paper leaves as future work (§4.4). K
+// worker threads each scan a disjoint slice of tainted file input,
+// counting word boundaries and accumulating a mixing checksum; the main
+// thread joins them and folds the per-thread results. Worker state is
+// strictly partitioned (own input slice, own result slots), the
+// discipline threaded guests need while the tag bitmap is unserialized.
+const MTSource = `
+char text[16384];
+int textlen;
+int words[16];
+int sums[16];
+int nworkers;
+
+int worker(int id) {
+	int chunk = textlen / nworkers;
+	int lo = id * chunk;
+	int hi = lo + chunk;
+	if (id == nworkers - 1) hi = textlen;
+	int w = 0;
+	int s = 0;
+	int inword = 0;
+	int i;
+	for (i = lo; i < hi; i++) {
+		char c = text[i];
+		if (c == ' ' || c == '\n') {
+			inword = 0;
+		} else {
+			if (!inword) w++;
+			inword = 1;
+			s += c;
+		}
+		if ((i & 63) == 0) yield();   // periodic interleaving stress
+	}
+	words[id] = w;
+	sums[id] = s > 0 ? s & 0xffff : 0;
+	return 0;
+}
+
+void main() {
+	char nbuf[8];
+	getarg(0, nbuf, 8);
+	nworkers = atoi(nbuf);
+	if (nworkers < 1) nworkers = 1;
+	if (nworkers > 8) nworkers = 8;
+
+	int fd = open("input.dat", 0);
+	if (fd < 0) exit(1);
+	textlen = read(fd, text, 16384);
+
+	int tids[8];
+	int k;
+	for (k = 0; k < nworkers; k++) tids[k] = spawn("worker", k);
+	int total = 0;
+	for (k = 0; k < nworkers; k++) {
+		if (tids[k] < 0) exit(2);
+		join(tids[k]);
+		total += words[k];
+	}
+	print_int(total); putc('\n');
+	exit(0);
+}
+`
+
+// MTWorld builds the world for the threaded benchmark.
+func MTWorld(scale, workers int) *shift.World {
+	w := shift.NewWorld()
+	w.Files["input.dat"] = textInput(0x7717, scale)
+	w.Args = []string{fmt.Sprint(workers)}
+	return w
+}
+
+// MTConfig is the policy for the threaded benchmark: file input tainted,
+// the worker-count argument clean.
+func MTConfig() *policy.Config {
+	conf := policy.DefaultConfig()
+	conf.Sources = map[string]bool{"file": true, "network": true}
+	return conf
+}

@@ -1,0 +1,119 @@
+// Package workload provides the evaluation programs: eight minic
+// benchmarks mirroring the instruction-mix character of the SPEC-INT2000
+// programs the paper measures (Figures 7–9, Table 3), and an HTTP-like
+// server standing in for Apache (Figure 6).
+//
+// Each benchmark reads its reference input from a "disk file" — which the
+// evaluation marks tainted, exactly as §6.2 does ("we mark all data read
+// from disk as tainted") — runs a kernel characteristic of the original
+// program, and prints a checksum. Benchmarks whose kernels index tables
+// by input data declare those lookup routines permissive (the paper's
+// bounds-checked translation-table escape hatch, §3.3.2); everything else
+// runs under the strict default policies with no false positives.
+package workload
+
+import (
+	"fmt"
+
+	"shift/internal/policy"
+	"shift/internal/shift"
+)
+
+// Benchmark is one evaluation program.
+type Benchmark struct {
+	// Name matches the SPEC program it mirrors.
+	Name string
+	// Character is a one-line description of the mirrored behaviour.
+	Character string
+	// Source is the minic program.
+	Source string
+	// Permissive lists functions allowed to dereference tainted
+	// pointers (input-indexed tables).
+	Permissive []string
+	// Input builds the reference input for the given scale (bytes of
+	// "disk" data read at startup).
+	Input func(scale int) []byte
+	// RefScale is the size used by the full evaluation; tests may use
+	// smaller scales.
+	RefScale int
+}
+
+// World builds a fresh world with the benchmark's input installed as the
+// disk file the program reads.
+func (b *Benchmark) World(scale int) *shift.World {
+	w := shift.NewWorld()
+	w.Files["input.dat"] = b.Input(scale)
+	return w
+}
+
+// Config returns the policy configuration the benchmark runs under:
+// everything enabled, disk input tainted, its lookup functions permissive.
+func (b *Benchmark) Config() *policy.Config {
+	conf := policy.DefaultConfig()
+	for _, fn := range b.Permissive {
+		conf.NoTrack[fn] = true
+	}
+	return conf
+}
+
+// lcg is the deterministic generator all inputs use (no host randomness:
+// every run of every experiment is reproducible).
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r >> 33)
+}
+
+func (r *lcg) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// textInput produces compressible ASCII text of n bytes.
+func textInput(seed uint64, n int) []byte {
+	r := lcg(seed)
+	words := []string{"the", "quick", "brown", "fox", "jumps", "over",
+		"lazy", "dog", "pack", "my", "box", "with", "five", "dozen",
+		"liquor", "jugs", "sphinx", "of", "black", "quartz"}
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		out = append(out, words[r.intn(len(words))]...)
+		if r.intn(8) == 0 {
+			out = append(out, '\n')
+		} else {
+			out = append(out, ' ')
+		}
+	}
+	return out[:n]
+}
+
+// byteInput produces uniform pseudo-random bytes.
+func byteInput(seed uint64, n int) []byte {
+	r := lcg(seed)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(r.next())
+	}
+	return out
+}
+
+// exprInput produces arithmetic expressions, one per line.
+func exprInput(seed uint64, n int) []byte {
+	r := lcg(seed)
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		terms := 2 + r.intn(6)
+		for t := 0; t < terms; t++ {
+			if t > 0 {
+				out = append(out, "+-*"[r.intn(3)])
+			}
+			if r.intn(4) == 0 {
+				out = append(out, '(')
+				out = append(out, fmt.Sprintf("%d+%d", r.intn(90)+1, r.intn(90)+1)...)
+				out = append(out, ')')
+			} else {
+				out = append(out, fmt.Sprintf("%d", r.intn(900)+1)...)
+			}
+		}
+		out = append(out, '\n')
+	}
+	return out[:n]
+}

