@@ -4,17 +4,23 @@
 // Usage:
 //
 //	shiftbench [-experiment all|table1|table2|table3|fig6|fig7|fig8|fig9|ablation]
-//	           [-scale-div N] [-requests N]
+//	           [-scale-div N] [-requests N] [-workers N]
+//	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // -scale-div divides the benchmarks' reference input sizes (1 = the full
 // evaluation; larger values run proportionally faster). -requests sets
-// the Figure 6 request count (the paper used 1000).
+// the Figure 6 request count (the paper used 1000). -workers caps the
+// experiment cells run concurrently (0 = one per CPU; the results are
+// identical at any setting). -cpuprofile and -memprofile write pprof
+// profiles for the performance workflow in docs/PERFORMANCE.md.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"shift/internal/bench"
 )
@@ -23,14 +29,47 @@ func main() {
 	experiment := flag.String("experiment", "all", "which experiment to run (all, table1, table2, table3, fig6, fig7, fig8, fig9, ablation)")
 	scaleDiv := flag.Int("scale-div", 1, "divide reference input scales by this factor")
 	requests := flag.Int("requests", 1000, "Figure 6 request count")
+	workers := flag.Int("workers", 0, "max concurrent experiment cells (0 = NumCPU, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
 	if *scaleDiv < 1 {
 		fmt.Fprintln(os.Stderr, "shiftbench: -scale-div must be >= 1")
 		os.Exit(2)
 	}
+	bench.Workers = *workers
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shiftbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "shiftbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	if err := bench.PrintAll(os.Stdout, *experiment, *scaleDiv, *requests); err != nil {
 		fmt.Fprintln(os.Stderr, "shiftbench:", err)
 		os.Exit(1)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shiftbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // report live allocations, not garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "shiftbench:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -31,42 +31,49 @@ type Fig6Row struct {
 }
 
 // Fig6 runs the httpd workload at each file size with the given request
-// count, at byte and word granularity.
+// count, at byte and word granularity. Cells (one file size under one
+// configuration, plus its baseline) run on the worker pool.
 func Fig6(requests int, fileSizes []int) ([]Fig6Row, error) {
 	configs := []Config{ByteUnsafe, WordUnsafe}
+	stride := 1 + len(configs)
+	cells := make([]*shift.Result, len(fileSizes)*stride)
+	err := parallelFor(len(cells), func(i int) error {
+		size := fileSizes[i/stride]
+		var opt shift.Options
+		if j := i % stride; j != 0 {
+			cfg := configs[j-1]
+			conf := workload.HTTPDConfig()
+			conf.Granularity = cfg.Gran
+			opt = shift.Options{Instrument: true, Policy: conf, Features: cfg.Feat}
+		}
+		res, err := shift.BuildAndRun(
+			[]shift.Source{{Name: "httpd.mc", Text: workload.HTTPDSource}},
+			workload.HTTPDWorld(requests, size), opt)
+		if err != nil {
+			return err
+		}
+		if res.Trap != nil || res.Alert != nil {
+			return fmt.Errorf("httpd size %d: trap=%v alert=%v", size, res.Trap, res.Alert)
+		}
+		cells[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig6Row
-	for _, size := range fileSizes {
+	for si, size := range fileSizes {
+		base := cells[si*stride]
 		row := Fig6Row{
 			FileSize:      size,
 			Requests:      requests,
+			BaseCycles:    base.Cycles,
 			Cycles:        map[string]uint64{},
 			RelLatency:    map[string]float64{},
 			RelThroughput: map[string]float64{},
 		}
-		run := func(opt shift.Options) (*shift.Result, error) {
-			res, err := shift.BuildAndRun(
-				[]shift.Source{{Name: "httpd.mc", Text: workload.HTTPDSource}},
-				workload.HTTPDWorld(requests, size), opt)
-			if err != nil {
-				return nil, err
-			}
-			if res.Trap != nil || res.Alert != nil {
-				return nil, fmt.Errorf("httpd size %d: trap=%v alert=%v", size, res.Trap, res.Alert)
-			}
-			return res, nil
-		}
-		base, err := run(shift.Options{})
-		if err != nil {
-			return nil, err
-		}
-		row.BaseCycles = base.Cycles
-		for _, cfg := range configs {
-			conf := workload.HTTPDConfig()
-			conf.Granularity = cfg.Gran
-			res, err := run(shift.Options{Instrument: true, Policy: conf, Features: cfg.Feat})
-			if err != nil {
-				return nil, err
-			}
+		for ci, cfg := range configs {
+			res := cells[si*stride+1+ci]
 			if string(res.World.Stdout) != string(base.World.Stdout) {
 				return nil, fmt.Errorf("httpd size %d: output diverged under %s", size, cfg.Key)
 			}
@@ -115,28 +122,44 @@ type SpecRow struct {
 
 // RunSpec measures every benchmark at the given scale divisor under the
 // given configurations, verifying output equivalence against baseline.
+// Cells (one benchmark under one configuration, plus its baseline) run
+// on the worker pool; rows are assembled in benchmark order afterwards.
 func RunSpec(scaleDiv int, configs []Config) ([]SpecRow, error) {
-	var rows []SpecRow
-	for _, b := range workload.All() {
+	benches := workload.All()
+	stride := 1 + len(configs) // baseline + one cell per config
+	cells := make([]*Measurement, len(benches)*stride)
+	err := parallelFor(len(cells), func(i int) error {
+		b := benches[i/stride]
 		scale := b.RefScale / scaleDiv
 		if scale < 64 {
 			scale = 64
 		}
-		base, err := RunBenchmark(b, scale, nil)
-		if err != nil {
-			return nil, err
+		var err error
+		if j := i % stride; j == 0 {
+			cells[i], err = RunBenchmark(b, scale, nil)
+		} else {
+			cfg := configs[j-1]
+			cells[i], err = RunBenchmark(b, scale, &cfg)
+			if err != nil {
+				err = fmt.Errorf("%s under %s: %w", b.Name, cfg.Key, err)
+			}
 		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []SpecRow
+	for bi, b := range benches {
+		base := cells[bi*stride]
 		row := SpecRow{
 			Name:       b.Name,
 			BaseCycles: base.Cycles,
 			Slowdown:   map[string]float64{},
 			Measure:    map[string]*Measurement{},
 		}
-		for _, cfg := range configs {
-			m, err := RunBenchmark(b, scale, &cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s under %s: %w", b.Name, cfg.Key, err)
-			}
+		for ci, cfg := range configs {
+			m := cells[bi*stride+1+ci]
 			if m.Stdout != base.Stdout {
 				return nil, fmt.Errorf("%s under %s: output diverged (%q vs %q)",
 					b.Name, cfg.Key, m.Stdout, base.Stdout)
@@ -306,8 +329,22 @@ func PrintTable1(w io.Writer) {
 // ---------------------------------------------------------------------------
 // Table 2: security evaluation.
 
-// Table2 runs the attack suite.
-func Table2() ([]*attacks.Result, error) { return attacks.EvaluateAll() }
+// Table2 runs the attack suite, one (attack, granularity) cell per
+// worker, in the same order attacks.EvaluateAll produces.
+func Table2() ([]*attacks.Result, error) {
+	all := attacks.All()
+	grans := []taint.Granularity{taint.Byte, taint.Word}
+	results := make([]*attacks.Result, len(all)*len(grans))
+	err := parallelFor(len(results), func(i int) error {
+		var err error
+		results[i], err = attacks.Evaluate(all[i/len(grans)], grans[i%len(grans)])
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
 
 // PrintTable2 renders the detection matrix.
 func PrintTable2(w io.Writer, results []*attacks.Result) {
@@ -376,20 +413,24 @@ func Table3() ([]Table3Row, error) {
 		return row, nil
 	}
 
-	var rows []Table3Row
 	// The runtime library alone (glibc analogue): link it with a main
 	// that references nothing so the counts are dominated by the library.
-	rt, err := measure("rtlib", []shift.Source{{Name: "main.mc", Text: "void main() { exit(0); }"}}, nil)
+	benches := workload.All()
+	rows := make([]Table3Row, 1+len(benches))
+	err := parallelFor(len(rows), func(i int) error {
+		var err error
+		if i == 0 {
+			rows[0], err = measure("rtlib",
+				[]shift.Source{{Name: "main.mc", Text: "void main() { exit(0); }"}}, nil)
+		} else {
+			b := benches[i-1]
+			rows[i], err = measure(b.Name,
+				[]shift.Source{{Name: b.Name, Text: b.Source}}, b.Permissive)
+		}
+		return err
+	})
 	if err != nil {
 		return nil, err
-	}
-	rows = append(rows, rt)
-	for _, b := range workload.All() {
-		row, err := measure(b.Name, []shift.Source{{Name: b.Name, Text: b.Source}}, b.Permissive)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -458,34 +499,41 @@ type ThreadRow struct {
 }
 
 // Threads measures instrumented overhead for the multi-threaded workload
-// (the paper's §4.4 future work) across worker counts.
+// (the paper's §4.4 future work) across worker counts. Cells (one worker
+// count under one configuration, plus its baseline) run on the pool.
 func Threads(scale int, workerCounts []int) ([]ThreadRow, error) {
-	var rows []ThreadRow
-	for _, k := range workerCounts {
-		run := func(opt shift.Options) (*shift.Result, error) {
-			res, err := shift.BuildAndRun(
-				[]shift.Source{{Name: "mt.mc", Text: workload.MTSource}},
-				workload.MTWorld(scale, k), opt)
-			if err != nil {
-				return nil, err
-			}
-			if res.Trap != nil || res.Alert != nil {
-				return nil, fmt.Errorf("threads k=%d: trap=%v alert=%v", k, res.Trap, res.Alert)
-			}
-			return res, nil
-		}
-		base, err := run(shift.Options{})
-		if err != nil {
-			return nil, err
-		}
-		row := ThreadRow{Workers: k, BaseCycles: base.Cycles, Slowdown: map[string]float64{}}
-		for _, cfg := range []Config{ByteUnsafe, WordUnsafe} {
+	configs := []Config{ByteUnsafe, WordUnsafe}
+	stride := 1 + len(configs)
+	cells := make([]*shift.Result, len(workerCounts)*stride)
+	err := parallelFor(len(cells), func(i int) error {
+		k := workerCounts[i/stride]
+		var opt shift.Options
+		if j := i % stride; j != 0 {
 			conf := workload.MTConfig()
-			conf.Granularity = cfg.Gran
-			res, err := run(shift.Options{Instrument: true, Policy: conf})
-			if err != nil {
-				return nil, err
-			}
+			conf.Granularity = configs[j-1].Gran
+			opt = shift.Options{Instrument: true, Policy: conf}
+		}
+		res, err := shift.BuildAndRun(
+			[]shift.Source{{Name: "mt.mc", Text: workload.MTSource}},
+			workload.MTWorld(scale, k), opt)
+		if err != nil {
+			return err
+		}
+		if res.Trap != nil || res.Alert != nil {
+			return fmt.Errorf("threads k=%d: trap=%v alert=%v", k, res.Trap, res.Alert)
+		}
+		cells[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []ThreadRow
+	for ki, k := range workerCounts {
+		base := cells[ki*stride]
+		row := ThreadRow{Workers: k, BaseCycles: base.Cycles, Slowdown: map[string]float64{}}
+		for ci, cfg := range configs {
+			res := cells[ki*stride+1+ci]
 			if string(res.World.Stdout) != string(base.World.Stdout) {
 				return nil, fmt.Errorf("threads k=%d %s: output diverged", k, cfg.Key)
 			}

@@ -50,28 +50,33 @@ type SensitivityRow struct {
 	Orderings bool    // byte >= word > enhanced and all > 1
 }
 
-// Sensitivity runs the sweep over the named benchmarks (all when empty).
+// Sensitivity runs the sweep over the named benchmarks (all when empty),
+// one (benchmark, cost model) point per worker-pool cell.
 func Sensitivity(scaleDiv int, benchNames []string) ([]SensitivityRow, error) {
 	wanted := map[string]bool{}
 	for _, n := range benchNames {
 		wanted[n] = true
 	}
-	var rows []SensitivityRow
+	var benches []*workload.Benchmark
 	for _, b := range workload.All() {
-		if len(wanted) > 0 && !wanted[b.Name] {
-			continue
+		if len(wanted) == 0 || wanted[b.Name] {
+			benches = append(benches, b)
 		}
+	}
+	models := SensitivityModels()
+	rows := make([]SensitivityRow, len(benches)*len(models))
+	err := parallelFor(len(rows), func(i int) error {
+		b := benches[i/len(models)]
 		scale := b.RefScale / scaleDiv
 		if scale < 64 {
 			scale = 64
 		}
-		for _, cm := range SensitivityModels() {
-			row, err := sensitivityPoint(b, scale, cm)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, row)
-		}
+		var err error
+		rows[i], err = sensitivityPoint(b, scale, models[i%len(models)])
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -179,18 +179,19 @@ type Machine struct {
 	Feat  Features
 	Costs Costs
 
-	// Accounting.
+	// Accounting. Cycles and the per-cost-class split are always on (every
+	// figure needs them); the optional per-opcode and per-PC counters live
+	// behind the Stats hook so the common path touches minimal state.
 	Cycles        uint64
 	CyclesByClass [isa.NumCostClasses]uint64
 	Retired       uint64
-	RetiredByOp   [isa.NumOpcodes]uint64
 
 	// Budget bounds total retired instructions; 0 means the default.
 	Budget uint64
 
-	// Profile, when non-nil (see EnableProfile), counts retirements per
-	// instruction index.
-	Profile []uint64
+	// Stats, when non-nil (see EnableStats / EnableProfile), collects
+	// optional per-opcode and per-PC retirement counts.
+	Stats *Stats
 
 	Halted     bool
 	ExitStatus int64
@@ -200,6 +201,26 @@ type Machine struct {
 	// YieldReq asks the scheduler to end the current time slice (set by
 	// the yield/join syscalls).
 	YieldReq bool
+}
+
+// Stats holds the optional accounting a Machine only pays for when a
+// caller asks (workload reporting, profiling): one nil check on the hot
+// path gates all of it.
+type Stats struct {
+	// RetiredByOp counts retirements per opcode.
+	RetiredByOp [isa.NumOpcodes]uint64
+	// Profile, when non-nil (see EnableProfile), counts retirements per
+	// instruction index.
+	Profile []uint64
+}
+
+// EnableStats turns on per-opcode retirement accounting (InstructionMix
+// reads it) and returns the collector.
+func (m *Machine) EnableStats() *Stats {
+	if m.Stats == nil {
+		m.Stats = &Stats{}
+	}
+	return m.Stats
 }
 
 // HaltPC is the sentinel return address given to spawned threads: a
@@ -245,330 +266,418 @@ func (m *Machine) charge(ins *isa.Instruction, cycles uint64) {
 	m.CyclesByClass[ins.Class] += cycles
 }
 
+// resolveBudget returns the effective retirement bound.
+func (m *Machine) resolveBudget() uint64 {
+	if m.Budget == 0 {
+		return DefaultBudget
+	}
+	return m.Budget
+}
+
 // Step executes one instruction. It returns a trap on a fault and nil
-// otherwise. After a clean exit syscall, Halted is true.
+// otherwise. After a clean exit syscall, Halted is true. Run and the
+// scheduler's slice loop use exec directly so the interpreter loop stays
+// inside one function call; Step is the convenience for
+// single-instruction callers.
 func (m *Machine) Step() *Trap {
-	if m.PC == HaltPC {
-		m.Halt(m.GR[isa.RegRet])
-		return nil
-	}
-	if m.PC < 0 || m.PC >= len(m.Prog.Text) {
-		return &Trap{Kind: TrapBadPC, PC: m.PC, Ins: "<none>"}
-	}
-	budget := m.Budget
-	if budget == 0 {
-		budget = DefaultBudget
-	}
-	if m.Retired >= budget {
-		return &Trap{Kind: TrapBudget, PC: m.PC, Ins: m.Prog.Text[m.PC].String()}
-	}
-	ins := &m.Prog.Text[m.PC]
-	m.Retired++
-	m.RetiredByOp[ins.Op]++
-	if m.Profile != nil {
-		m.Profile[m.PC]++
-	}
+	return m.exec(m.Prog.Text, m.resolveBudget(), 0, true)
+}
 
-	// Qualifying predicate: a predicated-off instruction consumes its
-	// fetch slot but performs no architectural work.
-	if ins.Qp != 0 && !m.PR[ins.Qp] {
-		m.charge(ins, m.Costs.PredOff)
-		m.PC++
-		return nil
-	}
+// exec is the interpreter core: it retires instructions until the machine
+// halts, requests a yield, reaches sliceEnd cycles, or traps (one
+// instruction when single is set — the slice conditions sit at the bottom
+// of the loop, so the first instruction always runs). Keeping the loop
+// inside the function means the call overhead and budget/text hoisting
+// are paid per slice, not per instruction. Trap construction — including
+// the instruction disassembly carried in Trap.Ins — happens only on paths
+// where a trap actually escapes, so the common path allocates nothing.
+func (m *Machine) exec(text []isa.Instruction, budget, sliceEnd uint64, single bool) *Trap {
+	for {
+		// One unsigned compare covers both out-of-range directions (HaltPC
+		// is negative, so it lands here too).
+		if uint(m.PC) >= uint(len(text)) {
+			if m.PC == HaltPC {
+				m.Halt(m.GR[isa.RegRet])
+				return nil
+			}
+			return &Trap{Kind: TrapBadPC, PC: m.PC, Ins: "<none>"}
+		}
+		if m.Retired >= budget {
+			return &Trap{Kind: TrapBudget, PC: m.PC, Ins: text[m.PC].String()}
+		}
+		ins := &text[m.PC]
+		m.Retired++
+		if st := m.Stats; st != nil {
+			st.RetiredByOp[ins.Op]++
+			if st.Profile != nil {
+				st.Profile[m.PC]++
+			}
+		}
 
-	c := m.Costs
-	next := m.PC + 1
+		// Qualifying predicate: a predicated-off instruction consumes its
+		// fetch slot but performs no architectural work.
+		if ins.Qp != 0 && !m.PR[ins.Qp] {
+			m.charge(ins, m.Costs.PredOff)
+			m.PC++
+			if single || m.YieldReq || m.Cycles >= sliceEnd {
+				return nil
+			}
+			continue
+		}
 
-	switch ins.Op {
-	case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpAndcm, isa.OpOr, isa.OpXor,
-		isa.OpShl, isa.OpShr, isa.OpSar, isa.OpMul, isa.OpDiv, isa.OpRem:
-		a, b := m.GR[ins.Src1], m.GR[ins.Src2]
-		nat := m.NaT[ins.Src1] || m.NaT[ins.Src2]
-		// The xor/sub self-clearing idioms (paper §3.2): the result is
-		// independent of the register's content, so the token clears.
-		if ins.Src1 == ins.Src2 && (ins.Op == isa.OpXor || ins.Op == isa.OpSub) {
-			m.setGR(ins.Dest, 0, false)
+		c := &m.Costs
+		next := m.PC + 1
+
+		// ALU operations are individual case arms with the operator applied
+		// in place: the shared helper this replaced cost a call plus a second
+		// opcode dispatch on the interpreter's hottest instructions.
+		switch ins.Op {
+		case isa.OpAdd:
+			m.setGR(ins.Dest, m.GR[ins.Src1]+m.GR[ins.Src2], m.NaT[ins.Src1] || m.NaT[ins.Src2])
 			m.charge(ins, c.ALU)
-			break
-		}
-		v, trap := m.alu(ins, a, b)
-		if trap != nil {
-			return trap
-		}
-		m.setGR(ins.Dest, v, nat)
-		if ins.Op == isa.OpMul || ins.Op == isa.OpDiv || ins.Op == isa.OpRem {
+
+		case isa.OpSub:
+			// The sub self-clearing idiom (paper §3.2): the result is
+			// independent of the register's content, so the token clears.
+			if ins.Src1 == ins.Src2 {
+				m.setGR(ins.Dest, 0, false)
+			} else {
+				m.setGR(ins.Dest, m.GR[ins.Src1]-m.GR[ins.Src2], m.NaT[ins.Src1] || m.NaT[ins.Src2])
+			}
+			m.charge(ins, c.ALU)
+
+		case isa.OpAnd:
+			m.setGR(ins.Dest, m.GR[ins.Src1]&m.GR[ins.Src2], m.NaT[ins.Src1] || m.NaT[ins.Src2])
+			m.charge(ins, c.ALU)
+
+		case isa.OpAndcm:
+			m.setGR(ins.Dest, m.GR[ins.Src1]&^m.GR[ins.Src2], m.NaT[ins.Src1] || m.NaT[ins.Src2])
+			m.charge(ins, c.ALU)
+
+		case isa.OpOr:
+			m.setGR(ins.Dest, m.GR[ins.Src1]|m.GR[ins.Src2], m.NaT[ins.Src1] || m.NaT[ins.Src2])
+			m.charge(ins, c.ALU)
+
+		case isa.OpXor:
+			// The xor self-clearing idiom, as for sub.
+			if ins.Src1 == ins.Src2 {
+				m.setGR(ins.Dest, 0, false)
+			} else {
+				m.setGR(ins.Dest, m.GR[ins.Src1]^m.GR[ins.Src2], m.NaT[ins.Src1] || m.NaT[ins.Src2])
+			}
+			m.charge(ins, c.ALU)
+
+		case isa.OpShl:
+			m.setGR(ins.Dest, m.GR[ins.Src1]<<(uint64(m.GR[ins.Src2])&63), m.NaT[ins.Src1] || m.NaT[ins.Src2])
+			m.charge(ins, c.ALU)
+
+		case isa.OpShr:
+			m.setGR(ins.Dest, int64(uint64(m.GR[ins.Src1])>>(uint64(m.GR[ins.Src2])&63)), m.NaT[ins.Src1] || m.NaT[ins.Src2])
+			m.charge(ins, c.ALU)
+
+		case isa.OpSar:
+			m.setGR(ins.Dest, m.GR[ins.Src1]>>(uint64(m.GR[ins.Src2])&63), m.NaT[ins.Src1] || m.NaT[ins.Src2])
+			m.charge(ins, c.ALU)
+
+		case isa.OpMul:
+			m.setGR(ins.Dest, m.GR[ins.Src1]*m.GR[ins.Src2], m.NaT[ins.Src1] || m.NaT[ins.Src2])
 			m.charge(ins, c.MulDiv)
-		} else {
+
+		case isa.OpDiv:
+			b := m.GR[ins.Src2]
+			if b == 0 {
+				return m.trap(TrapDivZero, ins, 0, 0, nil)
+			}
+			m.setGR(ins.Dest, m.GR[ins.Src1]/b, m.NaT[ins.Src1] || m.NaT[ins.Src2])
+			m.charge(ins, c.MulDiv)
+
+		case isa.OpRem:
+			b := m.GR[ins.Src2]
+			if b == 0 {
+				return m.trap(TrapDivZero, ins, 0, 0, nil)
+			}
+			m.setGR(ins.Dest, m.GR[ins.Src1]%b, m.NaT[ins.Src1] || m.NaT[ins.Src2])
+			m.charge(ins, c.MulDiv)
+
+		case isa.OpAddi:
+			m.setGR(ins.Dest, m.GR[ins.Src1]+ins.Imm, m.NaT[ins.Src1])
 			m.charge(ins, c.ALU)
-		}
 
-	case isa.OpAddi, isa.OpAndi, isa.OpOri, isa.OpXori, isa.OpShli, isa.OpShri, isa.OpSari:
-		a := m.GR[ins.Src1]
-		nat := m.NaT[ins.Src1]
-		v, trap := m.alu(ins, a, ins.Imm)
-		if trap != nil {
-			return trap
-		}
-		m.setGR(ins.Dest, v, nat)
-		m.charge(ins, c.ALU)
+		case isa.OpAndi:
+			m.setGR(ins.Dest, m.GR[ins.Src1]&ins.Imm, m.NaT[ins.Src1])
+			m.charge(ins, c.ALU)
 
-	case isa.OpMov:
-		m.setGR(ins.Dest, m.GR[ins.Src1], m.NaT[ins.Src1])
-		m.charge(ins, c.ALU)
+		case isa.OpOri:
+			m.setGR(ins.Dest, m.GR[ins.Src1]|ins.Imm, m.NaT[ins.Src1])
+			m.charge(ins, c.ALU)
 
-	case isa.OpMovl:
-		m.setGR(ins.Dest, ins.Imm, false)
-		m.charge(ins, c.Movl)
+		case isa.OpXori:
+			m.setGR(ins.Dest, m.GR[ins.Src1]^ins.Imm, m.NaT[ins.Src1])
+			m.charge(ins, c.ALU)
 
-	case isa.OpCmp, isa.OpCmpi:
-		var b int64
-		var natB bool
-		if ins.Op == isa.OpCmp {
-			b, natB = m.GR[ins.Src2], m.NaT[ins.Src2]
-		} else {
-			b = ins.Imm
-		}
-		if m.NaT[ins.Src1] || natB {
-			// NaT-sensitive: clear both predicate targets so neither
-			// branch direction commits state (paper §3.1).
-			m.setPR(ins.P1, false)
-			m.setPR(ins.P2, false)
-		} else {
+		case isa.OpShli:
+			m.setGR(ins.Dest, m.GR[ins.Src1]<<(uint64(ins.Imm)&63), m.NaT[ins.Src1])
+			m.charge(ins, c.ALU)
+
+		case isa.OpShri:
+			m.setGR(ins.Dest, int64(uint64(m.GR[ins.Src1])>>(uint64(ins.Imm)&63)), m.NaT[ins.Src1])
+			m.charge(ins, c.ALU)
+
+		case isa.OpSari:
+			m.setGR(ins.Dest, m.GR[ins.Src1]>>(uint64(ins.Imm)&63), m.NaT[ins.Src1])
+			m.charge(ins, c.ALU)
+
+		case isa.OpMov:
+			m.setGR(ins.Dest, m.GR[ins.Src1], m.NaT[ins.Src1])
+			m.charge(ins, c.ALU)
+
+		case isa.OpMovl:
+			m.setGR(ins.Dest, ins.Imm, false)
+			m.charge(ins, c.Movl)
+
+		case isa.OpCmp, isa.OpCmpi:
+			var b int64
+			var natB bool
+			if ins.Op == isa.OpCmp {
+				b, natB = m.GR[ins.Src2], m.NaT[ins.Src2]
+			} else {
+				b = ins.Imm
+			}
+			if m.NaT[ins.Src1] || natB {
+				// NaT-sensitive: clear both predicate targets so neither
+				// branch direction commits state (paper §3.1).
+				m.setPR(ins.P1, false)
+				m.setPR(ins.P2, false)
+			} else {
+				r := ins.Cond.Eval(m.GR[ins.Src1], b)
+				m.setPR(ins.P1, r)
+				m.setPR(ins.P2, !r)
+			}
+			m.charge(ins, c.ALU)
+
+		case isa.OpCmpNa, isa.OpCmpiNa:
+			if !m.Feat.NaTAwareCmp {
+				return m.trap(TrapIllegal, ins, 0, 0, fmt.Errorf("cmp.na requires the NaT-aware-compare enhancement"))
+			}
+			var b int64
+			if ins.Op == isa.OpCmpNa {
+				b = m.GR[ins.Src2]
+			} else {
+				b = ins.Imm
+			}
 			r := ins.Cond.Eval(m.GR[ins.Src1], b)
 			m.setPR(ins.P1, r)
 			m.setPR(ins.P2, !r)
-		}
-		m.charge(ins, c.ALU)
+			m.charge(ins, c.ALU)
 
-	case isa.OpCmpNa, isa.OpCmpiNa:
-		if !m.Feat.NaTAwareCmp {
-			return m.trap(TrapIllegal, ins, 0, 0, fmt.Errorf("cmp.na requires the NaT-aware-compare enhancement"))
-		}
-		var b int64
-		if ins.Op == isa.OpCmpNa {
-			b = m.GR[ins.Src2]
-		} else {
-			b = ins.Imm
-		}
-		r := ins.Cond.Eval(m.GR[ins.Src1], b)
-		m.setPR(ins.P1, r)
-		m.setPR(ins.P2, !r)
-		m.charge(ins, c.ALU)
+		case isa.OpTnat:
+			m.setPR(ins.P1, m.NaT[ins.Src1])
+			m.setPR(ins.P2, !m.NaT[ins.Src1])
+			m.charge(ins, c.ALU)
 
-	case isa.OpTnat:
-		m.setPR(ins.P1, m.NaT[ins.Src1])
-		m.setPR(ins.P2, !m.NaT[ins.Src1])
-		m.charge(ins, c.ALU)
+		case isa.OpLd:
+			if m.NaT[ins.Src1] {
+				return m.trap(TrapNaTLoadAddr, ins, uint64(m.GR[ins.Src1]), ins.Src1, nil)
+			}
+			addr := uint64(m.GR[ins.Src1])
+			v, missed, fault := m.read(addr, int(ins.Size))
+			if fault != nil {
+				return m.trap(TrapMemFault, ins, addr, 0, fault)
+			}
+			// A plain load always clears the destination's NaT bit; this is
+			// the behaviour SHIFT exploits to strip a token (§4.1).
+			m.setGR(ins.Dest, int64(v), false)
+			m.chargeLoad(ins, missed)
 
-	case isa.OpLd:
-		if m.NaT[ins.Src1] {
-			return m.trap(TrapNaTLoadAddr, ins, uint64(m.GR[ins.Src1]), ins.Src1, nil)
-		}
-		addr := uint64(m.GR[ins.Src1])
-		v, missed, fault := m.read(addr, int(ins.Size))
-		if fault != nil {
-			return m.trap(TrapMemFault, ins, addr, 0, fault)
-		}
-		// A plain load always clears the destination's NaT bit; this is
-		// the behaviour SHIFT exploits to strip a token (§4.1).
-		m.setGR(ins.Dest, int64(v), false)
-		m.chargeLoad(ins, missed)
+		case isa.OpLdS:
+			// Control-speculative load: faults (including a NaT'd address)
+			// become a deferred-exception token instead of a trap. Deferral
+			// is not free: the failed access runs to completion first.
+			if m.NaT[ins.Src1] {
+				m.setGR(ins.Dest, 0, true)
+				m.charge(ins, c.Ld+c.Defer)
+				break
+			}
+			addr := uint64(m.GR[ins.Src1])
+			v, missed, fault := m.read(addr, int(ins.Size))
+			if fault != nil {
+				m.setGR(ins.Dest, 0, true)
+				m.charge(ins, c.Ld+c.Defer)
+				break
+			}
+			m.setGR(ins.Dest, int64(v), false)
+			m.chargeLoad(ins, missed)
 
-	case isa.OpLdS:
-		// Control-speculative load: faults (including a NaT'd address)
-		// become a deferred-exception token instead of a trap. Deferral
-		// is not free: the failed access runs to completion first.
-		if m.NaT[ins.Src1] {
-			m.setGR(ins.Dest, 0, true)
-			m.charge(ins, c.Ld+c.Defer)
-			break
-		}
-		addr := uint64(m.GR[ins.Src1])
-		v, missed, fault := m.read(addr, int(ins.Size))
-		if fault != nil {
-			m.setGR(ins.Dest, 0, true)
-			m.charge(ins, c.Ld+c.Defer)
-			break
-		}
-		m.setGR(ins.Dest, int64(v), false)
-		m.chargeLoad(ins, missed)
+		case isa.OpLdFill:
+			if m.NaT[ins.Src1] {
+				return m.trap(TrapNaTLoadAddr, ins, uint64(m.GR[ins.Src1]), ins.Src1, nil)
+			}
+			addr := uint64(m.GR[ins.Src1])
+			v, missed, fault := m.read(addr, 8)
+			if fault != nil {
+				return m.trap(TrapMemFault, ins, addr, 0, fault)
+			}
+			m.setGR(ins.Dest, int64(v), m.UNAT>>uint(ins.Imm)&1 != 0)
+			m.chargeLoad(ins, missed)
+			m.charge(ins, c.SpillFill)
 
-	case isa.OpLdFill:
-		if m.NaT[ins.Src1] {
-			return m.trap(TrapNaTLoadAddr, ins, uint64(m.GR[ins.Src1]), ins.Src1, nil)
-		}
-		addr := uint64(m.GR[ins.Src1])
-		v, missed, fault := m.read(addr, 8)
-		if fault != nil {
-			return m.trap(TrapMemFault, ins, addr, 0, fault)
-		}
-		m.setGR(ins.Dest, int64(v), m.UNAT>>uint(ins.Imm)&1 != 0)
-		m.chargeLoad(ins, missed)
-		m.charge(ins, c.SpillFill)
-
-	case isa.OpSt:
-		if m.NaT[ins.Src1] {
-			return m.trap(TrapNaTStoreAddr, ins, uint64(m.GR[ins.Src1]), ins.Src1, nil)
-		}
-		if m.NaT[ins.Src2] {
-			// Plain stores may not consume a token (§2.2): committing
-			// speculative state to memory is irreversible.
-			return m.trap(TrapNaTStoreData, ins, uint64(m.GR[ins.Src1]), ins.Src2, nil)
-		}
-		addr := uint64(m.GR[ins.Src1])
-		if fault := m.Mem.Write(addr, int(ins.Size), uint64(m.GR[ins.Src2])); fault != nil {
-			return m.trap(TrapMemFault, ins, addr, 0, fault)
-		}
-		m.charge(ins, c.St)
-
-	case isa.OpStSpill:
-		// st8.spill tolerates NaT'd *data* (the bit goes to UNAT), but
-		// the address must still be clean.
-		if m.NaT[ins.Src1] {
-			return m.trap(TrapNaTStoreAddr, ins, uint64(m.GR[ins.Src1]), ins.Src1, nil)
-		}
-		addr := uint64(m.GR[ins.Src1])
-		if fault := m.Mem.Write(addr, 8, uint64(m.GR[ins.Src2])); fault != nil {
-			return m.trap(TrapMemFault, ins, addr, 0, fault)
-		}
-		bit := uint(ins.Imm)
-		if m.NaT[ins.Src2] {
-			m.UNAT |= 1 << bit
-		} else {
-			m.UNAT &^= 1 << bit
-		}
-		m.charge(ins, c.St+c.SpillFill)
-
-	case isa.OpChkS:
-		if m.NaT[ins.Src1] {
-			next = ins.Target
-			m.charge(ins, c.Br)
-		} else {
-			m.charge(ins, c.Chk)
-		}
-
-	case isa.OpBr:
-		next = ins.Target
-		m.charge(ins, c.Br)
-
-	case isa.OpBrCall:
-		m.BR[ins.B] = int64(m.PC + 1)
-		next = ins.Target
-		m.charge(ins, c.Br)
-
-	case isa.OpBrRet, isa.OpBrInd:
-		next = int(m.BR[ins.B])
-		m.charge(ins, c.Br)
-
-	case isa.OpMovToBr:
-		if m.NaT[ins.Src1] {
-			// The L3 hardware event: tainted data may not reach the
-			// registers that control transfer of control.
-			return m.trap(TrapNaTBranch, ins, 0, ins.Src1, nil)
-		}
-		m.BR[ins.B] = m.GR[ins.Src1]
-		m.charge(ins, c.ALU)
-
-	case isa.OpMovFromBr:
-		m.setGR(ins.Dest, m.BR[ins.B], false)
-		m.charge(ins, c.ALU)
-
-	case isa.OpMovToUnat:
-		if m.NaT[ins.Src1] {
-			return m.trap(TrapNaTBranch, ins, 0, ins.Src1, nil)
-		}
-		m.UNAT = uint64(m.GR[ins.Src1])
-		m.charge(ins, c.ALU)
-
-	case isa.OpMovFromUnat:
-		m.setGR(ins.Dest, int64(m.UNAT), false)
-		m.charge(ins, c.ALU)
-
-	case isa.OpMovToCcv:
-		if m.NaT[ins.Src1] {
-			return m.trap(TrapNaTBranch, ins, 0, ins.Src1, nil)
-		}
-		m.CCV = uint64(m.GR[ins.Src1])
-		m.charge(ins, c.ALU)
-
-	case isa.OpMovFromCcv:
-		m.setGR(ins.Dest, int64(m.CCV), false)
-		m.charge(ins, c.ALU)
-
-	case isa.OpCmpxchg:
-		// Atomic by construction: the whole read-compare-write happens
-		// within one Step, which the scheduler never splits.
-		if m.NaT[ins.Src1] {
-			return m.trap(TrapNaTStoreAddr, ins, uint64(m.GR[ins.Src1]), ins.Src1, nil)
-		}
-		if m.NaT[ins.Src2] {
-			return m.trap(TrapNaTStoreData, ins, uint64(m.GR[ins.Src1]), ins.Src2, nil)
-		}
-		addr := uint64(m.GR[ins.Src1])
-		old, missed, fault := m.read(addr, int(ins.Size))
-		if fault != nil {
-			return m.trap(TrapMemFault, ins, addr, 0, fault)
-		}
-		if old == m.CCV {
+		case isa.OpSt:
+			if m.NaT[ins.Src1] {
+				return m.trap(TrapNaTStoreAddr, ins, uint64(m.GR[ins.Src1]), ins.Src1, nil)
+			}
+			if m.NaT[ins.Src2] {
+				// Plain stores may not consume a token (§2.2): committing
+				// speculative state to memory is irreversible.
+				return m.trap(TrapNaTStoreData, ins, uint64(m.GR[ins.Src1]), ins.Src2, nil)
+			}
+			addr := uint64(m.GR[ins.Src1])
 			if fault := m.Mem.Write(addr, int(ins.Size), uint64(m.GR[ins.Src2])); fault != nil {
 				return m.trap(TrapMemFault, ins, addr, 0, fault)
 			}
-		}
-		m.setGR(ins.Dest, int64(old), false)
-		m.chargeLoad(ins, missed)
-		m.charge(ins, c.St) // semaphore ops pay both halves
+			m.charge(ins, c.St)
 
-	case isa.OpSetNat:
-		if !m.Feat.SetClrNaT {
-			return m.trap(TrapIllegal, ins, 0, 0, fmt.Errorf("setnat requires the set/clear-NaT enhancement"))
-		}
-		m.NaT[ins.Dest] = ins.Dest != isa.RegZero
-		m.charge(ins, c.ALU)
+		case isa.OpStSpill:
+			// st8.spill tolerates NaT'd *data* (the bit goes to UNAT), but
+			// the address must still be clean.
+			if m.NaT[ins.Src1] {
+				return m.trap(TrapNaTStoreAddr, ins, uint64(m.GR[ins.Src1]), ins.Src1, nil)
+			}
+			addr := uint64(m.GR[ins.Src1])
+			if fault := m.Mem.Write(addr, 8, uint64(m.GR[ins.Src2])); fault != nil {
+				return m.trap(TrapMemFault, ins, addr, 0, fault)
+			}
+			bit := uint(ins.Imm)
+			if m.NaT[ins.Src2] {
+				m.UNAT |= 1 << bit
+			} else {
+				m.UNAT &^= 1 << bit
+			}
+			m.charge(ins, c.St+c.SpillFill)
 
-	case isa.OpClrNat:
-		if !m.Feat.SetClrNaT {
-			return m.trap(TrapIllegal, ins, 0, 0, fmt.Errorf("clrnat requires the set/clear-NaT enhancement"))
-		}
-		m.NaT[ins.Dest] = false
-		m.charge(ins, c.ALU)
+		case isa.OpChkS:
+			if m.NaT[ins.Src1] {
+				next = ins.Target
+				m.charge(ins, c.Br)
+			} else {
+				m.charge(ins, c.Chk)
+			}
 
-	case isa.OpSyscall:
-		if m.OS == nil {
-			return m.trap(TrapHostError, ins, 0, 0, fmt.Errorf("no syscall handler installed"))
+		case isa.OpBr:
+			next = ins.Target
+			m.charge(ins, c.Br)
+
+		case isa.OpBrCall:
+			m.BR[ins.B] = int64(m.PC + 1)
+			next = ins.Target
+			m.charge(ins, c.Br)
+
+		case isa.OpBrRet, isa.OpBrInd:
+			next = int(m.BR[ins.B])
+			m.charge(ins, c.Br)
+
+		case isa.OpMovToBr:
+			if m.NaT[ins.Src1] {
+				// The L3 hardware event: tainted data may not reach the
+				// registers that control transfer of control.
+				return m.trap(TrapNaTBranch, ins, 0, ins.Src1, nil)
+			}
+			m.BR[ins.B] = m.GR[ins.Src1]
+			m.charge(ins, c.ALU)
+
+		case isa.OpMovFromBr:
+			m.setGR(ins.Dest, m.BR[ins.B], false)
+			m.charge(ins, c.ALU)
+
+		case isa.OpMovToUnat:
+			if m.NaT[ins.Src1] {
+				return m.trap(TrapNaTBranch, ins, 0, ins.Src1, nil)
+			}
+			m.UNAT = uint64(m.GR[ins.Src1])
+			m.charge(ins, c.ALU)
+
+		case isa.OpMovFromUnat:
+			m.setGR(ins.Dest, int64(m.UNAT), false)
+			m.charge(ins, c.ALU)
+
+		case isa.OpMovToCcv:
+			if m.NaT[ins.Src1] {
+				return m.trap(TrapNaTBranch, ins, 0, ins.Src1, nil)
+			}
+			m.CCV = uint64(m.GR[ins.Src1])
+			m.charge(ins, c.ALU)
+
+		case isa.OpMovFromCcv:
+			m.setGR(ins.Dest, int64(m.CCV), false)
+			m.charge(ins, c.ALU)
+
+		case isa.OpCmpxchg:
+			// Atomic by construction: the whole read-compare-write happens
+			// within one Step, which the scheduler never splits.
+			if m.NaT[ins.Src1] {
+				return m.trap(TrapNaTStoreAddr, ins, uint64(m.GR[ins.Src1]), ins.Src1, nil)
+			}
+			if m.NaT[ins.Src2] {
+				return m.trap(TrapNaTStoreData, ins, uint64(m.GR[ins.Src1]), ins.Src2, nil)
+			}
+			addr := uint64(m.GR[ins.Src1])
+			old, missed, fault := m.read(addr, int(ins.Size))
+			if fault != nil {
+				return m.trap(TrapMemFault, ins, addr, 0, fault)
+			}
+			if old == m.CCV {
+				if fault := m.Mem.Write(addr, int(ins.Size), uint64(m.GR[ins.Src2])); fault != nil {
+					return m.trap(TrapMemFault, ins, addr, 0, fault)
+				}
+			}
+			m.setGR(ins.Dest, int64(old), false)
+			m.chargeLoad(ins, missed)
+			m.charge(ins, c.St) // semaphore ops pay both halves
+
+		case isa.OpSetNat:
+			if !m.Feat.SetClrNaT {
+				return m.trap(TrapIllegal, ins, 0, 0, fmt.Errorf("setnat requires the set/clear-NaT enhancement"))
+			}
+			m.NaT[ins.Dest] = ins.Dest != isa.RegZero
+			m.charge(ins, c.ALU)
+
+		case isa.OpClrNat:
+			if !m.Feat.SetClrNaT {
+				return m.trap(TrapIllegal, ins, 0, 0, fmt.Errorf("clrnat requires the set/clear-NaT enhancement"))
+			}
+			m.NaT[ins.Dest] = false
+			m.charge(ins, c.ALU)
+
+		case isa.OpSyscall:
+			if m.OS == nil {
+				return m.trap(TrapHostError, ins, 0, 0, fmt.Errorf("no syscall handler installed"))
+			}
+			m.charge(ins, c.Syscall)
+			extra, trap := m.OS.Syscall(m, ins.Imm)
+			m.charge(ins, extra)
+			if trap != nil {
+				return trap
+			}
+			if m.Halted {
+				return nil
+			}
+
+		case isa.OpNop:
+			m.charge(ins, c.Nop)
+
+		default:
+			return m.trap(TrapIllegal, ins, 0, 0, fmt.Errorf("undefined opcode"))
 		}
-		m.charge(ins, c.Syscall)
-		extra, trap := m.OS.Syscall(m, ins.Imm)
-		m.charge(ins, extra)
-		if trap != nil {
-			return trap
-		}
-		if m.Halted {
+
+		m.PC = next
+		if single || m.Halted || m.YieldReq || m.Cycles >= sliceEnd {
 			return nil
 		}
-
-	case isa.OpNop:
-		m.charge(ins, c.Nop)
-
-	default:
-		return m.trap(TrapIllegal, ins, 0, 0, fmt.Errorf("undefined opcode"))
 	}
-
-	m.PC = next
-	return nil
 }
 
 // read performs a data read and reports whether it missed in the L1 model.
 func (m *Machine) read(addr uint64, size int) (v uint64, missed bool, fault *mem.Fault) {
-	var before uint64
-	if m.Mem.Cache != nil {
-		before = m.Mem.Cache.Misses
-	}
-	v, fault = m.Mem.Read(addr, size)
-	if m.Mem.Cache != nil {
-		missed = m.Mem.Cache.Misses > before
-	}
-	return v, missed, fault
+	return m.Mem.ReadMiss(addr, size)
 }
 
 // chargeLoad charges a load, adding the miss penalty per the cache model.
@@ -578,43 +687,6 @@ func (m *Machine) chargeLoad(ins *isa.Instruction, missed bool) {
 		cost += m.Costs.LdMiss
 	}
 	m.charge(ins, cost)
-}
-
-// alu evaluates a two-operand ALU operation.
-func (m *Machine) alu(ins *isa.Instruction, a, b int64) (int64, *Trap) {
-	switch ins.Op {
-	case isa.OpAdd, isa.OpAddi:
-		return a + b, nil
-	case isa.OpSub:
-		return a - b, nil
-	case isa.OpAnd, isa.OpAndi:
-		return a & b, nil
-	case isa.OpAndcm:
-		return a &^ b, nil
-	case isa.OpOr, isa.OpOri:
-		return a | b, nil
-	case isa.OpXor, isa.OpXori:
-		return a ^ b, nil
-	case isa.OpShl, isa.OpShli:
-		return a << (uint64(b) & 63), nil
-	case isa.OpShr, isa.OpShri:
-		return int64(uint64(a) >> (uint64(b) & 63)), nil
-	case isa.OpSar, isa.OpSari:
-		return a >> (uint64(b) & 63), nil
-	case isa.OpMul:
-		return a * b, nil
-	case isa.OpDiv:
-		if b == 0 {
-			return 0, m.trap(TrapDivZero, ins, 0, 0, nil)
-		}
-		return a / b, nil
-	case isa.OpRem:
-		if b == 0 {
-			return 0, m.trap(TrapDivZero, ins, 0, 0, nil)
-		}
-		return a % b, nil
-	}
-	return 0, m.trap(TrapIllegal, ins, 0, 0, fmt.Errorf("not an ALU op"))
 }
 
 // setPR writes a predicate register, preserving p0 == true.
@@ -631,10 +703,15 @@ func (m *Machine) Halt(status int64) {
 	m.ExitStatus = status
 }
 
-// Run executes until halt or trap.
+// Run executes until halt or trap. The budget resolution and text bounds
+// are hoisted out of the per-instruction path (Budget and Prog are fixed
+// before a run starts). Yield requests are meaningless without a
+// scheduler and do not stop the run.
 func (m *Machine) Run() *Trap {
+	text := m.Prog.Text
+	budget := m.resolveBudget()
 	for !m.Halted {
-		if trap := m.Step(); trap != nil {
+		if trap := m.exec(text, budget, ^uint64(0), false); trap != nil {
 			return trap
 		}
 	}
@@ -643,17 +720,17 @@ func (m *Machine) Run() *Trap {
 
 // InstructionMix summarises retired instructions for workload reporting:
 // fractions of loads, stores and compares, the knobs that determine the
-// paper's per-benchmark slowdowns.
+// paper's per-benchmark slowdowns. It needs the per-opcode counters, so
+// EnableStats must have been called before the run.
 func (m *Machine) InstructionMix() (loads, stores, compares, branches float64) {
 	total := float64(m.Retired)
-	if total == 0 {
+	if total == 0 || m.Stats == nil {
 		return 0, 0, 0, 0
 	}
-	ld := m.RetiredByOp[isa.OpLd] + m.RetiredByOp[isa.OpLdS] + m.RetiredByOp[isa.OpLdFill]
-	st := m.RetiredByOp[isa.OpSt] + m.RetiredByOp[isa.OpStSpill]
-	cmp := m.RetiredByOp[isa.OpCmp] + m.RetiredByOp[isa.OpCmpi] +
-		m.RetiredByOp[isa.OpCmpNa] + m.RetiredByOp[isa.OpCmpiNa]
-	br := m.RetiredByOp[isa.OpBr] + m.RetiredByOp[isa.OpBrCall] +
-		m.RetiredByOp[isa.OpBrRet] + m.RetiredByOp[isa.OpBrInd]
+	byOp := &m.Stats.RetiredByOp
+	ld := byOp[isa.OpLd] + byOp[isa.OpLdS] + byOp[isa.OpLdFill]
+	st := byOp[isa.OpSt] + byOp[isa.OpStSpill]
+	cmp := byOp[isa.OpCmp] + byOp[isa.OpCmpi] + byOp[isa.OpCmpNa] + byOp[isa.OpCmpiNa]
+	br := byOp[isa.OpBr] + byOp[isa.OpBrCall] + byOp[isa.OpBrRet] + byOp[isa.OpBrInd]
 	return float64(ld) / total, float64(st) / total, float64(cmp) / total, float64(br) / total
 }

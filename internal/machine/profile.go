@@ -9,7 +9,15 @@ import "sort"
 
 // EnableProfile starts counting retirements per instruction index.
 func (m *Machine) EnableProfile() {
-	m.Profile = make([]uint64, len(m.Prog.Text))
+	m.EnableStats().Profile = make([]uint64, len(m.Prog.Text))
+}
+
+// profile returns the per-PC counts, nil when profiling is off.
+func (m *Machine) profile() []uint64 {
+	if m.Stats == nil {
+		return nil
+	}
+	return m.Stats.Profile
 }
 
 // Hotspot is one profiled instruction.
@@ -22,7 +30,7 @@ type Hotspot struct {
 
 // Hotspots returns the n most-retired instructions, hottest first.
 func (m *Machine) Hotspots(n int) []Hotspot {
-	if m.Profile == nil {
+	if m.profile() == nil {
 		return nil
 	}
 	// Nearest-symbol table.
@@ -55,7 +63,7 @@ func (m *Machine) Hotspots(n int) []Hotspot {
 	}
 
 	var out []Hotspot
-	for pc, count := range m.Profile {
+	for pc, count := range m.profile() {
 		if count > 0 {
 			out = append(out, Hotspot{PC: pc, Count: count})
 		}
@@ -79,7 +87,7 @@ func (m *Machine) Hotspots(n int) []Hotspot {
 // FunctionProfile aggregates retirement counts by nearest symbol,
 // busiest first.
 func (m *Machine) FunctionProfile() []Hotspot {
-	if m.Profile == nil {
+	if m.profile() == nil {
 		return nil
 	}
 	hs := make([]Hotspot, 0, 16)
@@ -98,7 +106,7 @@ func (m *Machine) FunctionProfile() []Hotspot {
 	sort.Slice(syms, func(i, j int) bool { return syms[i].idx < syms[j].idx })
 	si := 0
 	current := ""
-	for pc, count := range m.Profile {
+	for pc, count := range m.profile() {
 		for si < len(syms) && syms[si].idx <= pc {
 			current = syms[si].name
 			si++

@@ -75,11 +75,13 @@ func (s *Scheduler) runnable(i int) bool {
 	if m.Halted {
 		return false
 	}
-	if t, ok := s.blocked[i]; ok {
-		if !s.Threads[t].Halted {
-			return false
+	if len(s.blocked) != 0 {
+		if t, ok := s.blocked[i]; ok {
+			if !s.Threads[t].Halted {
+				return false
+			}
+			delete(s.blocked, i)
 		}
-		delete(s.blocked, i)
 	}
 	return true
 }
@@ -92,30 +94,59 @@ func (s *Scheduler) Run() *Trap {
 	if quantum == 0 {
 		quantum = DefaultQuantum
 	}
+	// Single-thread fast path: while only one thread exists the sweep
+	// bookkeeping below is pure overhead, so run contiguous slices
+	// directly. The slice-boundary arithmetic is kept bit-identical to
+	// the general sweep (sliceEnd = cycles-at-slice-start + quantum), so
+	// a spawn lands on exactly the boundary it always did.
+	startAt := 0
+	if len(s.Threads) == 1 {
+		m := s.Threads[0]
+		text := m.Prog.Text
+		budget := m.resolveBudget()
+		for len(s.Threads) == 1 && !m.Halted {
+			// A spawn mid-slice ends exec only at the slice boundary, so
+			// the spawned thread's first slice lands where it always did.
+			if trap := m.exec(text, budget, m.Cycles+quantum, false); trap != nil {
+				return trap
+			}
+			m.YieldReq = false
+		}
+		if m.Halted {
+			return nil
+		}
+		// A spawn ended the fast path right after thread 0's slice, so
+		// the first general sweep picks up with the spawned threads.
+		startAt = 1
+	}
 	for {
 		if s.Threads[0].Halted {
 			return nil
 		}
-		progressed := false
-		for i := 0; i < len(s.Threads); i++ {
+		progressed := startAt > 0 // thread 0 already ran this sweep
+		for i := startAt; i < len(s.Threads); i++ {
 			if !s.runnable(i) {
 				continue
 			}
 			progressed = true
 			m := s.Threads[i]
 			sliceEnd := m.Cycles + quantum
-			for !m.Halted && !m.YieldReq && m.Cycles < sliceEnd {
-				if trap := m.Step(); trap != nil {
-					return trap
-				}
-				// A spawn during this slice may have appended threads;
-				// they get their first slice on the next sweep.
+			// Hoist the budget resolution and text slice out of the
+			// per-instruction path for the whole slice (both are fixed
+			// before a run starts).
+			text := m.Prog.Text
+			budget := m.resolveBudget()
+			// A spawn during this slice may have appended threads; they
+			// get their first slice on the next sweep.
+			if trap := m.exec(text, budget, sliceEnd, false); trap != nil {
+				return trap
 			}
 			m.YieldReq = false
 			if i == 0 && m.Halted {
 				return nil
 			}
 		}
+		startAt = 0
 		if !progressed {
 			return &Trap{
 				Kind: TrapHostError,

@@ -7,8 +7,10 @@ package mem
 // relative to tag-address computation.
 type Cache struct {
 	lineBits uint
-	sets     []uint64 // tag per set; tagValid marks a filled line
-	valid    []bool
+	mask     uint64 // set count - 1 (set count is a power of two)
+	// tags holds line+1 per set; 0 marks an empty line. One slice access
+	// replaces the tag/valid pair on the hottest path in the simulator.
+	tags []uint64
 
 	Hits   uint64
 	Misses uint64
@@ -25,10 +27,13 @@ func NewCache(totalBytes, lineBytes int) *Cache {
 		lineBits++
 	}
 	n := totalBytes / lineBytes
+	if n&(n-1) != 0 {
+		panic("mem: cache set count must be a power of two")
+	}
 	return &Cache{
 		lineBits: lineBits,
-		sets:     make([]uint64, n),
-		valid:    make([]bool, n),
+		mask:     uint64(n - 1),
+		tags:     make([]uint64, n),
 	}
 }
 
@@ -36,21 +41,20 @@ func NewCache(totalBytes, lineBytes int) *Cache {
 // It returns true on a hit.
 func (c *Cache) Access(addr uint64) bool {
 	line := addr >> c.lineBits
-	idx := line % uint64(len(c.sets))
-	if c.valid[idx] && c.sets[idx] == line {
+	idx := line & c.mask
+	if c.tags[idx] == line+1 {
 		c.Hits++
 		return true
 	}
-	c.sets[idx] = line
-	c.valid[idx] = true
+	c.tags[idx] = line + 1
 	c.Misses++
 	return false
 }
 
 // Reset clears contents and counters.
 func (c *Cache) Reset() {
-	for i := range c.valid {
-		c.valid[i] = false
+	for i := range c.tags {
+		c.tags[i] = 0
 	}
 	c.Hits, c.Misses = 0, 0
 }

@@ -1,0 +1,196 @@
+package mem
+
+import "testing"
+
+// The limit check must not wrap: a negative size cast to uint64 is huge,
+// so the naive off+uint64(size) > lim test wraps past zero back below the
+// limit and admits the access. The subtraction form (size > lim-off)
+// rejects it.
+func TestCheckLimitOverflow(t *testing.T) {
+	m := New()
+	m.MapRegion(1, 0x2000)
+	if f := m.check(Addr(1, 0x1000), -8); f == nil || f.Kind != FaultUnmapped {
+		t.Errorf("wrapping size admitted past region limit: fault = %v", f)
+	}
+	if _, f := m.Read(Addr(1, 0x1000), -8); f == nil {
+		t.Error("Read with wrapping size succeeded")
+	}
+	// A huge positive size is caught too (no wrap, but far past the limit).
+	if f := m.check(Addr(1, 0x1000), int(^uint(0)>>1)); f == nil || f.Kind != FaultUnmapped {
+		t.Error("max-int size admitted past region limit")
+	}
+}
+
+// A range ending exactly at the top of the implemented offset space is
+// valid; one more byte has a set bit in the unimplemented hole.
+func TestRangeAtImplementedTop(t *testing.T) {
+	m := New()
+	m.MapRegion(1, 0)
+	top := Addr(1, OffsetMask-7)
+	if f := m.Write(top, 8, 0x1122334455667788); f != nil {
+		t.Fatalf("write at top of implemented range: %v", f)
+	}
+	if v, f := m.Read(top, 8); f != nil || v != 0x1122334455667788 {
+		t.Errorf("read at top = %#x, %v", v, f)
+	}
+	if _, f := m.ReadBytes(top, 16); f == nil || f.Kind != FaultUnimplemented {
+		t.Errorf("range crossing into the hole: fault = %v", f)
+	}
+}
+
+// The TLB is a pure cache: hits and misses must be indistinguishable,
+// including for aliasing pages that map to the same direct-mapped slot.
+func TestTLBAliasing(t *testing.T) {
+	m := New()
+	m.MapRegion(1, 0)
+	a := Addr(1, 0)
+	b := Addr(1, uint64(tlbSize)*pageSize) // same TLB slot as a
+	m.Write(a, 8, 1)
+	m.Write(b, 8, 2)
+	for i := 0; i < 3; i++ { // alternate to force slot replacement
+		if v, f := m.Read(a, 8); f != nil || v != 1 {
+			t.Fatalf("iter %d: read a = %d, %v", i, v, f)
+		}
+		if v, f := m.Read(b, 8); f != nil || v != 2 {
+			t.Fatalf("iter %d: read b = %d, %v", i, v, f)
+		}
+	}
+}
+
+// Bulk copies crossing page boundaries must match byte-wise access.
+func TestBulkCrossPage(t *testing.T) {
+	m := New()
+	m.MapRegion(1, 0)
+	base := Addr(1, pageSize-3) // straddles the first page boundary
+	data := []byte{1, 2, 3, 4, 5, 6}
+	if f := m.WriteBytes(base, data); f != nil {
+		t.Fatal(f)
+	}
+	for i, want := range data {
+		v, f := m.Read(base+uint64(i), 1)
+		if f != nil || byte(v) != want {
+			t.Errorf("byte %d = %d, %v, want %d", i, v, f, want)
+		}
+	}
+	got, f := m.ReadBytes(base, len(data))
+	if f != nil || string(got) != string(data) {
+		t.Errorf("ReadBytes = %v, %v", got, f)
+	}
+	// A never-written page in the middle of a range reads as zeroes.
+	hole := Addr(1, 0x100000)
+	m.Write(hole-8, 8, ^uint64(0))
+	m.Write(hole+pageSize, 8, ^uint64(0))
+	span, f := m.ReadBytes(hole, pageSize)
+	if f != nil {
+		t.Fatal(f)
+	}
+	for i, c := range span {
+		if c != 0 {
+			t.Fatalf("unwritten byte %d = %d, want 0", i, c)
+		}
+	}
+}
+
+// WriteBytes into a partially valid range keeps the historical
+// semantics: bytes before the fault are written, the fault names the
+// first bad byte.
+func TestWriteBytesPartialFault(t *testing.T) {
+	m := New()
+	m.MapRegion(1, 4) // only offsets 0..3 valid
+	f := m.WriteBytes(Addr(1, 2), []byte{7, 8, 9})
+	if f == nil || f.Kind != FaultUnmapped || f.Addr != Addr(1, 4) || f.Size != 1 {
+		t.Fatalf("fault = %+v, want unmapped at offset 4 size 1", f)
+	}
+	for i, want := range []uint64{7, 8} {
+		if v, _ := m.Read(Addr(1, 2+uint64(i)), 1); v != want {
+			t.Errorf("partial write byte %d = %d, want %d", i, v, want)
+		}
+	}
+}
+
+// ReadCString stopping at a NUL before an inaccessible byte succeeds.
+func TestReadCStringBeforeFault(t *testing.T) {
+	m := New()
+	m.MapRegion(1, 8)
+	if f := m.WriteBytes(Addr(1, 0), []byte("hi\x00")); f != nil {
+		t.Fatal(f)
+	}
+	s, f := m.ReadCString(Addr(1, 0), 64) // max extends past the limit
+	if f != nil || s != "hi" {
+		t.Errorf("ReadCString = %q, %v", s, f)
+	}
+	// With no NUL before the limit, the first bad byte faults.
+	m2 := New()
+	m2.MapRegion(1, 4)
+	if f := m2.WriteBytes(Addr(1, 0), []byte{1, 2, 3, 4}); f != nil {
+		t.Fatal(f)
+	}
+	if _, f := m2.ReadCString(Addr(1, 0), 64); f == nil || f.Addr != Addr(1, 4) {
+		t.Errorf("unterminated string fault = %+v", f)
+	}
+}
+
+// A string spanning a page boundary exercises the frame-chunk scan.
+func TestReadCStringCrossPage(t *testing.T) {
+	m := New()
+	m.MapRegion(1, 0)
+	base := Addr(1, pageSize-2)
+	if f := m.WriteBytes(base, []byte("abcd\x00")); f != nil {
+		t.Fatal(f)
+	}
+	if s, f := m.ReadCString(base, 64); f != nil || s != "abcd" {
+		t.Errorf("ReadCString = %q, %v", s, f)
+	}
+}
+
+func BenchmarkMemoryAccess(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		size int
+	}{{"read8", 8}, {"read1", 1}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			m := New()
+			m.MapRegion(1, 0)
+			const span = 1 << 16 // 16 pages, enough to exercise the TLB
+			for off := uint64(0); off < span; off += 8 {
+				m.Write(Addr(1, off), 8, off)
+			}
+			b.ResetTimer()
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				addr := Addr(1, uint64(i*8)%span)
+				v, f := m.Read(addr, cfg.size)
+				if f != nil {
+					b.Fatal(f)
+				}
+				sink += v
+			}
+			_ = sink
+		})
+	}
+	b.Run("write8", func(b *testing.B) {
+		m := New()
+		m.MapRegion(1, 0)
+		const span = 1 << 16
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if f := m.Write(Addr(1, uint64(i*8)%span), 8, uint64(i)); f != nil {
+				b.Fatal(f)
+			}
+		}
+	})
+	b.Run("readbytes4k", func(b *testing.B) {
+		m := New()
+		m.MapRegion(1, 0)
+		if f := m.WriteBytes(Addr(1, 100), make([]byte, 8192)); f != nil {
+			b.Fatal(f)
+		}
+		b.SetBytes(4096)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, f := m.ReadBytes(Addr(1, 100), 4096); f != nil {
+				b.Fatal(f)
+			}
+		}
+	})
+}

@@ -10,7 +10,11 @@
 // forces the region-number relocation of Figure 4.
 package mem
 
-import "fmt"
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
 
 // Address-space geometry.
 const (
@@ -76,16 +80,35 @@ const pageBits = 12
 
 const pageSize = 1 << pageBits
 
+// tlbBits sizes the software TLB: a direct-mapped cache of page-key →
+// frame-pointer translations consulted before the pages map. Frames are
+// never deallocated, so entries stay valid for the life of the Memory and
+// no invalidation protocol is needed.
+const tlbBits = 8
+
+const tlbSize = 1 << tlbBits
+
+// tlbEntry caches one page translation; frame == nil marks an empty slot.
+type tlbEntry struct {
+	key   uint64
+	frame *[pageSize]byte
+}
+
 // Memory is a sparse 64-bit byte-addressed store. Pages are allocated on
 // first write; reads of never-written but mapped regions return zeroes.
 // Mapping is tracked at region granularity: a region must be enabled with
 // MapRegion before any access inside it succeeds.
 type Memory struct {
-	pages   map[uint64]*[pageSize]byte
-	mapped  [8]bool
-	limit   [8]uint64 // highest mapped offset +1 per region (0 = whole region)
-	Cache   *Cache    // optional L1 model; nil disables cache accounting
-	touched uint64    // pages allocated, for footprint reporting
+	pages  map[uint64]*[pageSize]byte
+	tlb    [tlbSize]tlbEntry
+	mapped [8]bool
+	limit  [8]uint64 // highest mapped offset +1 per region (0 = whole region)
+	// bound folds the mapped and limit checks into one comparison per
+	// region: 0 for an unmapped region, otherwise the exclusive offset
+	// bound (the limit, or the full implemented range when limit is 0).
+	bound   [8]uint64
+	Cache   *Cache // optional L1 model; nil disables cache accounting
+	touched uint64 // pages allocated, for footprint reporting
 }
 
 // New returns an empty memory with no regions mapped.
@@ -96,14 +119,23 @@ func New() *Memory {
 // MapRegion enables a region. limit, if non-zero, is the exclusive upper
 // bound on offsets valid within the region.
 func (m *Memory) MapRegion(region uint64, limit uint64) {
-	m.mapped[region&7] = true
-	m.limit[region&7] = limit
+	r := region & 7
+	m.mapped[r] = true
+	m.limit[r] = limit
+	if limit == 0 {
+		m.bound[r] = 1 << ImplBits
+	} else {
+		m.bound[r] = limit
+	}
 }
 
 // RegionMapped reports whether the region is enabled.
 func (m *Memory) RegionMapped(region uint64) bool { return m.mapped[region&7] }
 
-// check validates an access and returns a fault or nil.
+// check validates an access and returns a fault or nil. It is the
+// classifying slow path; the hot paths use ok/rangeOK and only come here
+// to name the fault (or to confirm an access the conservative fast check
+// rejected, e.g. a size-1 access right at a region's limit).
 func (m *Memory) check(addr uint64, size int) *Fault {
 	if !Implemented(addr) {
 		return &Fault{Kind: FaultUnimplemented, Addr: addr, Size: size}
@@ -113,7 +145,9 @@ func (m *Memory) check(addr uint64, size int) *Fault {
 		return &Fault{Kind: FaultUnmapped, Addr: addr, Size: size}
 	}
 	off := Offset(addr)
-	if lim := m.limit[r]; lim != 0 && off+uint64(size) > lim {
+	// The subtraction form is overflow-safe: off+size could wrap for a
+	// pathological size where the naive off+size > lim test would pass.
+	if lim := m.limit[r]; lim != 0 && (off >= lim || uint64(size) > lim-off) {
 		return &Fault{Kind: FaultUnmapped, Addr: addr, Size: size}
 	}
 	if size > 1 && addr&uint64(size-1) != 0 {
@@ -122,102 +156,226 @@ func (m *Memory) check(addr uint64, size int) *Fault {
 	return nil
 }
 
-// page returns the frame for addr, allocating if alloc is set. A nil
-// return with alloc=false means the page has never been written.
-func (m *Memory) page(addr uint64, alloc bool) *[pageSize]byte {
+// ok reports whether an aligned access is definitely valid: implemented
+// bits clear, region mapped, within the precomputed bound, and aligned.
+// A false return is conservative — the caller re-validates with check to
+// classify (or rule out) the fault.
+func (m *Memory) ok(addr uint64, size int) bool {
+	off := addr & OffsetMask
+	b := m.bound[addr>>RegionShift]
+	return addr&unimplMask == 0 &&
+		off < b && uint64(size) <= b-off &&
+		(size <= 1 || addr&uint64(size-1) == 0)
+}
+
+// rangeOK reports whether every byte of [addr, addr+n) is accessible
+// (no alignment rule). False is conservative, as for ok.
+func (m *Memory) rangeOK(addr uint64, n int) bool {
+	off := addr & OffsetMask
+	b := m.bound[addr>>RegionShift]
+	return addr&unimplMask == 0 && off < b && uint64(n) <= b-off
+}
+
+// frame returns the frame for addr, allocating if alloc is set, going
+// through the software TLB before the pages map. A nil return with
+// alloc=false means the page has never been written.
+func (m *Memory) frame(addr uint64, alloc bool) *[pageSize]byte {
 	key := addr >> pageBits
+	e := &m.tlb[key&(tlbSize-1)]
+	if e.frame != nil && e.key == key {
+		return e.frame
+	}
 	p := m.pages[key]
-	if p == nil && alloc {
+	if p == nil {
+		if !alloc {
+			return nil
+		}
 		p = new([pageSize]byte)
 		m.pages[key] = p
 		m.touched++
 	}
+	e.key, e.frame = key, p
 	return p
 }
 
 // Read reads size bytes (1, 2, 4 or 8) little-endian.
 func (m *Memory) Read(addr uint64, size int) (uint64, *Fault) {
-	if f := m.check(addr, size); f != nil {
-		return 0, f
+	v, _, f := m.ReadMiss(addr, size)
+	return v, f
+}
+
+// ReadMiss is Read plus whether the access missed in the L1 model (always
+// false when no cache is attached). The simulator's load path uses it to
+// charge the miss penalty without probing the cache counters twice.
+func (m *Memory) ReadMiss(addr uint64, size int) (uint64, bool, *Fault) {
+	if !m.ok(addr, size) {
+		if f := m.check(addr, size); f != nil {
+			return 0, false, f
+		}
 	}
+	missed := false
 	if m.Cache != nil {
-		m.Cache.Access(addr)
+		missed = !m.Cache.Access(addr)
 	}
-	var v uint64
 	// An aligned access never crosses a page boundary (sizes divide
 	// pageSize), so a single frame lookup suffices.
-	p := m.page(addr, false)
+	p := m.frame(addr, false)
 	if p == nil {
-		return 0, nil
+		return 0, missed, nil
 	}
 	base := addr & (pageSize - 1)
-	for i := 0; i < size; i++ {
-		v |= uint64(p[base+uint64(i)]) << (8 * i)
+	switch size {
+	case 8:
+		return binary.LittleEndian.Uint64(p[base : base+8]), missed, nil
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(p[base : base+4])), missed, nil
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(p[base : base+2])), missed, nil
+	case 1:
+		return uint64(p[base]), missed, nil
+	default:
+		var v uint64
+		for i := 0; i < size; i++ {
+			v |= uint64(p[base+uint64(i)]) << (8 * i)
+		}
+		return v, missed, nil
 	}
-	return v, nil
 }
 
 // Write writes size bytes (1, 2, 4 or 8) little-endian.
 func (m *Memory) Write(addr uint64, size int, v uint64) *Fault {
-	if f := m.check(addr, size); f != nil {
-		return f
+	if !m.ok(addr, size) {
+		if f := m.check(addr, size); f != nil {
+			return f
+		}
 	}
 	if m.Cache != nil {
 		m.Cache.Access(addr)
 	}
-	p := m.page(addr, true)
+	p := m.frame(addr, true)
 	base := addr & (pageSize - 1)
-	for i := 0; i < size; i++ {
-		p[base+uint64(i)] = byte(v >> (8 * i))
+	switch size {
+	case 8:
+		binary.LittleEndian.PutUint64(p[base:base+8], v)
+	case 4:
+		binary.LittleEndian.PutUint32(p[base:base+4], uint32(v))
+	case 2:
+		binary.LittleEndian.PutUint16(p[base:base+2], uint16(v))
+	case 1:
+		p[base] = byte(v)
+	default:
+		for i := 0; i < size; i++ {
+			p[base+uint64(i)] = byte(v >> (8 * i))
+		}
 	}
 	return nil
 }
 
 // ReadBytes copies n bytes starting at addr into a fresh slice. It is a
 // host-side helper (syscall handlers, policy engine) and bypasses the
-// cache model and alignment rules, but still respects mapping.
+// cache model and alignment rules, but still respects mapping. The whole
+// range is validated up front and copied per frame; the byte-wise slow
+// path only runs when some byte of the range is inaccessible, preserving
+// the exact per-byte fault.
 func (m *Memory) ReadBytes(addr uint64, n int) ([]byte, *Fault) {
 	out := make([]byte, n)
+	if m.rangeOK(addr, n) {
+		dst := out
+		for len(dst) > 0 {
+			base := int(addr & (pageSize - 1))
+			chunk := pageSize - base
+			if chunk > len(dst) {
+				chunk = len(dst)
+			}
+			if p := m.frame(addr, false); p != nil {
+				copy(dst, p[base:base+chunk])
+			}
+			dst = dst[chunk:]
+			addr += uint64(chunk)
+		}
+		return out, nil
+	}
 	for i := 0; i < n; i++ {
 		a := addr + uint64(i)
 		if f := m.check(a, 1); f != nil {
 			return nil, f
 		}
-		if p := m.page(a, false); p != nil {
+		if p := m.frame(a, false); p != nil {
 			out[i] = p[a&(pageSize-1)]
 		}
 	}
 	return out, nil
 }
 
-// WriteBytes copies b into memory at addr (host-side helper).
+// WriteBytes copies b into memory at addr (host-side helper). When some
+// byte of the range is inaccessible it falls back to the byte-wise path,
+// keeping the historical partial-write-then-fault semantics.
 func (m *Memory) WriteBytes(addr uint64, b []byte) *Fault {
+	if m.rangeOK(addr, len(b)) {
+		for len(b) > 0 {
+			base := int(addr & (pageSize - 1))
+			chunk := pageSize - base
+			if chunk > len(b) {
+				chunk = len(b)
+			}
+			copy(m.frame(addr, true)[base:base+chunk], b[:chunk])
+			b = b[chunk:]
+			addr += uint64(chunk)
+		}
+		return nil
+	}
 	for i, c := range b {
 		a := addr + uint64(i)
 		if f := m.check(a, 1); f != nil {
 			return f
 		}
-		m.page(a, true)[a&(pageSize-1)] = c
+		m.frame(a, true)[a&(pageSize-1)] = c
 	}
 	return nil
 }
 
-// ReadCString reads a NUL-terminated string of at most max bytes.
+// ReadCString reads a NUL-terminated string of at most max bytes. It
+// scans frame by frame with a bulk NUL search; the byte-wise tail only
+// runs when validation fails mid-range, so a string ending before an
+// inaccessible byte still reads cleanly (as it always did).
 func (m *Memory) ReadCString(addr uint64, max int) (string, *Fault) {
 	var out []byte
-	for i := 0; i < max; i++ {
+	i := 0
+	for i < max {
 		a := addr + uint64(i)
-		if f := m.check(a, 1); f != nil {
-			return "", f
+		base := int(a & (pageSize - 1))
+		chunk := pageSize - base
+		if rem := max - i; chunk > rem {
+			chunk = rem
 		}
-		var c byte
-		if p := m.page(a, false); p != nil {
-			c = p[a&(pageSize-1)]
+		if !m.rangeOK(a, chunk) {
+			for ; i < max; i++ {
+				a := addr + uint64(i)
+				if f := m.check(a, 1); f != nil {
+					return "", f
+				}
+				var c byte
+				if p := m.frame(a, false); p != nil {
+					c = p[a&(pageSize-1)]
+				}
+				if c == 0 {
+					return string(out), nil
+				}
+				out = append(out, c)
+			}
+			return string(out), nil
 		}
-		if c == 0 {
-			break
+		p := m.frame(a, false)
+		if p == nil {
+			// A never-written frame reads as zeroes: immediate NUL.
+			return string(out), nil
 		}
-		out = append(out, c)
+		seg := p[base : base+chunk]
+		if j := bytes.IndexByte(seg, 0); j >= 0 {
+			return string(append(out, seg[:j]...)), nil
+		}
+		out = append(out, seg...)
+		i += chunk
 	}
 	return string(out), nil
 }
