@@ -6,10 +6,13 @@
 //
 //	shiftrun [-protect] [-gran byte|word] [-enhancements] [-policy file]
 //	         [-net string] [-stdin string] [-file name=path ...]
-//	         [-arg value ...] [-counters] prog.mc
+//	         [-arg value ...] [-counters] [-oracle] prog.mc
 //
 // -net supplies network input (a taint source), -file mounts a host file
 // into the simulated filesystem, -arg appends a program argument.
+// -oracle runs the lockstep reference DIFT engine alongside execution and
+// reports any divergence between the tag machinery and plain shadow
+// interpretation (exit status 4).
 package main
 
 import (
@@ -40,6 +43,7 @@ func main() {
 	stdinIn := flag.String("stdin", "", "standard input bytes")
 	counters := flag.Bool("counters", false, "print cycle and instruction counters")
 	profile := flag.Bool("profile", false, "print the per-function execution profile")
+	oracleOn := flag.Bool("oracle", false, "cross-check tag state against a lockstep reference engine")
 	var files, args listFlag
 	flag.Var(&files, "file", "mount name=hostpath into the simulated filesystem (repeatable)")
 	flag.Var(&args, "arg", "program argument (repeatable)")
@@ -50,7 +54,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := shift.Options{Instrument: *protect, Profile: *profile}
+	opt := shift.Options{Instrument: *protect, Profile: *profile, Oracle: *oracleOn}
 	switch *gran {
 	case "byte":
 		opt.Granularity = taint.Byte
@@ -129,6 +133,11 @@ func main() {
 		for _, h := range res.Machine.Hotspots(10) {
 			fmt.Printf("  %6d x pc=%-6d %-16s %s\n", h.Count, h.PC, h.Symbol, h.Ins)
 		}
+	}
+	if *oracleOn && res.Oracle != nil {
+		st := res.Oracle.Stats
+		fmt.Printf("oracle: %d steps, %d register checks, %d unit checks, %d sweeps\n",
+			st.Steps, st.RegChecks, st.UnitChecks, st.Sweeps)
 	}
 	if *counters {
 		fmt.Printf("cycles: %d  instructions: %d\n", res.Cycles, res.Retired)

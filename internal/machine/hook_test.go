@@ -1,0 +1,104 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"shift/internal/isa"
+	"shift/internal/mem"
+)
+
+type countingHook struct {
+	pre, post int
+	failAt    int // PostStep returns an error on this retirement (1-based); 0 disables
+	err       error
+}
+
+func (h *countingHook) PreStep(m *Machine, ins *isa.Instruction) { h.pre++ }
+
+func (h *countingHook) PostStep(m *Machine, ins *isa.Instruction) error {
+	h.post++
+	if h.failAt != 0 && h.post == h.failAt {
+		return h.err
+	}
+	return nil
+}
+
+func hookProg(t *testing.T) *isa.Program {
+	t.Helper()
+	// cmpi p1,p2 = (r0 == 1) — false, so p1 clear and the predicated add
+	// is squashed; the hook must still see it.
+	text := []isa.Instruction{
+		{Op: isa.OpMovl, Dest: 1, Imm: 7},
+		{Op: isa.OpCmpi, Src1: 0, Imm: 1, Cond: isa.CondEQ, P1: 1, P2: 2},
+		{Op: isa.OpAddi, Qp: 1, Dest: 2, Src1: 1, Imm: 1},
+		{Op: isa.OpAddi, Dest: 3, Src1: 1, Imm: 2},
+	}
+	p := &isa.Program{Text: text}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// The hook must fire exactly once per retirement, including for
+// predicated-off instructions.
+func TestStepHookFiresPerRetirement(t *testing.T) {
+	p := hookProg(t)
+	memory := mem.New()
+	m := New(p, memory)
+	h := &countingHook{}
+	m.Hook = h
+	for i := 0; i < len(p.Text); i++ {
+		if trap := m.Step(); trap != nil {
+			t.Fatalf("step %d: %v", i, trap)
+		}
+	}
+	if h.pre != 4 || h.post != 4 {
+		t.Errorf("hook fired pre=%d post=%d, want 4/4 (pred-off included)", h.pre, h.post)
+	}
+	if m.GR[2] != 0 {
+		t.Errorf("squashed add committed: r2 = %d", m.GR[2])
+	}
+}
+
+// A PostStep error must surface as a TrapOracle naming the instruction,
+// and the PC must still point at it (not the successor).
+func TestStepHookErrorTrapsOracle(t *testing.T) {
+	p := hookProg(t)
+	m := New(p, mem.New())
+	sentinel := errors.New("shadow mismatch")
+	m.Hook = &countingHook{failAt: 2, err: sentinel}
+	var trap *Trap
+	for i := 0; i < len(p.Text); i++ {
+		if trap = m.Step(); trap != nil {
+			break
+		}
+	}
+	if trap == nil || trap.Kind != TrapOracle {
+		t.Fatalf("trap = %v, want oracle divergence", trap)
+	}
+	if !errors.Is(trap.Err, sentinel) {
+		t.Errorf("trap.Err = %v, want the hook's error", trap.Err)
+	}
+	if trap.PC != 1 {
+		t.Errorf("trap.PC = %d, want 1 (the instruction the hook rejected)", trap.PC)
+	}
+}
+
+// Reset and Spawn must both carry the hook over.
+func TestHookSurvivesResetAndSpawn(t *testing.T) {
+	p := hookProg(t)
+	m := New(p, mem.New())
+	h := &countingHook{}
+	m.Hook = h
+	m.Reset()
+	if m.Hook != StepHook(h) {
+		t.Error("Reset dropped the hook")
+	}
+	s := NewScheduler(m)
+	tid := s.Spawn(0, 0, 0x1000)
+	if s.Threads[tid].Hook != StepHook(h) {
+		t.Error("Spawn did not inherit the hook")
+	}
+}

@@ -40,6 +40,7 @@ const (
 	TrapBadPC                 // control transferred outside the text
 	TrapBudget                // instruction budget exhausted (runaway guard)
 	TrapHostError             // OS-model/internal error (see Err)
+	TrapOracle                // lockstep oracle detected a divergence (see Err)
 )
 
 // String names the trap kind.
@@ -69,6 +70,8 @@ func (k TrapKind) String() string {
 		return "instruction-budget-exhausted"
 	case TrapHostError:
 		return "host-error"
+	case TrapOracle:
+		return "oracle-divergence"
 	}
 	return fmt.Sprintf("trap(%d)", uint8(k))
 }
@@ -149,6 +152,22 @@ func DefaultCosts() Costs {
 	}
 }
 
+// StepHook observes retirement in lockstep with execution. PreStep runs
+// after fetch, before any architectural effect (including the qualifying-
+// predicate squash), so the hook can capture pre-state; PostStep runs
+// after the instruction's effects commit and before the PC advances.
+// A non-nil PostStep error aborts execution with a TrapOracle wrapping
+// it. Neither callback runs for an instruction that traps — execution is
+// aborting anyway and the machine state is mid-instruction.
+//
+// The hook exists for the differential taint oracle (internal/oracle),
+// but is generic: any observer needing per-retirement visibility can
+// attach without touching the interpreter.
+type StepHook interface {
+	PreStep(m *Machine, ins *isa.Instruction)
+	PostStep(m *Machine, ins *isa.Instruction) error
+}
+
 // SyscallHandler is the OS model invoked by the syscall instruction. It
 // may read registers and memory through the machine, must set the result
 // in r8 if the call returns a value, and returns extra cycles to charge
@@ -192,6 +211,10 @@ type Machine struct {
 	// Stats, when non-nil (see EnableStats / EnableProfile), collects
 	// optional per-opcode and per-PC retirement counts.
 	Stats *Stats
+
+	// Hook, when non-nil, observes every retirement (one nil check per
+	// instruction on the hot path).
+	Hook StepHook
 
 	Halted     bool
 	ExitStatus int64
@@ -241,7 +264,7 @@ func New(p *isa.Program, m *mem.Memory) *Machine {
 
 // Reset rewinds execution state (registers, accounting) but not memory.
 func (m *Machine) Reset() {
-	*m = Machine{Prog: m.Prog, Mem: m.Mem, OS: m.OS, Feat: m.Feat, Costs: m.Costs, Budget: m.Budget, TID: m.TID}
+	*m = Machine{Prog: m.Prog, Mem: m.Mem, OS: m.OS, Feat: m.Feat, Costs: m.Costs, Budget: m.Budget, TID: m.TID, Hook: m.Hook}
 	m.PR[0] = true
 	m.PC = m.Prog.Entry
 }
@@ -313,11 +336,19 @@ func (m *Machine) exec(text []isa.Instruction, budget, sliceEnd uint64, single b
 				st.Profile[m.PC]++
 			}
 		}
+		if h := m.Hook; h != nil {
+			h.PreStep(m, ins)
+		}
 
 		// Qualifying predicate: a predicated-off instruction consumes its
 		// fetch slot but performs no architectural work.
 		if ins.Qp != 0 && !m.PR[ins.Qp] {
 			m.charge(ins, m.Costs.PredOff)
+			if h := m.Hook; h != nil {
+				if err := h.PostStep(m, ins); err != nil {
+					return m.trap(TrapOracle, ins, 0, 0, err)
+				}
+			}
 			m.PC++
 			if single || m.YieldReq || m.Cycles >= sliceEnd {
 				return nil
@@ -657,9 +688,8 @@ func (m *Machine) exec(text []isa.Instruction, budget, sliceEnd uint64, single b
 			if trap != nil {
 				return trap
 			}
-			if m.Halted {
-				return nil
-			}
+			// On halt the bottom-of-loop check ends the run; falling
+			// through keeps the PostStep hook on the exit path.
 
 		case isa.OpNop:
 			m.charge(ins, c.Nop)
@@ -668,6 +698,11 @@ func (m *Machine) exec(text []isa.Instruction, budget, sliceEnd uint64, single b
 			return m.trap(TrapIllegal, ins, 0, 0, fmt.Errorf("undefined opcode"))
 		}
 
+		if h := m.Hook; h != nil {
+			if err := h.PostStep(m, ins); err != nil {
+				return m.trap(TrapOracle, ins, 0, 0, err)
+			}
+		}
 		m.PC = next
 		if single || m.Halted || m.YieldReq || m.Cycles >= sliceEnd {
 			return nil

@@ -42,6 +42,7 @@ func (s *Scheduler) Spawn(entry int, arg int64, sp uint64) int {
 	m.Feat = src.Feat
 	m.Costs = src.Costs
 	m.Budget = src.Budget
+	m.Hook = src.Hook
 	m.PC = entry
 	m.BR[0] = HaltPC // returning from the entry function halts the thread
 	m.GR[isa.RegSP] = int64(sp)

@@ -2,21 +2,22 @@ package mem
 
 import "testing"
 
-// The limit check must not wrap: a negative size cast to uint64 is huge,
-// so the naive off+uint64(size) > lim test wraps past zero back below the
-// limit and admits the access. The subtraction form (size > lim-off)
-// rejects it.
+// Sizes outside {1,2,4,8} must never be admitted: a negative size cast
+// to uint64 is huge (the naive off+uint64(size) > lim test would wrap
+// past zero back below the limit), and an odd size makes addr&(size-1)
+// a meaningless alignment mask. Both are now classified as bad-size
+// faults before any range math runs.
 func TestCheckLimitOverflow(t *testing.T) {
 	m := New()
 	m.MapRegion(1, 0x2000)
-	if f := m.check(Addr(1, 0x1000), -8); f == nil || f.Kind != FaultUnmapped {
+	if f := m.check(Addr(1, 0x1000), -8); f == nil || f.Kind != FaultBadSize {
 		t.Errorf("wrapping size admitted past region limit: fault = %v", f)
 	}
 	if _, f := m.Read(Addr(1, 0x1000), -8); f == nil {
 		t.Error("Read with wrapping size succeeded")
 	}
 	// A huge positive size is caught too (no wrap, but far past the limit).
-	if f := m.check(Addr(1, 0x1000), int(^uint(0)>>1)); f == nil || f.Kind != FaultUnmapped {
+	if f := m.check(Addr(1, 0x1000), int(^uint(0)>>1)); f == nil || f.Kind != FaultBadSize {
 		t.Error("max-int size admitted past region limit")
 	}
 }

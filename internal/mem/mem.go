@@ -51,6 +51,7 @@ const (
 	FaultUnimplemented           // set bits in the unimplemented hole
 	FaultUnmapped                // page not mapped
 	FaultUnaligned               // access not aligned to its size
+	FaultBadSize                 // access size outside {1, 2, 4, 8}
 )
 
 // Fault describes a failed memory access.
@@ -70,6 +71,8 @@ func (f *Fault) Error() string {
 		kind = "unmapped address"
 	case FaultUnaligned:
 		kind = "unaligned access"
+	case FaultBadSize:
+		kind = "invalid access size"
 	}
 	return fmt.Sprintf("memory fault: %s at %#x (size %d)", kind, f.Addr, f.Size)
 }
@@ -137,6 +140,12 @@ func (m *Memory) RegionMapped(region uint64) bool { return m.mapped[region&7] }
 // to name the fault (or to confirm an access the conservative fast check
 // rejected, e.g. a size-1 access right at a region's limit).
 func (m *Memory) check(addr uint64, size int) *Fault {
+	// Only the architectural sizes exist. Anything else (a size 3, 5, 6
+	// or 7) would make addr&(size-1) a meaningless alignment mask and
+	// could let an "aligned" access cross a page frame.
+	if size != 1 && size != 2 && size != 4 && size != 8 {
+		return &Fault{Kind: FaultBadSize, Addr: addr, Size: size}
+	}
 	if !Implemented(addr) {
 		return &Fault{Kind: FaultUnimplemented, Addr: addr, Size: size}
 	}
@@ -165,7 +174,8 @@ func (m *Memory) ok(addr uint64, size int) bool {
 	b := m.bound[addr>>RegionShift]
 	return addr&unimplMask == 0 &&
 		off < b && uint64(size) <= b-off &&
-		(size <= 1 || addr&uint64(size-1) == 0)
+		(size == 1 || size == 2 || size == 4 || size == 8) &&
+		addr&uint64(size-1) == 0
 }
 
 // rangeOK reports whether every byte of [addr, addr+n) is accessible
@@ -231,14 +241,8 @@ func (m *Memory) ReadMiss(addr uint64, size int) (uint64, bool, *Fault) {
 		return uint64(binary.LittleEndian.Uint32(p[base : base+4])), missed, nil
 	case 2:
 		return uint64(binary.LittleEndian.Uint16(p[base : base+2])), missed, nil
-	case 1:
+	default: // size 1; every other size was rejected above
 		return uint64(p[base]), missed, nil
-	default:
-		var v uint64
-		for i := 0; i < size; i++ {
-			v |= uint64(p[base+uint64(i)]) << (8 * i)
-		}
-		return v, missed, nil
 	}
 }
 
@@ -261,14 +265,37 @@ func (m *Memory) Write(addr uint64, size int, v uint64) *Fault {
 		binary.LittleEndian.PutUint32(p[base:base+4], uint32(v))
 	case 2:
 		binary.LittleEndian.PutUint16(p[base:base+2], uint16(v))
-	case 1:
+	default: // size 1; every other size was rejected above
 		p[base] = byte(v)
-	default:
-		for i := 0; i < size; i++ {
-			p[base+uint64(i)] = byte(v >> (8 * i))
-		}
 	}
 	return nil
+}
+
+// CheckAccess validates an access exactly as the load/store paths do —
+// same fault classification, same precedence — without touching memory or
+// the cache model. The lockstep oracle uses it to recompute a speculative
+// load's defer decision independently of the machine.
+func (m *Memory) CheckAccess(addr uint64, size int) *Fault {
+	if m.ok(addr, size) {
+		return nil
+	}
+	return m.check(addr, size)
+}
+
+// Peek reads one byte without consulting or updating the cache model, so
+// observers (the lockstep oracle's bitmap cross-checks) cannot perturb
+// the cycle accounting. Mapping and implemented-bits rules still apply.
+func (m *Memory) Peek(addr uint64) (byte, *Fault) {
+	if !m.rangeOK(addr, 1) {
+		if f := m.check(addr, 1); f != nil {
+			return 0, f
+		}
+	}
+	p := m.frame(addr, false)
+	if p == nil {
+		return 0, nil
+	}
+	return p[addr&(pageSize-1)], nil
 }
 
 // ReadBytes copies n bytes starting at addr into a fresh slice. It is a

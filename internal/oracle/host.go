@@ -1,0 +1,58 @@
+package oracle
+
+import "shift/internal/isa"
+
+// The methods below implement the shift package's HostEffects interface:
+// the OS model reports its direct effects on guest state so the shadow
+// can mirror them. All of them are defined-semantics adoptions, not
+// checks — host behaviour is the specification, not the system under
+// test.
+
+// HostWrite records that the OS wrote n bytes of host data at addr
+// (read(2)-style transfers, getarg strings). The tag bitmap's view is
+// authoritative here: the OS model marks sources explicitly (reported
+// separately via HostTaint) and otherwise leaves tags sticky, so the
+// shadow adopts whatever the bitmap says for the touched units.
+func (o *Oracle) HostWrite(addr uint64, n int) {
+	if n > 0 {
+		o.adoptMem(addr, uint64(n))
+	}
+}
+
+// HostTaint records that the OS marked [addr, addr+n) as a taint source.
+func (o *Oracle) HostTaint(addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	for u := o.unitOf(addr); u < o.unitOf(addr+n-1)+o.unit; u += o.unit {
+		o.mem[u] = memUnit{taint: true}
+	}
+}
+
+// HostUntaint records that the OS explicitly cleared tags over
+// [addr, addr+n) (the taint-control syscall).
+func (o *Oracle) HostUntaint(addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	for u := o.unitOf(addr); u < o.unitOf(addr+n-1)+o.unit; u += o.unit {
+		o.mem[u] = memUnit{taint: false}
+	}
+}
+
+// OnSpawn records a thread creation. The child inherits the taint of its
+// argument register from the parent's argument slot; and from the first
+// spawn onward the strong cross-checks stand down permanently — the
+// store-to-tag-update window of one thread is observable by the others
+// (the §4.4 atomicity gap), so bitmap and register-equality comparisons
+// are no longer sound. Thread-local NaT-rule checks continue.
+func (o *Oracle) OnSpawn(parentTID, childTID int) {
+	parent := o.regs(parentTID)
+	child := o.regs(childTID)
+	child.taint[isa.RegArg0] = parent.taint[isa.RegArg0+1]
+	// The kept mask and NaT source are inherited by the scheduler; their
+	// shadow taint is irrelevant (reserved registers), but mirror the
+	// argument path before standing down.
+	o.concurrent = true
+	o.pending = o.pending[:0]
+}

@@ -128,6 +128,45 @@ func generate(seed int64) string {
 	return g.sb.String()
 }
 
+// FuzzOracleLockstep is the native-fuzzing face of the differential
+// harness: the fuzzer explores (program seed, tainted input, granularity)
+// while the lockstep oracle cross-checks every retired instruction. Any
+// tag/NaT divergence — or any semantic trap — is a finding.
+func FuzzOracleLockstep(f *testing.F) {
+	f.Add(int64(1), []byte("tainted input bytes"), false)
+	f.Add(int64(7), []byte{0xff, 0x00, 0x80, 0x7f}, true)
+	f.Add(int64(42), []byte("0123456789abcdef0123456789abcdef"), false)
+	f.Fuzz(func(t *testing.T, seed int64, input []byte, word bool) {
+		if len(input) == 0 {
+			input = []byte{1}
+		}
+		if len(input) > 64 {
+			input = input[:64]
+		}
+		g := taint.Byte
+		if word {
+			g = taint.Word
+		}
+		src := generate(seed)
+		world := NewWorld()
+		world.NetIn = input
+		res, err := BuildAndRun([]Source{{Name: "fuzz.mc", Text: src}}, world,
+			Options{Instrument: true, Granularity: g, Oracle: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Trap != nil {
+			t.Fatalf("seed %d gran=%v: %v\n%s", seed, g, res.Trap, src)
+		}
+		if res.Alert != nil {
+			t.Fatalf("seed %d gran=%v: false positive: %v\n%s", seed, g, res.Alert, src)
+		}
+		if res.Oracle.Stats.UnitChecks == 0 {
+			t.Fatalf("seed %d gran=%v: oracle idle", seed, g)
+		}
+	})
+}
+
 // TestInstrumentationPreservesSemantics is the central differential
 // property: for randomly generated programs over tainted input, the
 // instrumented runs (byte, word, enhanced, per-function NaT) must produce
@@ -159,7 +198,7 @@ func TestInstrumentationPreservesSemantics(t *testing.T) {
 
 		world := NewWorld()
 		world.NetIn = input
-		base, err := BuildAndRun([]Source{{Name: "fuzz.mc", Text: src}}, world, Options{})
+		base, err := BuildAndRun([]Source{{Name: "fuzz.mc", Text: src}}, world, Options{Oracle: true})
 		if err != nil {
 			t.Fatalf("seed %d: baseline: %v\n%s", seed, err, src)
 		}
@@ -170,7 +209,9 @@ func TestInstrumentationPreservesSemantics(t *testing.T) {
 		for _, m := range modes {
 			world := NewWorld()
 			world.NetIn = input
-			res, err := BuildAndRun([]Source{{Name: "fuzz.mc", Text: src}}, world, m.opt)
+			opt := m.opt
+			opt.Oracle = true // lockstep reference check rides along
+			res, err := BuildAndRun([]Source{{Name: "fuzz.mc", Text: src}}, world, opt)
 			if err != nil {
 				t.Fatalf("seed %d %s: %v", seed, m.name, err)
 			}
@@ -183,6 +224,11 @@ func TestInstrumentationPreservesSemantics(t *testing.T) {
 			}
 			if res.Cycles <= base.Cycles {
 				t.Errorf("seed %d %s: instrumentation cost nothing", seed, m.name)
+			}
+			// The oracle must really have been checking, not idling.
+			st := res.Oracle.Stats
+			if st.Steps == 0 || st.RegChecks == 0 || st.UnitChecks == 0 {
+				t.Fatalf("seed %d %s: oracle idle: %+v", seed, m.name, st)
 			}
 		}
 	}

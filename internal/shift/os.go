@@ -26,6 +26,22 @@ type file struct {
 	off  int
 }
 
+// HostEffects observes the OS model's direct mutations of guest state —
+// the ones that happen outside the instrumented instruction stream and
+// would otherwise be invisible to a lockstep checker. The oracle package
+// implements it; a nil Effects field disables all notifications.
+type HostEffects interface {
+	// HostWrite reports n bytes of host data written at addr (read,
+	// recv, getarg transfers).
+	HostWrite(addr uint64, n int)
+	// HostTaint reports that [addr, addr+n) was marked as a source.
+	HostTaint(addr, n uint64)
+	// HostUntaint reports that [addr, addr+n) was explicitly cleared.
+	HostUntaint(addr, n uint64)
+	// OnSpawn reports a new guest thread created by parentTID.
+	OnSpawn(parentTID, childTID int)
+}
+
 // World is the OS model: files, the network, program arguments, output
 // channels, the heap break — and, when tracking is on, the taint sources
 // (§3.3.1) and policy sinks (Table 1).
@@ -49,6 +65,9 @@ type World struct {
 	Tags *taint.Space
 	// Engine checks policies at sinks; nil disables checking.
 	Engine *policy.Engine
+	// Effects, when non-nil, is notified of host-side guest-state
+	// mutations (for the lockstep oracle).
+	Effects HostEffects
 
 	IO IOCosts
 
@@ -96,7 +115,20 @@ func (w *World) markTaint(m *machine.Machine, addr uint64, n int, channel string
 	if w.Tags == nil || n <= 0 || !w.source(channel) {
 		return nil
 	}
-	return w.Tags.SetRange(addr, uint64(n))
+	if err := w.Tags.SetRange(addr, uint64(n)); err != nil {
+		return err
+	}
+	if w.Effects != nil {
+		w.Effects.HostTaint(addr, uint64(n))
+	}
+	return nil
+}
+
+// notifyWrite reports a host data transfer into guest memory.
+func (w *World) notifyWrite(addr uint64, n int) {
+	if w.Effects != nil && n > 0 {
+		w.Effects.HostWrite(addr, n)
+	}
 }
 
 // hostTrap wraps an internal error.
@@ -253,6 +285,9 @@ func (w *World) sysSpawn(m *machine.Machine) (uint64, *machine.Trap) {
 	}
 	sp := w.StackTop - uint64(len(w.Sched.Threads))*threadStackSlice
 	tid := w.Sched.Spawn(entry, threadArg, sp)
+	if w.Effects != nil {
+		w.Effects.OnSpawn(m.TID, tid)
+	}
 	m.GR[isa.RegRet] = int64(tid)
 	m.NaT[isa.RegRet] = false
 	return 0, nil
@@ -298,6 +333,7 @@ func (w *World) sysRead(m *machine.Machine) (uint64, *machine.Trap) {
 			return 0, hostTrap(m, f)
 		}
 		*off += count
+		w.notifyWrite(uint64(buf), count)
 		if err := w.markTaint(m, uint64(buf), count, channel); err != nil {
 			return 0, hostTrap(m, err)
 		}
@@ -382,6 +418,7 @@ func (w *World) sysRecv(m *machine.Machine) (uint64, *machine.Trap) {
 			return 0, hostTrap(m, f)
 		}
 		w.netOff += count
+		w.notifyWrite(uint64(buf), count)
 		if err := w.markTaint(m, uint64(buf), count, "network"); err != nil {
 			return 0, hostTrap(m, err)
 		}
@@ -501,11 +538,17 @@ func (w *World) sysTaintOps(m *machine.Machine, num int64) (uint64, *machine.Tra
 			if err := w.Tags.SetRange(uint64(buf), uint64(n)); err != nil {
 				return 0, hostTrap(m, err)
 			}
+			if w.Effects != nil && n > 0 {
+				w.Effects.HostTaint(uint64(buf), uint64(n))
+			}
 		}
 	case isa.SysUntaint:
 		if w.Tags != nil {
 			if err := w.Tags.ClearRange(uint64(buf), uint64(n)); err != nil {
 				return 0, hostTrap(m, err)
+			}
+			if w.Effects != nil && n > 0 {
+				w.Effects.HostUntaint(uint64(buf), uint64(n))
 			}
 		}
 	case isa.SysIsTainted:
@@ -550,6 +593,7 @@ func (w *World) sysGetArg(m *machine.Machine) (uint64, *machine.Trap) {
 	if f := m.Mem.WriteBytes(uint64(buf), append([]byte(s), 0)); f != nil {
 		return 0, hostTrap(m, f)
 	}
+	w.notifyWrite(uint64(buf), len(s)+1)
 	if err := w.markTaint(m, uint64(buf), len(s), "args"); err != nil {
 		return 0, hostTrap(m, err)
 	}

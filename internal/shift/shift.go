@@ -18,6 +18,7 @@ import (
 	"shift/internal/lang"
 	"shift/internal/loader"
 	"shift/internal/machine"
+	"shift/internal/oracle"
 	"shift/internal/policy"
 	"shift/internal/rtlib"
 	"shift/internal/taint"
@@ -69,6 +70,11 @@ type Options struct {
 	// Profile counts retirements per instruction on the main thread
 	// (inspect via Result.Machine.Hotspots / FunctionProfile).
 	Profile bool
+	// Oracle runs a lockstep reference DIFT engine alongside execution,
+	// cross-checking register NaT bits and the tag bitmap against plain
+	// shadow-taint interpretation. A disagreement stops the run with a
+	// TrapOracle carrying a full divergence report (Result.Trap).
+	Oracle bool
 	// Costs overrides the cycle cost model (nil = machine defaults).
 	Costs *machine.Costs
 }
@@ -147,6 +153,9 @@ type Result struct {
 	Retired       uint64
 	World         *World
 	Machine       *machine.Machine
+	// Oracle is the lockstep checker when Options.Oracle was set; its
+	// Divergence() and Stats report what was cross-checked.
+	Oracle *oracle.Oracle
 }
 
 // Run loads and executes a program against a world. When opt.Instrument
@@ -186,18 +195,32 @@ func Run(prog *isa.Program, world *World, opt Options) (*Result, error) {
 		mach.Costs = *opt.Costs
 	}
 
+	var orc *oracle.Oracle
+	if opt.Oracle {
+		orc = oracle.New(oracle.Config{Tags: world.Tags, Instrumented: opt.Instrument})
+		orc.Attach(mach)
+		world.Effects = orc
+	}
+
 	sched := machine.NewScheduler(mach)
 	sched.Quantum = opt.Quantum
 	world.Sched = sched
 	world.StackTop = img.StackTop
 
 	trap := sched.Run()
+	if trap == nil && orc != nil {
+		// The run halted cleanly: the final state must still agree.
+		if err := orc.Finish(mach); err != nil {
+			trap = &machine.Trap{Kind: machine.TrapOracle, PC: mach.PC, Ins: "<finish>", Err: err}
+		}
+	}
 	res := &Result{
 		ExitStatus: mach.ExitStatus,
 		Cycles:     sched.TotalCycles(),
 		Retired:    sched.TotalRetired(),
 		World:      world,
 		Machine:    mach,
+		Oracle:     orc,
 	}
 	for _, th := range sched.Threads {
 		for i, c := range th.CyclesByClass {

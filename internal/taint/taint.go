@@ -112,11 +112,45 @@ func (s *Space) ClearRange(addr uint64, n uint64) error {
 	return s.setRange(addr, n, false)
 }
 
-func (s *Space) setRange(addr, n uint64, v bool) error {
+// checkRange rejects ranges the tag translation cannot cover: an address
+// with unimplemented bits set, or a length that runs past the region's
+// implemented offsets (which includes every n large enough to make
+// addr+n wrap — e.g. a negative guest count cast to uint64).
+func checkRange(addr, n uint64) error {
+	if !mem.Implemented(addr) {
+		return fmt.Errorf("taint: range start %#x has unimplemented address bits", addr)
+	}
+	if rem := uint64(mem.OffsetMask) + 1 - mem.Offset(addr); n > rem {
+		return fmt.Errorf("taint: range [%#x, +%d) escapes the region's implemented offsets", addr, n)
+	}
+	return nil
+}
+
+// units returns the number of tracked units covering [addr, addr+n) and
+// the address of the first one. The count is computed from the last
+// covered byte (addr+n-1, which checkRange guarantees cannot wrap), so
+// the walk is overflow-safe even at the top of region 7.
+func (s *Space) units(addr, n uint64) (start, count uint64) {
 	unit := s.Gran.UnitBytes()
+	start = addr &^ (unit - 1)
+	count = (addr + n - 1 - start)/unit + 1
+	return start, count
+}
+
+func (s *Space) setRange(addr, n uint64, v bool) error {
+	if n == 0 {
+		// An empty range touches no unit: without this, an unaligned
+		// addr would round down and taint/clear a whole unit.
+		return nil
+	}
+	if err := checkRange(addr, n); err != nil {
+		return err
+	}
 	// Walk tracked units; any byte tainted within a unit taints the unit.
-	start := addr &^ (unit - 1)
-	for a := start; a < addr+n; a += unit {
+	start, count := s.units(addr, n)
+	unit := s.Gran.UnitBytes()
+	for i := uint64(0); i < count; i++ {
+		a := start + i*unit
 		tb, bit := s.Gran.TagAddr(a)
 		old, f := s.Mem.Read(tb, 1)
 		if f != nil {
@@ -139,9 +173,16 @@ func (s *Space) setRange(addr, n uint64, v bool) error {
 
 // Tainted reports whether any byte of [addr, addr+n) is tainted.
 func (s *Space) Tainted(addr uint64, n uint64) (bool, error) {
+	if n == 0 {
+		return false, nil
+	}
+	if err := checkRange(addr, n); err != nil {
+		return false, err
+	}
+	start, count := s.units(addr, n)
 	unit := s.Gran.UnitBytes()
-	start := addr &^ (unit - 1)
-	for a := start; a < addr+n; a += unit {
+	for i := uint64(0); i < count; i++ {
+		a := start + i*unit
 		tb, bit := s.Gran.TagAddr(a)
 		v, f := s.Mem.Read(tb, 1)
 		if f != nil {
@@ -152,6 +193,22 @@ func (s *Space) Tainted(addr uint64, n uint64) (bool, error) {
 		}
 	}
 	return false, nil
+}
+
+// PeekUnit reports the tag bit of the tracked unit containing addr,
+// reading the bitmap without touching the machine's cache model (the
+// lockstep oracle uses it so cross-checks cannot perturb cycle
+// accounting).
+func (s *Space) PeekUnit(addr uint64) (bool, error) {
+	if !mem.Implemented(addr) {
+		return false, fmt.Errorf("taint: peek at %#x: unimplemented address bits", addr)
+	}
+	tb, bit := s.Gran.TagAddr(addr)
+	v, f := s.Mem.Peek(tb)
+	if f != nil {
+		return false, fmt.Errorf("taint: reading tag byte for %#x: %w", addr, f)
+	}
+	return v>>bit&1 != 0, nil
 }
 
 // TaintedBytes returns, for each byte of [addr, addr+n), whether its
@@ -173,11 +230,17 @@ func (s *Space) TaintedBytes(addr uint64, n int) ([]bool, error) {
 // CountTainted returns how many tracked units in [addr, addr+n) are
 // tainted (diagnostics and tests).
 func (s *Space) CountTainted(addr, n uint64) (uint64, error) {
+	if n == 0 {
+		return 0, nil
+	}
+	if err := checkRange(addr, n); err != nil {
+		return 0, err
+	}
+	start, units := s.units(addr, n)
 	unit := s.Gran.UnitBytes()
 	var count uint64
-	start := addr &^ (unit - 1)
-	for a := start; a < addr+n; a += unit {
-		t, err := s.Tainted(a, 1)
+	for i := uint64(0); i < units; i++ {
+		t, err := s.Tainted(start+i*unit, 1)
 		if err != nil {
 			return 0, err
 		}

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"testing"
+
+	"shift/internal/machine"
+	"shift/internal/shift"
+	"shift/internal/taint"
+)
+
+// TestOracleLockstepOverWorkloads runs every evaluation benchmark with
+// the lockstep reference DIFT engine attached — uninstrumented (mechanical
+// NaT-rule checks only) and instrumented at both granularities plus the
+// enhanced/optimized variants — and requires zero divergences. This is
+// the acceptance sweep for the tag/NaT machinery over realistic code.
+func TestOracleLockstepOverWorkloads(t *testing.T) {
+	modes := []struct {
+		name string
+		opt  shift.Options
+	}{
+		{"base", shift.Options{Oracle: true}},
+		{"byte", shift.Options{Oracle: true, Instrument: true, Granularity: taint.Byte}},
+		{"word", shift.Options{Oracle: true, Instrument: true, Granularity: taint.Word}},
+		{"byte+enh", shift.Options{Oracle: true, Instrument: true, Granularity: taint.Byte,
+			Features: machine.Features{SetClrNaT: true, NaTAwareCmp: true}}},
+		{"word+opt", shift.Options{Oracle: true, Instrument: true, Granularity: taint.Word, Optimize: true}},
+	}
+	// Short mode (the -race CI stage) trims to the core modes and skips
+	// the benchmarks with fixed-iteration kernels whose runtime doesn't
+	// shrink with input scale; the full matrix runs in the regular suite.
+	slow := map[string]bool{"vpr": true, "twolf": true, "mcf": true}
+	if testing.Short() {
+		modes = modes[:3] // base, byte, word
+	}
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			if testing.Short() && slow[b.Name] {
+				t.Skip("fixed-iteration kernel; covered by the non-short run")
+			}
+			sc := scale(b)
+			for _, m := range modes {
+				res := runBench(t, b, m.opt, sc)
+				if res.Trap != nil {
+					t.Fatalf("%s: %v", m.name, res.Trap)
+				}
+				if res.Alert != nil {
+					t.Fatalf("%s: false positive under oracle: %v", m.name, res.Alert)
+				}
+				if d := res.Oracle.Divergence(); d != nil {
+					t.Fatalf("%s: divergence: %v", m.name, d)
+				}
+				st := res.Oracle.Stats
+				if st.Steps == 0 {
+					t.Fatalf("%s: oracle idle", m.name)
+				}
+				if m.opt.Instrument && (st.RegChecks == 0 || st.UnitChecks == 0) {
+					t.Fatalf("%s: oracle not cross-checking: %+v", m.name, st)
+				}
+			}
+		})
+	}
+}
+
+// TestOracleOverThreads: once a second thread spawns the oracle stands
+// its strong checks down (the §4.4 atomicity gap makes them unsound) but
+// the thread-local NaT-rule checks must keep passing across worker counts
+// and scheduling quanta.
+func TestOracleOverThreads(t *testing.T) {
+	for _, k := range []int{1, 4} {
+		for _, q := range []uint64{0, 17} {
+			res, err := shift.BuildAndRun(
+				[]shift.Source{{Name: "mt.mc", Text: MTSource}},
+				MTWorld(1024, k),
+				shift.Options{Instrument: true, Policy: MTConfig(), Quantum: q, Oracle: true})
+			if err != nil {
+				t.Fatalf("k=%d q=%d: %v", k, q, err)
+			}
+			if res.Trap != nil || res.Alert != nil {
+				t.Fatalf("k=%d q=%d: trap=%v alert=%v", k, q, res.Trap, res.Alert)
+			}
+			if d := res.Oracle.Divergence(); d != nil {
+				t.Fatalf("k=%d q=%d: divergence: %v", k, q, d)
+			}
+			if res.Oracle.Stats.Steps == 0 {
+				t.Fatalf("k=%d q=%d: oracle idle", k, q)
+			}
+		}
+	}
+}
