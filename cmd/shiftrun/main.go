@@ -5,6 +5,7 @@
 // Usage:
 //
 //	shiftrun [-protect] [-gran byte|word] [-enhancements] [-policy file]
+//	         [-serialized-tags] [-unsafe-preempt] [-quantum n]
 //	         [-net string] [-stdin string] [-file name=path ...]
 //	         [-arg value ...] [-counters] [-oracle] prog.mc
 //
@@ -13,6 +14,12 @@
 // -oracle runs the lockstep reference DIFT engine alongside execution and
 // reports any divergence between the tag machinery and plain shadow
 // interpretation (exit status 4).
+//
+// For threaded guests, -quantum sets the scheduler time slice in cycles,
+// -serialized-tags makes byte-level bitmap updates lock-free atomic, and
+// -unsafe-preempt re-opens the §4.4 hazard by letting a slice end between
+// a data store and its tag update (the default tag-coherent schedule
+// forbids that; the flag exists to demonstrate the failure mode).
 package main
 
 import (
@@ -44,6 +51,9 @@ func main() {
 	counters := flag.Bool("counters", false, "print cycle and instruction counters")
 	profile := flag.Bool("profile", false, "print the per-function execution profile")
 	oracleOn := flag.Bool("oracle", false, "cross-check tag state against a lockstep reference engine")
+	serialized := flag.Bool("serialized-tags", false, "serialize byte-level bitmap updates with a cmpxchg retry loop")
+	unsafePreempt := flag.Bool("unsafe-preempt", false, "allow preemption between a data store and its tag update (reproduces the paper's §4.4 hazard)")
+	quantum := flag.Uint64("quantum", 0, "scheduler time slice in cycles for threaded guests (0 = default)")
 	var files, args listFlag
 	flag.Var(&files, "file", "mount name=hostpath into the simulated filesystem (repeatable)")
 	flag.Var(&args, "arg", "program argument (repeatable)")
@@ -54,7 +64,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := shift.Options{Instrument: *protect, Profile: *profile, Oracle: *oracleOn}
+	opt := shift.Options{
+		Instrument:     *protect,
+		Profile:        *profile,
+		Oracle:         *oracleOn,
+		SerializedTags: *serialized,
+		UnsafePreempt:  *unsafePreempt,
+		Quantum:        *quantum,
+	}
 	switch *gran {
 	case "byte":
 		opt.Granularity = taint.Byte

@@ -70,7 +70,7 @@ func (t *cleanTracker) step(ins *isa.Instruction) {
 		set(ins.Dest, t.clean[ins.Src1])
 	case isa.OpMovFromBr, isa.OpMovFromUnat, isa.OpClrNat:
 		set(ins.Dest, true)
-	case isa.OpLd, isa.OpLdS, isa.OpLdFill, isa.OpSetNat:
+	case isa.OpLd, isa.OpLdS, isa.OpLdFill, isa.OpCmpxchg, isa.OpSetNat:
 		set(ins.Dest, false)
 	case isa.OpBrCall, isa.OpSyscall:
 		// The callee (or OS model) may write any register.

@@ -1,0 +1,308 @@
+package instrument
+
+import (
+	"fmt"
+	"testing"
+
+	"shift/internal/asm"
+	"shift/internal/isa"
+	"shift/internal/machine"
+	"shift/internal/mem"
+	"shift/internal/taint"
+)
+
+// These tests pin the cmpxchg data path the paper's Figure 5 discipline
+// used to miss: a guest compare-and-exchange is a store when it commits
+// and a load always, so the pass must update the bitmap on commit and
+// taint the destination from the location's OLD tags. Before the rewrite
+// existed, a committed exchange left stale tag bits behind — and
+// exchanging a tainted (NaT) value trapped outright, since cmpxchg has no
+// spill form.
+
+// exitOS handles just the exit syscall.
+type exitOS struct{}
+
+func (exitOS) Syscall(m *machine.Machine, num int64) (uint64, *machine.Trap) {
+	if num == isa.SysExit {
+		m.Halt(m.GR[isa.RegArg0])
+		return 0, nil
+	}
+	return 0, &machine.Trap{Kind: machine.TrapHostError, PC: m.PC, Ins: "syscall"}
+}
+
+var (
+	xchgSrc = mem.Addr(2, 0x100) // tainted source data lives here
+	xchgDst = mem.Addr(2, 0x200) // exchange target
+)
+
+// runTagged assembles src, applies the pass, seeds memory and tags, and
+// runs the result to completion.
+func runTagged(t *testing.T, src string, opt Options, seed func(*mem.Memory, *taint.Space)) (*machine.Machine, *taint.Space, *machine.Trap) {
+	t.Helper()
+	p, err := asm.Assemble(src, asm.Options{})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	out, err := Apply(p, opt)
+	if err != nil {
+		t.Fatalf("instrument: %v", err)
+	}
+	memory := mem.New()
+	tags := taint.NewSpace(memory, opt.Gran) // maps region 0
+	memory.MapRegion(1, 0)
+	memory.MapRegion(2, 0)
+	if f := memory.WriteBytes(out.DataBase, out.Data); f != nil {
+		t.Fatalf("loading data: %v", f)
+	}
+	if seed != nil {
+		seed(memory, tags)
+	}
+	m := machine.New(out, memory)
+	m.OS = exitOS{}
+	m.Feat = opt.Feat
+	m.GR[isa.RegSP] = int64(mem.Addr(2, 0x10000))
+	trap := m.Run()
+	return m, tags, trap
+}
+
+// peek reads n little-endian bytes without disturbing anything.
+func peek(t *testing.T, m *mem.Memory, addr uint64, n int) uint64 {
+	t.Helper()
+	var v uint64
+	for i := n - 1; i >= 0; i-- {
+		b, f := m.Peek(addr + uint64(i))
+		if f != nil {
+			t.Fatal(f)
+		}
+		v = v<<8 | uint64(b)
+	}
+	return v
+}
+
+// modes every dynamic scenario runs under: the tag-update emission has
+// three distinct joins (whole-byte, serialized retry loop, plain RMW) and
+// the destination-tainting step interacts with the NaT-per-use ablation,
+// which regenerates the NaT source with a sequence that clobbers scratch
+// registers mid-block.
+var xchgModes = []struct {
+	name string
+	opt  Options
+}{
+	{"byte", Options{Gran: taint.Byte}},
+	{"word", Options{Gran: taint.Word}},
+	{"byte+ser", Options{Gran: taint.Byte, SerializedTags: true}},
+	{"byte+peruse", Options{Gran: taint.Byte, NaTPerUse: true}},
+	{"byte+setclr", Options{Gran: taint.Byte, Feat: machine.Features{SetClrNaT: true}}},
+}
+
+// A committed exchange of tainted data must set the target's tag bits —
+// and must not trap, even though the exchanged value carries a NaT.
+func TestCmpxchgStoreTaintsTarget(t *testing.T) {
+	src := fmt.Sprintf(`
+	movl r1 = %#x
+	ld8 r2 = [r1]            ; picks up the seeded taint
+	movl r3 = %#x
+	mov ccv = r0             ; target holds zero: the exchange commits
+	cmpxchg8 r4 = [r3], r2
+	mov r32 = r0
+	syscall 1
+`, xchgSrc, xchgDst)
+	for _, mode := range xchgModes {
+		t.Run(mode.name, func(t *testing.T) {
+			m, tags, trap := runTagged(t, src, mode.opt, func(memory *mem.Memory, tags *taint.Space) {
+				if f := memory.Write(xchgSrc, 8, 42); f != nil {
+					t.Fatal(f)
+				}
+				if err := tags.SetRange(xchgSrc, 8); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if trap != nil {
+				t.Fatalf("tainted exchange trapped: %v", trap)
+			}
+			if got := peek(t, m.Mem, xchgDst, 8); got != 42 {
+				t.Fatalf("exchange did not commit: target holds %d", got)
+			}
+			tainted, err := tags.Tainted(xchgDst, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tainted {
+				t.Error("committed exchange of tainted data left the target's tags clean")
+			}
+			if m.NaT[4] {
+				t.Error("old value came from a clean location but the destination is tainted")
+			}
+		})
+	}
+}
+
+// The destination is tainted from the location's OLD tags (a load), and a
+// committed clean exchange clears the target's tags (a store). The guest's
+// own ar.ccv must survive the instrumentation block.
+func TestCmpxchgOldValueCarriesTaint(t *testing.T) {
+	src := fmt.Sprintf(`
+	movl r1 = %#x
+	movl r2 = 5
+	mov ccv = r2             ; matches: the exchange commits
+	movl r3 = 9
+	cmpxchg8 r4 = [r1], r3   ; clean store over a tainted location
+	mov r5 = ccv             ; the block must not clobber the guest's ccv
+	mov r32 = r0
+	syscall 1
+`, xchgDst)
+	for _, mode := range xchgModes {
+		t.Run(mode.name, func(t *testing.T) {
+			m, tags, trap := runTagged(t, src, mode.opt, func(memory *mem.Memory, tags *taint.Space) {
+				if f := memory.Write(xchgDst, 8, 5); f != nil {
+					t.Fatal(f)
+				}
+				if err := tags.SetRange(xchgDst, 8); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if trap != nil {
+				t.Fatal(trap)
+			}
+			if got := peek(t, m.Mem, xchgDst, 8); got != 9 {
+				t.Fatalf("exchange did not commit: target holds %d", got)
+			}
+			if !m.NaT[4] || m.GR[4] != 5 {
+				t.Errorf("old value r4 = %d (NaT %v), want 5 with NaT set from the old tags",
+					m.GR[4], m.NaT[4])
+			}
+			tainted, err := tags.Tainted(xchgDst, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tainted {
+				t.Error("committed clean exchange left stale taint on the target")
+			}
+			if m.GR[5] != 5 {
+				t.Errorf("guest ar.ccv clobbered: read back %d, want 5", m.GR[5])
+			}
+		})
+	}
+}
+
+// A failed compare stores nothing, so the bitmap must not change — but the
+// destination still observed the old value and inherits its taint.
+func TestCmpxchgFailedCASLeavesTagsAlone(t *testing.T) {
+	src := fmt.Sprintf(`
+	movl r1 = %#x
+	movl r2 = 1
+	mov ccv = r2             ; stale: the exchange fails
+	movl r3 = 9
+	cmpxchg8 r4 = [r1], r3
+	mov r32 = r0
+	syscall 1
+`, xchgDst)
+	for _, mode := range xchgModes {
+		t.Run(mode.name, func(t *testing.T) {
+			m, tags, trap := runTagged(t, src, mode.opt, func(memory *mem.Memory, tags *taint.Space) {
+				if f := memory.Write(xchgDst, 8, 5); f != nil {
+					t.Fatal(f)
+				}
+				if err := tags.SetRange(xchgDst, 8); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if trap != nil {
+				t.Fatal(trap)
+			}
+			if got := peek(t, m.Mem, xchgDst, 8); got != 5 {
+				t.Fatalf("failed exchange wrote memory: target holds %d", got)
+			}
+			tainted, err := tags.Tainted(xchgDst, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tainted {
+				t.Error("failed exchange cleared the target's tags")
+			}
+			if !m.NaT[4] || m.GR[4] != 5 {
+				t.Errorf("old value r4 = %d (NaT %v), want 5 with NaT set", m.GR[4], m.NaT[4])
+			}
+		})
+	}
+}
+
+// At byte granularity a one-byte exchange updates exactly its own bit of
+// the shared tag byte, in both directions (set and clear), leaving the
+// neighbouring byte's bit alone.
+func TestCmpxchg1TouchesOnlyItsBit(t *testing.T) {
+	for _, serialized := range []bool{false, true} {
+		name := "plain"
+		if serialized {
+			name = "serialized"
+		}
+		t.Run(name, func(t *testing.T) {
+			opt := Options{Gran: taint.Byte, SerializedTags: serialized}
+
+			// Clean exchange over a tainted byte: only bit 0 clears.
+			clearSrc := fmt.Sprintf(`
+	movl r1 = %#x
+	movl r2 = 5
+	mov ccv = r2
+	movl r3 = 9
+	cmpxchg1 r4 = [r1], r3
+	mov r32 = r0
+	syscall 1
+`, xchgDst)
+			m, tags, trap := runTagged(t, clearSrc, opt, func(memory *mem.Memory, tags *taint.Space) {
+				if f := memory.Write(xchgDst, 1, 5); f != nil {
+					t.Fatal(f)
+				}
+				if f := memory.Write(xchgDst+1, 1, 7); f != nil {
+					t.Fatal(f)
+				}
+				if err := tags.SetRange(xchgDst, 2); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if trap != nil {
+				t.Fatal(trap)
+			}
+			if got := peek(t, m.Mem, xchgDst, 1); got != 9 {
+				t.Fatalf("exchange did not commit: target holds %d", got)
+			}
+			if mine, _ := tags.Tainted(xchgDst, 1); mine {
+				t.Error("clean one-byte exchange left its own bit set")
+			}
+			if neighbour, _ := tags.Tainted(xchgDst+1, 1); !neighbour {
+				t.Error("one-byte exchange clobbered its neighbour's tag bit")
+			}
+
+			// Tainted exchange over a clean byte: only bit 0 sets.
+			setSrc := fmt.Sprintf(`
+	movl r1 = %#x
+	ld1 r2 = [r1]            ; tainted byte
+	movl r3 = %#x
+	mov ccv = r0
+	cmpxchg1 r4 = [r3], r2
+	mov r32 = r0
+	syscall 1
+`, xchgSrc, xchgDst)
+			m, tags, trap = runTagged(t, setSrc, opt, func(memory *mem.Memory, tags *taint.Space) {
+				if f := memory.Write(xchgSrc, 1, 42); f != nil {
+					t.Fatal(f)
+				}
+				if err := tags.SetRange(xchgSrc, 1); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if trap != nil {
+				t.Fatal(trap)
+			}
+			if got := peek(t, m.Mem, xchgDst, 1); got != 42 {
+				t.Fatalf("exchange did not commit: target holds %d", got)
+			}
+			if mine, _ := tags.Tainted(xchgDst, 1); !mine {
+				t.Error("tainted one-byte exchange left its bit clean")
+			}
+			if neighbour, _ := tags.Tainted(xchgDst+1, 1); neighbour {
+				t.Error("one-byte exchange tainted its neighbour's bit")
+			}
+		})
+	}
+}

@@ -247,8 +247,12 @@ func (in *inserter) emitHandler() {
 // ld1/cmpxchg1 retry loop (compare value through ar.ccv), so concurrent
 // threads can never lose each other's tag updates. The mask is built once
 // outside the loop; pT/pF (the data's tnat result) select set vs clear.
-// Clobbers rOff and rBit, so any cached tag translation dies with it.
+// The guest's own ar.ccv is saved through rAddr and restored afterwards,
+// so an original cmpxchg whose compare value was set before the store
+// block still sees it. Clobbers rOff, rBit and rAddr, so any cached tag
+// translation dies with it.
 func (in *inserter) emitSerializedRMW(sz uint8) {
+	in.add(isa.ClassStoreCompute, isa.Instruction{Op: isa.OpMovFromCcv, Dest: rAddr})
 	if sz == 8 {
 		in.add(isa.ClassStoreCompute, isa.Instruction{Op: isa.OpMovl, Dest: rMask, Imm: 0xff})
 	} else {
@@ -267,7 +271,104 @@ func (in *inserter) emitSerializedRMW(sz uint8) {
 	in.add(isa.ClassStoreTagMem, isa.Instruction{Op: isa.OpCmpxchg, Dest: rOff, Src1: rTag, Src2: rBit, Size: 1})
 	in.add(isa.ClassStoreCompute, isa.Instruction{Op: isa.OpCmp, Cond: isa.CondNE, P1: pT2, P2: pF2, Src1: rOff, Src2: rVal})
 	in.add(isa.ClassStoreCompute, isa.Instruction{Op: isa.OpBr, Qp: pT2, Label: label})
+	in.add(isa.ClassStoreCompute, isa.Instruction{Op: isa.OpMovToCcv, Src1: rAddr})
 	// rOff is gone; a cached translation must not be reused.
+	in.tagFor = -1
+}
+
+// emitCmpxchg rewrites a guest atomic compare-and-exchange under the same
+// Figure 5 discipline as loads and stores — the store form the paper's
+// §4.4 leaves uninstrumented, so a committed exchange used to leave stale
+// tag bits behind. The rewritten block behaves as a load for the
+// destination (it is tainted from the OLD tag state of the location) and
+// as a store for the bitmap (on a committed exchange the unit's tags are
+// set from the new data's NaT bit); a failed compare leaves the bitmap
+// untouched. The exchange is retargeted at rAddr so the old value
+// survives even when the original destination is r0 — the success test
+// for the tag-update branch needs it.
+func (in *inserter) emitCmpxchg(src *isa.Instruction, permissive bool) {
+	sz := src.Size
+	g := in.opt.Gran
+
+	addr := src.Src1
+	if permissive {
+		in.add(isa.ClassStoreCompute, isa.Instruction{Op: isa.OpMov, Dest: rAddr2, Src1: addr})
+		in.add(isa.ClassNatGen, isa.Instruction{Op: isa.OpTnat, P1: pT2, P2: pF2, Src1: rAddr2})
+		in.emitClean(rAddr2, pT2, isa.ClassNatGen)
+		addr = rAddr2
+	}
+
+	// Instruction 1 of Figure 5: is the new data tainted? cmpxchg has no
+	// spill form, so the stored copy is always NaT-stripped first.
+	in.add(isa.ClassStoreCompute, isa.Instruction{Op: isa.OpTnat, P1: pT, P2: pF, Src1: src.Src2})
+	in.add(isa.ClassStoreCompute, isa.Instruction{Op: isa.OpMov, Dest: rMask, Src1: src.Src2})
+	in.emitClean(rMask, pT, isa.ClassNatGen)
+
+	orig := *src
+	orig.Src1, orig.Src2, orig.Dest = addr, rMask, rAddr
+	in.out.Text = append(in.out.Text, orig)
+
+	// Old tag state, read before the update: it taints the destination
+	// exactly as a load of the location would.
+	key := int(src.Src1)
+	if permissive {
+		key = -1
+	}
+	in.emitTagAddr(addr, isa.ClassStoreCompute, key)
+	in.add(isa.ClassLoadTagMem, isa.Instruction{Op: isa.OpLd, Dest: rVal, Src1: rTag, Size: 1})
+	if g == taint.Byte && sz < 8 {
+		in.add(isa.ClassLoadCompute, isa.Instruction{Op: isa.OpAndi, Dest: rBit, Src1: rOff, Imm: 7})
+		in.add(isa.ClassLoadCompute, isa.Instruction{Op: isa.OpShr, Dest: rVal, Src1: rVal, Src2: rBit})
+		in.add(isa.ClassLoadCompute, isa.Instruction{Op: isa.OpAndi, Dest: rVal, Src1: rVal, Imm: int64(1)<<sz - 1})
+	}
+	in.add(isa.ClassLoadCompute, isa.Instruction{Op: isa.OpCmpi, Cond: isa.CondNE, P1: pT2, P2: pF2, Src1: rVal, Imm: 0})
+
+	// Deliver the old value (and its taint) to the original destination.
+	// The old value is parked in rBit first: the NaT-per-use ablation
+	// regenerates the NaT source with a sequence that clobbers rAddr.
+	in.add(isa.ClassStoreCompute, isa.Instruction{Op: isa.OpMov, Dest: rBit, Src1: rAddr})
+	if src.Dest != isa.RegZero {
+		in.add(isa.ClassStoreCompute, isa.Instruction{Op: isa.OpMov, Dest: src.Dest, Src1: rAddr})
+		if in.opt.Feat.SetClrNaT {
+			in.add(isa.ClassNatGen, isa.Instruction{Op: isa.OpSetNat, Qp: pT2, Dest: src.Dest})
+		} else {
+			if in.opt.NaTPerUse {
+				in.emitNaTGen()
+			}
+			in.add(isa.ClassNatGen, isa.Instruction{Op: isa.OpAdd, Qp: pT2, Dest: src.Dest, Src1: src.Dest, Src2: rNaT})
+		}
+	}
+
+	// Did the exchange commit? Only then does the bitmap change.
+	in.casN++
+	label := fmt.Sprintf(".shift.xchg.%d", in.casN)
+	in.add(isa.ClassStoreCompute, isa.Instruction{Op: isa.OpMovFromCcv, Dest: rVal})
+	in.add(isa.ClassStoreCompute, isa.Instruction{Op: isa.OpCmp, Cond: isa.CondNE, P1: pT2, P2: pF2, Src1: rBit, Src2: rVal})
+	in.add(isa.ClassStoreCompute, isa.Instruction{Op: isa.OpBr, Qp: pT2, Label: label})
+	switch {
+	case g.WholeByte():
+		in.add(isa.ClassStoreCompute, isa.Instruction{Op: isa.OpMov, Dest: rVal, Src1: isa.RegZero})
+		in.add(isa.ClassStoreCompute, isa.Instruction{Op: isa.OpAddi, Qp: pT, Dest: rVal, Src1: isa.RegZero, Imm: 1})
+		in.add(isa.ClassStoreTagMem, isa.Instruction{Op: isa.OpSt, Src1: rTag, Src2: rVal, Size: 1})
+	case in.opt.SerializedTags:
+		in.emitSerializedRMW(sz)
+	default:
+		in.add(isa.ClassStoreTagMem, isa.Instruction{Op: isa.OpLd, Dest: rVal, Src1: rTag, Size: 1})
+		if sz == 8 {
+			in.add(isa.ClassStoreCompute, isa.Instruction{Op: isa.OpOri, Qp: pT, Dest: rVal, Src1: rVal, Imm: 0xff})
+			in.add(isa.ClassStoreCompute, isa.Instruction{Op: isa.OpAndi, Qp: pF, Dest: rVal, Src1: rVal, Imm: ^int64(0xff)})
+		} else {
+			in.add(isa.ClassStoreCompute, isa.Instruction{Op: isa.OpAndi, Dest: rBit, Src1: rOff, Imm: 7})
+			in.add(isa.ClassStoreCompute, isa.Instruction{Op: isa.OpMovl, Dest: rMask, Imm: int64(1)<<sz - 1})
+			in.add(isa.ClassStoreCompute, isa.Instruction{Op: isa.OpShl, Dest: rMask, Src1: rMask, Src2: rBit})
+			in.add(isa.ClassStoreCompute, isa.Instruction{Op: isa.OpOr, Qp: pT, Dest: rVal, Src1: rVal, Src2: rMask})
+			in.add(isa.ClassStoreCompute, isa.Instruction{Op: isa.OpAndcm, Qp: pF, Dest: rVal, Src1: rVal, Src2: rMask})
+		}
+		in.add(isa.ClassStoreTagMem, isa.Instruction{Op: isa.OpSt, Src1: rTag, Src2: rVal, Size: 1})
+	}
+	in.out.Symbols[label] = len(in.out.Text)
+	// The two join paths disagree on the scratch state; drop any cached
+	// translation rather than reason about it.
 	in.tagFor = -1
 }
 

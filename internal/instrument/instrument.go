@@ -149,11 +149,15 @@ func Apply(prog *isa.Program, opt Options) (*isa.Program, error) {
 		mapping[idx] = len(ins.out.Text)
 		src := &prog.Text[idx]
 
+		// The NaT source must be live before the first tainting site:
+		// regenerate it at every function entry under NaTPerFunction, and
+		// always at the program entry — even when no symbol labels it
+		// (hand-assembled programs may start executing at a bare index).
+		if idx == prog.Entry || (opt.NaTPerFunction && len(funcEntry[idx]) > 0) {
+			ins.emitNaTGen()
+		}
 		// Entering a function?
 		if names, ok := funcEntry[idx]; ok {
-			if opt.NaTPerFunction || idx == prog.Entry {
-				ins.emitNaTGen()
-			}
 			permissive = false
 			for _, n := range names {
 				if opt.Permissive[n] {
@@ -169,9 +173,10 @@ func Apply(prog *isa.Program, opt Options) (*isa.Program, error) {
 		}
 
 		needsRewrite := !src.ABI &&
-			(src.Op == isa.OpLd || src.Op == isa.OpSt || src.Op == isa.OpCmp || src.Op == isa.OpCmpi)
+			(src.Op == isa.OpLd || src.Op == isa.OpSt || src.Op == isa.OpCmpxchg ||
+				src.Op == isa.OpCmp || src.Op == isa.OpCmpi)
 		if needsRewrite && src.Qp != 0 {
-			return nil, fmt.Errorf("instrument: instruction %d (%s): predicated loads, stores and compares are not supported", idx, src.String())
+			return nil, fmt.Errorf("instrument: instruction %d (%s): predicated loads, stores, atomics and compares are not supported", idx, src.String())
 		}
 		switch {
 		case src.ABI:
@@ -180,6 +185,8 @@ func Apply(prog *isa.Program, opt Options) (*isa.Program, error) {
 			ins.emitLoad(src, permissive)
 		case src.Op == isa.OpSt:
 			ins.emitStore(src, permissive)
+		case src.Op == isa.OpCmpxchg:
+			ins.emitCmpxchg(src, permissive)
 		case (src.Op == isa.OpCmp || src.Op == isa.OpCmpi) && !clean.compareClean(src):
 			ins.emitRelaxedCmp(src)
 		case src.Op == isa.OpSyscall && opt.UserGuards:

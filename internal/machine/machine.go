@@ -224,6 +224,14 @@ type Machine struct {
 	// YieldReq asks the scheduler to end the current time slice (set by
 	// the yield/join syscalls).
 	YieldReq bool
+	// UnsafePreempt lets a quantum expiry end the time slice anywhere,
+	// including between a data store and its tag-update sequence — the
+	// exact window of the paper's §4.4 bitmap hazard. By default a slice
+	// only ends when the next instruction to run is an original-program
+	// instruction, so every instrumentation block (store + tag update,
+	// load + register taint) retires without an interleaved sibling
+	// thread. The unsafe mode exists to reproduce the hazard on demand.
+	UnsafePreempt bool
 }
 
 // Stats holds the optional accounting a Machine only pays for when a
@@ -264,7 +272,7 @@ func New(p *isa.Program, m *mem.Memory) *Machine {
 
 // Reset rewinds execution state (registers, accounting) but not memory.
 func (m *Machine) Reset() {
-	*m = Machine{Prog: m.Prog, Mem: m.Mem, OS: m.OS, Feat: m.Feat, Costs: m.Costs, Budget: m.Budget, TID: m.TID, Hook: m.Hook}
+	*m = Machine{Prog: m.Prog, Mem: m.Mem, OS: m.OS, Feat: m.Feat, Costs: m.Costs, Budget: m.Budget, TID: m.TID, Hook: m.Hook, UnsafePreempt: m.UnsafePreempt}
 	m.PR[0] = true
 	m.PC = m.Prog.Entry
 }
@@ -350,7 +358,7 @@ func (m *Machine) exec(text []isa.Instruction, budget, sliceEnd uint64, single b
 				}
 			}
 			m.PC++
-			if single || m.YieldReq || m.Cycles >= sliceEnd {
+			if single || m.YieldReq || (m.Cycles >= sliceEnd && m.sliceBoundary(text)) {
 				return nil
 			}
 			continue
@@ -704,10 +712,25 @@ func (m *Machine) exec(text []isa.Instruction, budget, sliceEnd uint64, single b
 			}
 		}
 		m.PC = next
-		if single || m.Halted || m.YieldReq || m.Cycles >= sliceEnd {
+		if single || m.Halted || m.YieldReq || (m.Cycles >= sliceEnd && m.sliceBoundary(text)) {
 			return nil
 		}
 	}
+}
+
+// sliceBoundary reports whether the current PC is a point where a
+// quantum expiry may end the time slice. The default is tag-coherent
+// preemption: a slice ends only when the next instruction to run is an
+// original-program instruction (or the PC left the text), so an
+// instrumentation block — in particular the data-store-to-tag-update
+// pair of Figure 5 — always retires whole before a sibling thread runs.
+// That atomicity is what makes the tag bitmap coherent across threads
+// and the lockstep oracle's cross-thread checks sound. UnsafePreempt
+// disables the rule to reproduce the §4.4 hazard. Yields, halts and
+// traps are unaffected: the yield/join syscalls are original
+// instructions, so they already sit on block boundaries.
+func (m *Machine) sliceBoundary(text []isa.Instruction) bool {
+	return m.UnsafePreempt || uint(m.PC) >= uint(len(text)) || text[m.PC].Class == isa.ClassOrig
 }
 
 // read performs a data read and reports whether it missed in the L1 model.

@@ -11,8 +11,11 @@ import (
 // thread is a full Machine (its own registers, NaT bits, predicates,
 // UNAT) sharing the program, memory and OS model. Scheduling is
 // deterministic: round-robin with a fixed cycle quantum, so every
-// interleaving — including the tag-bitmap races the paper warns about —
-// reproduces exactly.
+// interleaving reproduces exactly. Quantum expiry is tag-coherent by
+// default — a slice stretches to the next original-program instruction,
+// so a store and its tag-update sequence retire as one atomic block
+// (see Machine.UnsafePreempt for the opt-out that reproduces the
+// paper's §4.4 bitmap races).
 type Scheduler struct {
 	// Threads[0] is the initial thread; others come from Spawn.
 	Threads []*Machine
@@ -43,6 +46,7 @@ func (s *Scheduler) Spawn(entry int, arg int64, sp uint64) int {
 	m.Costs = src.Costs
 	m.Budget = src.Budget
 	m.Hook = src.Hook
+	m.UnsafePreempt = src.UnsafePreempt
 	m.PC = entry
 	m.BR[0] = HaltPC // returning from the entry function halts the thread
 	m.GR[isa.RegSP] = int64(sp)

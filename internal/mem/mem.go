@@ -14,6 +14,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // Address-space geometry.
@@ -112,6 +113,14 @@ type Memory struct {
 	bound   [8]uint64
 	Cache   *Cache // optional L1 model; nil disables cache accounting
 	touched uint64 // pages allocated, for footprint reporting
+
+	// shmu guards pages and touched for the Shared* accessors, which
+	// bypass the software TLB (the TLB is mutated even by plain reads,
+	// so it can never be consulted concurrently). The plain accessors do
+	// NOT take it: their guarantees between each other are unchanged, and
+	// mixing plain and Shared* access to one Memory from different
+	// goroutines remains the caller's synchronization problem.
+	shmu sync.RWMutex
 }
 
 // New returns an empty memory with no regions mapped.
@@ -405,6 +414,55 @@ func (m *Memory) ReadCString(addr uint64, max int) (string, *Fault) {
 		i += chunk
 	}
 	return string(out), nil
+}
+
+// SharedPeek1 reads one byte like Peek but safely from concurrent
+// goroutines: it bypasses both the cache model and the software TLB and
+// takes an internal read lock on the page table. Byte-level atomicity
+// between racing writers is NOT provided here — callers that need a
+// consistent read-modify-write serialize on their own locks (the taint
+// package's shared tag space shards on bitmap words).
+func (m *Memory) SharedPeek1(addr uint64) (byte, *Fault) {
+	if !m.rangeOK(addr, 1) {
+		if f := m.check(addr, 1); f != nil {
+			return 0, f
+		}
+	}
+	key := addr >> pageBits
+	m.shmu.RLock()
+	p := m.pages[key]
+	m.shmu.RUnlock()
+	if p == nil {
+		return 0, nil
+	}
+	return p[addr&(pageSize-1)], nil
+}
+
+// SharedWrite1 writes one byte, safe against concurrent SharedPeek1 /
+// SharedWrite1 calls to other bytes: frame allocation is serialized on
+// the page-table lock, and the TLB and cache model are bypassed. Two
+// goroutines writing the same byte still need external ordering.
+func (m *Memory) SharedWrite1(addr uint64, v byte) *Fault {
+	if !m.rangeOK(addr, 1) {
+		if f := m.check(addr, 1); f != nil {
+			return f
+		}
+	}
+	key := addr >> pageBits
+	m.shmu.RLock()
+	p := m.pages[key]
+	m.shmu.RUnlock()
+	if p == nil {
+		m.shmu.Lock()
+		if p = m.pages[key]; p == nil {
+			p = new([pageSize]byte)
+			m.pages[key] = p
+			m.touched++
+		}
+		m.shmu.Unlock()
+	}
+	p[addr&(pageSize-1)] = v
+	return nil
 }
 
 // PagesTouched returns the number of 4KiB frames ever written.

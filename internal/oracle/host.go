@@ -4,18 +4,29 @@ import "shift/internal/isa"
 
 // The methods below implement the shift package's HostEffects interface:
 // the OS model reports its direct effects on guest state so the shadow
-// can mirror them. All of them are defined-semantics adoptions, not
-// checks — host behaviour is the specification, not the system under
-// test.
+// can mirror them and then cross-check the bitmap's view of them.
 
 // HostWrite records that the OS wrote n bytes of host data at addr
-// (read(2)-style transfers, getarg strings). The tag bitmap's view is
-// authoritative here: the OS model marks sources explicitly (reported
-// separately via HostTaint) and otherwise leaves tags sticky, so the
-// shadow adopts whatever the bitmap says for the touched units.
+// (read(2)-style transfers, getarg strings). SHIFT's OS model leaves
+// tags sticky — a host write never changes the bitmap, and explicit
+// sources arrive separately via HostTaint — so the shadow keeps its own
+// taint for the touched units and the syscall-boundary sweep verifies
+// the bitmap really did stay put. A unit whose last writer bypassed the
+// bitmap by design (a spill slot) loses that exemption the moment the
+// OS overwrites it: its bitmap bit is adopted once, and from then on it
+// is checked like any other unit.
 func (o *Oracle) HostWrite(addr uint64, n int) {
-	if n > 0 {
-		o.adoptMem(addr, uint64(n))
+	if n <= 0 {
+		return
+	}
+	for u := o.unitOf(addr); u < o.unitOf(addr+uint64(n)-1)+o.unit; u += o.unit {
+		mu := o.mem[u]
+		if mu.hidden && o.cfg.Tags != nil {
+			if bit, err := o.cfg.Tags.PeekUnit(u); err == nil {
+				mu = memUnit{taint: bit}
+			}
+		}
+		o.mem[u] = mu
 	}
 }
 
@@ -41,18 +52,20 @@ func (o *Oracle) HostUntaint(addr, n uint64) {
 }
 
 // OnSpawn records a thread creation. The child inherits the taint of its
-// argument register from the parent's argument slot; and from the first
-// spawn onward the strong cross-checks stand down permanently — the
-// store-to-tag-update window of one thread is observable by the others
-// (the §4.4 atomicity gap), so bitmap and register-equality comparisons
-// are no longer sound. Thread-local NaT-rule checks continue.
+// argument register from the parent's argument slot. Under the default
+// tag-coherent scheduling, every instrumentation block retires whole
+// before a sibling thread runs, so the strong cross-checks remain sound
+// in fully multithreaded runs and nothing stands down. Only under
+// Config.UnsafePreempt — where a slice may end inside a
+// store-to-tag-update window (the §4.4 atomicity gap under study) — do
+// bitmap and register-equality comparisons stop from the first spawn
+// onward, leaving the thread-local NaT-rule checks.
 func (o *Oracle) OnSpawn(parentTID, childTID int) {
 	parent := o.regs(parentTID)
 	child := o.regs(childTID)
 	child.taint[isa.RegArg0] = parent.taint[isa.RegArg0+1]
-	// The kept mask and NaT source are inherited by the scheduler; their
-	// shadow taint is irrelevant (reserved registers), but mirror the
-	// argument path before standing down.
-	o.concurrent = true
-	o.pending = o.pending[:0]
+	if o.cfg.UnsafePreempt {
+		o.concurrent = true
+		o.pending = o.pending[:0]
+	}
 }

@@ -23,6 +23,14 @@ type Config struct {
 	// build), only the mechanical NaT-rule checks run: there is no tag
 	// state to compare the shadow against.
 	Instrumented bool
+	// UnsafePreempt mirrors machine.Machine.UnsafePreempt: the scheduler
+	// may end a time slice between a data store and its tag update. In
+	// that mode the strong cross-checks stand down once a second thread
+	// spawns — the §4.4 window really is observable, so bitmap and
+	// register comparisons would flag the hazard under test rather than
+	// a divergence. Under the default tag-coherent scheduling the checks
+	// stay up through fully multithreaded runs.
+	UnsafePreempt bool
 }
 
 // memUnit is the shadow state of one tracked unit (one byte at byte
@@ -71,11 +79,11 @@ type Oracle struct {
 	threads map[int]*regShadow
 	pending []uint64 // units awaiting a bitmap check at the next boundary
 
-	// concurrent latches when a second thread spawns: from then on the
-	// store-to-tag-update windows of one thread are observable by the
-	// others, so bitmap and register-equality checks are no longer
-	// sound (the §4.4 atomicity gap) and only thread-local NaT-rule
-	// checks continue.
+	// concurrent latches when a second thread spawns under
+	// Config.UnsafePreempt: only then are the store-to-tag-update
+	// windows of one thread observable by the others (the §4.4
+	// atomicity gap), making bitmap and register-equality checks
+	// unsound. Tag-coherent scheduling (the default) never sets it.
 	concurrent bool
 
 	failure *Divergence
@@ -138,26 +146,6 @@ func (o *Oracle) setMem(addr uint64, size int, t, authoritative bool) {
 		if authoritative && !o.concurrent {
 			o.pending = append(o.pending, u)
 		}
-	}
-}
-
-// adoptMem sets the shadow taint of units covering [addr, addr+n) from
-// the bitmap itself. Used where the system's defined semantics are
-// "whatever the bitmap says": host syscall writes (the OS model never
-// clears tags — SHIFT's documented stickiness) and un-instrumented
-// atomics (the §4.4 gap).
-func (o *Oracle) adoptMem(addr uint64, n uint64) {
-	if n == 0 {
-		return
-	}
-	for u := o.unitOf(addr); u < o.unitOf(addr+n-1)+o.unit; u += o.unit {
-		t := false
-		if o.cfg.Tags != nil {
-			if bit, err := o.cfg.Tags.PeekUnit(u); err == nil {
-				t = bit
-			}
-		}
-		o.mem[u] = memUnit{taint: t, hidden: o.cfg.Tags == nil}
 	}
 }
 

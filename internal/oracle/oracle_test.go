@@ -203,8 +203,9 @@ func TestOracleFinishSweeps(t *testing.T) {
 	}
 }
 
-// Host-effect notifications must steer the shadow: taint marking, explicit
-// clearing, and bitmap adoption at host writes.
+// Host-effect notifications must steer the shadow: taint marking and
+// explicit clearing drive it, while a host write keeps the shadow's own
+// view so the bitmap's stickiness is checked rather than adopted.
 func TestOracleHostEffects(t *testing.T) {
 	m, tags := buildMachine(t, []isa.Instruction{{Op: isa.OpNop}}, taint.Byte)
 	_ = m
@@ -218,19 +219,47 @@ func TestOracleHostEffects(t *testing.T) {
 	if o.loadTaint(dataAddr, 4) {
 		t.Error("HostUntaint did not clear the shadow")
 	}
-	// HostWrite adopts whatever the bitmap says for the touched range.
+	// A host write over a previously tainted range preserves the shadow's
+	// taint (OS tag stickiness is the reference semantics under check).
+	o.HostTaint(dataAddr, 2)
+	o.HostWrite(dataAddr, 4)
+	if !o.loadTaint(dataAddr, 2) || o.loadTaint(dataAddr+2, 2) {
+		t.Error("HostWrite did not preserve the shadow's sticky taint")
+	}
+}
+
+// A tag bit the OS model should have left alone (stickiness says a host
+// write never changes the bitmap) must surface as a bitmap divergence at
+// the next sweep instead of being silently adopted into the shadow.
+func TestOracleChecksHostWriteStickiness(t *testing.T) {
+	m, tags := buildMachine(t, []isa.Instruction{{Op: isa.OpNop}}, taint.Byte)
+	o := New(Config{Tags: tags, Instrumented: true})
+	o.Attach(m)
+
+	// Seeded bug: the bitmap gains taint under a host write with no
+	// source (HostTaint) to justify it.
 	if err := tags.SetRange(dataAddr, 2); err != nil {
 		t.Fatal(err)
 	}
 	o.HostWrite(dataAddr, 4)
-	if !o.loadTaint(dataAddr, 2) || o.loadTaint(dataAddr+2, 2) {
-		t.Error("HostWrite did not adopt the bitmap's view")
+	if o.loadTaint(dataAddr, 4) {
+		t.Fatal("shadow adopted unexplained bitmap taint")
+	}
+	err := o.Finish(m)
+	var d *Divergence
+	if !errors.As(err, &d) || d.Kind != DivBitmap {
+		t.Fatalf("Finish = %v, want DivBitmap on the stuck-on tag", err)
+	}
+	if !d.Machine || d.Shadow {
+		t.Errorf("machine=%v shadow=%v, want true/false", d.Machine, d.Shadow)
 	}
 }
 
-// Spawning a second thread stands the strong checks down permanently and
-// carries the argument register's taint into the child.
-func TestOracleSpawnStandsDown(t *testing.T) {
+// Under tag-coherent scheduling (the default) spawning a second thread
+// keeps every strong check standing; only the UnsafePreempt configuration
+// reproduces the old stand-down. The child's argument-taint inheritance
+// applies in both modes.
+func TestOracleSpawnKeepsChecking(t *testing.T) {
 	m, tags := buildMachine(t, []isa.Instruction{{Op: isa.OpNop}}, taint.Byte)
 	_ = m
 	o := New(Config{Tags: tags, Instrumented: true})
@@ -239,10 +268,20 @@ func TestOracleSpawnStandsDown(t *testing.T) {
 	}
 	o.regs(0).taint[isa.RegArg0+1] = true
 	o.OnSpawn(0, 1)
-	if o.checking() {
-		t.Error("strong checks still on after spawn")
+	if !o.checking() {
+		t.Error("strong checks stood down after spawn despite coherent scheduling")
 	}
 	if !o.regs(1).taint[isa.RegArg0] {
 		t.Error("child argument taint not inherited")
+	}
+
+	u := New(Config{Tags: tags, Instrumented: true, UnsafePreempt: true})
+	u.regs(0).taint[isa.RegArg0+1] = true
+	u.OnSpawn(0, 1)
+	if u.checking() {
+		t.Error("strong checks still on after spawn under UnsafePreempt")
+	}
+	if !u.regs(1).taint[isa.RegArg0] {
+		t.Error("child argument taint not inherited under UnsafePreempt")
 	}
 }

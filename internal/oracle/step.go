@@ -163,12 +163,16 @@ func (o *Oracle) PostStep(m *machine.Machine, ins *isa.Instruction) error {
 		if ins.Dest != isa.RegZero && m.NaT[ins.Dest] {
 			return o.fail(m, ins, Divergence{Kind: DivNaTRule, Reg: ins.Dest, Machine: true, Shadow: false})
 		}
+		// A cmpxchg is a load of the old value and, when the compare
+		// succeeds, a store of the new one: the destination inherits the
+		// location's old taint, and a committed exchange propagates the
+		// data's taint into memory. The instrumentation pass now follows
+		// an original cmpxchg with a tag-update sequence (closing the
+		// paper's §4.4 gap), so the units are checked against the bitmap
+		// like any store's.
 		old := o.loadTaint(rs.addr, int(ins.Size))
 		if rs.xchgOld == rs.ccvPre {
-			// The exchange committed. No tag-update code accompanies
-			// guest-level atomics (the §4.4 gap), so the reference
-			// semantics here are the bitmap's own.
-			o.adoptMem(rs.addr, uint64(ins.Size))
+			o.setMem(rs.addr, int(ins.Size), rs.taint[ins.Src2], o.authoritative(ins))
 		}
 		setReg(rs, ins.Dest, old)
 

@@ -167,6 +167,96 @@ func FuzzOracleLockstep(f *testing.F) {
 	})
 }
 
+// generateThreaded builds a multi-threaded variant of generate's programs:
+// the same statement pool, but split across worker threads that all read
+// and write the shared data/buf arrays with yields sprinkled between
+// statements, so tag-byte read-modify-writes from different threads
+// interleave. Outputs are NOT diffed against a baseline — instrumentation
+// changes where slices end and therefore how threads interleave — the
+// property under fuzz is that fully checked multithreaded tracking never
+// traps, never alerts, and never diverges from the lockstep oracle.
+func generateThreaded(seed int64, workers int) string {
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.WriteString("int data[64];\nchar buf[32];\n")
+	for w := 0; w < workers; w++ {
+		g := &progGen{
+			rng:  rand.New(rand.NewSource(seed + int64(w)*7919)),
+			vals: []string{"v0", "v1", "v2"},
+			idxs: []string{"i", "j"},
+		}
+		fmt.Fprintf(&g.sb, "int worker%d(int id) {\n", w)
+		g.sb.WriteString("\tint i; int j; int v0 = id; int v1 = 2; int v2 = 3;\n")
+		for s := 0; s < 4+g.rng.Intn(6); s++ {
+			g.stmt(2)
+			g.sb.WriteString("\tyield();\n")
+		}
+		g.sb.WriteString("\treturn 0;\n}\n")
+		sb.WriteString(g.sb.String())
+	}
+	sb.WriteString("void main() {\n")
+	sb.WriteString("\tchar in[64];\n\tint n = recv(in, 64);\n")
+	sb.WriteString("\tint i;\n")
+	sb.WriteString("\tfor (i = 0; i < 64; i++) data[i] = in[i & 63];\n")
+	sb.WriteString("\tint tids[4];\n")
+	for w := 0; w < workers; w++ {
+		fmt.Fprintf(&sb, "\ttids[%d] = spawn(\"worker%d\", %d);\n", w, w, rng.Intn(8))
+	}
+	for w := 0; w < workers; w++ {
+		fmt.Fprintf(&sb, "\tif (tids[%d] < 0) exit(2);\n\tjoin(tids[%d]);\n", w, w)
+	}
+	sb.WriteString("\tint sum = 0;\n")
+	sb.WriteString("\tfor (i = 0; i < 64; i++) sum += data[i] * (i + 1);\n")
+	sb.WriteString("\tfor (i = 0; i < 32; i++) sum ^= buf[i] << (i & 7);\n")
+	sb.WriteString("\tprint_int(sum); putc('\\n');\n")
+	sb.WriteString("\texit(0);\n}\n")
+	return sb.String()
+}
+
+// FuzzThreadedTaint explores (program shape, tainted input, granularity,
+// worker count, quantum) with the lockstep oracle's full register and
+// bitmap cross-checks live across every spawn. Before tag-coherent
+// scheduling the oracle had to stand down at the first spawn; now any
+// interleaving the fuzzer finds that tears a tag update or desynchronizes
+// a NaT bit is a hard finding.
+func FuzzThreadedTaint(f *testing.F) {
+	f.Add(int64(1), []byte("tainted input bytes"), false, uint8(2), uint8(0))
+	f.Add(int64(7), []byte{0xff, 0x00, 0x80, 0x7f}, true, uint8(3), uint8(17))
+	f.Add(int64(42), []byte("0123456789abcdef"), false, uint8(1), uint8(5))
+	f.Fuzz(func(t *testing.T, seed int64, input []byte, word bool, workers, quantum uint8) {
+		if len(input) == 0 {
+			input = []byte{1}
+		}
+		if len(input) > 64 {
+			input = input[:64]
+		}
+		g := taint.Byte
+		if word {
+			g = taint.Word
+		}
+		src := generateThreaded(seed, 1+int(workers)%3)
+		world := NewWorld()
+		world.NetIn = input
+		res, err := BuildAndRun([]Source{{Name: "fuzz.mc", Text: src}}, world,
+			Options{Instrument: true, Granularity: g, Oracle: true,
+				Quantum: uint64(quantum)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Trap != nil {
+			t.Fatalf("seed %d gran=%v workers=%d q=%d: %v\n%s",
+				seed, g, 1+int(workers)%3, quantum, res.Trap, src)
+		}
+		if res.Alert != nil {
+			t.Fatalf("seed %d gran=%v workers=%d q=%d: false positive: %v\n%s",
+				seed, g, 1+int(workers)%3, quantum, res.Alert, src)
+		}
+		if res.Oracle.Stats.UnitChecks == 0 {
+			t.Fatalf("seed %d gran=%v: oracle idle", seed, g)
+		}
+	})
+}
+
 // TestInstrumentationPreservesSemantics is the central differential
 // property: for randomly generated programs over tainted input, the
 // instrumented runs (byte, word, enhanced, per-function NaT) must produce

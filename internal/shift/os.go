@@ -151,6 +151,29 @@ func (w *World) taintedBytes(addr uint64, n int) ([]bool, error) {
 	return w.Tags.TaintedBytes(addr, n)
 }
 
+// maxIOTransfer caps a single read/write/recv/send/html_write transfer.
+const maxIOTransfer = 1 << 20
+
+// ioCount validates a guest-supplied byte count. A negative count used
+// to flow through bare int(n) conversions: it bypassed the available-
+// data cap (the comparison count > avail is false for negative counts),
+// echoed garbage through r8, turned into a huge uint64 cycle charge, and
+// on the output paths made the host allocate a negative-length buffer.
+// Malformed counts now fail the syscall with -1 instead.
+func ioCount(n int64) (int, bool) {
+	if n < 0 || n > maxIOTransfer {
+		return 0, false
+	}
+	return int(n), true
+}
+
+// failCount sets the EINVAL-style result for a rejected transfer count.
+func failCount(m *machine.Machine) (uint64, *machine.Trap) {
+	m.GR[isa.RegRet] = -1
+	m.NaT[isa.RegRet] = false
+	return 0, nil
+}
+
 // arg fetches syscall argument i, faulting on a tainted scalar: tainted
 // data may not reach the kernel interface through registers (the syscall
 // half of policy L3).
@@ -320,11 +343,14 @@ func (w *World) sysRead(m *machine.Machine) (uint64, *machine.Trap) {
 		m.NaT[isa.RegRet] = false
 		return 0, nil
 	}
+	count, ok := ioCount(n)
+	if !ok {
+		return failCount(m)
+	}
 	avail := len(src) - *off
 	if avail < 0 {
 		avail = 0
 	}
-	count := int(n)
 	if count > avail {
 		count = avail
 	}
@@ -356,14 +382,18 @@ func (w *World) sysWrite(m *machine.Machine) (uint64, *machine.Trap) {
 	if trap != nil {
 		return 0, trap
 	}
-	b, f := m.Mem.ReadBytes(uint64(buf), int(n))
+	count, ok := ioCount(n)
+	if !ok {
+		return failCount(m)
+	}
+	b, f := m.Mem.ReadBytes(uint64(buf), count)
 	if f != nil {
 		return 0, hostTrap(m, f)
 	}
 	w.Stdout = append(w.Stdout, b...)
-	m.GR[isa.RegRet] = n
+	m.GR[isa.RegRet] = int64(count)
 	m.NaT[isa.RegRet] = false
-	return uint64(n) * w.IO.PerByte, nil
+	return uint64(count) * w.IO.PerByte, nil
 }
 
 func (w *World) sysOpen(m *machine.Machine) (uint64, *machine.Trap) {
@@ -408,8 +438,11 @@ func (w *World) sysRecv(m *machine.Machine) (uint64, *machine.Trap) {
 	if trap != nil {
 		return 0, trap
 	}
+	count, ok := ioCount(n)
+	if !ok {
+		return failCount(m)
+	}
 	avail := len(w.NetIn) - w.netOff
-	count := int(n)
 	if count > avail {
 		count = avail
 	}
@@ -437,14 +470,18 @@ func (w *World) sysSend(m *machine.Machine) (uint64, *machine.Trap) {
 	if trap != nil {
 		return 0, trap
 	}
-	b, f := m.Mem.ReadBytes(uint64(buf), int(n))
+	count, ok := ioCount(n)
+	if !ok {
+		return failCount(m)
+	}
+	b, f := m.Mem.ReadBytes(uint64(buf), count)
 	if f != nil {
 		return 0, hostTrap(m, f)
 	}
 	w.NetOut = append(w.NetOut, b...)
-	m.GR[isa.RegRet] = n
+	m.GR[isa.RegRet] = int64(count)
 	m.NaT[isa.RegRet] = false
-	return uint64(n) * w.IO.PerByte, nil
+	return uint64(count) * w.IO.PerByte, nil
 }
 
 func (w *World) sysSQL(m *machine.Machine) (uint64, *machine.Trap) {
@@ -504,12 +541,16 @@ func (w *World) sysHTML(m *machine.Machine) (uint64, *machine.Trap) {
 	if trap != nil {
 		return 0, trap
 	}
-	b, f := m.Mem.ReadBytes(uint64(buf), int(n))
+	count, ok := ioCount(n)
+	if !ok {
+		return failCount(m)
+	}
+	b, f := m.Mem.ReadBytes(uint64(buf), count)
 	if f != nil {
 		return 0, hostTrap(m, f)
 	}
 	if w.Engine != nil {
-		tb, err := w.taintedBytes(uint64(buf), int(n))
+		tb, err := w.taintedBytes(uint64(buf), count)
 		if err != nil {
 			return 0, hostTrap(m, err)
 		}
@@ -518,9 +559,9 @@ func (w *World) sysHTML(m *machine.Machine) (uint64, *machine.Trap) {
 		}
 	}
 	w.HTMLOut = append(w.HTMLOut, b...)
-	m.GR[isa.RegRet] = n
+	m.GR[isa.RegRet] = int64(count)
 	m.NaT[isa.RegRet] = false
-	return uint64(n) * w.IO.PerByte, nil
+	return uint64(count) * w.IO.PerByte, nil
 }
 
 func (w *World) sysTaintOps(m *machine.Machine, num int64) (uint64, *machine.Trap) {
@@ -581,7 +622,7 @@ func (w *World) sysGetArg(m *machine.Machine) (uint64, *machine.Trap) {
 	if trap != nil {
 		return 0, trap
 	}
-	if i < 0 || int(i) >= len(w.Args) {
+	if i < 0 || int(i) >= len(w.Args) || capacity <= 0 {
 		m.GR[isa.RegRet] = -1
 		m.NaT[isa.RegRet] = false
 		return 0, nil

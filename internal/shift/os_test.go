@@ -204,3 +204,48 @@ void main() {
 		t.Errorf("stdout = %q", res.World.Stdout)
 	}
 }
+
+// Malformed transfer counts — negative, or far past any plausible buffer —
+// must fail the syscall with -1 instead of echoing garbage through r8,
+// charging astronomic I/O cycles, or panicking the host on a negative
+// allocation (the pre-fix behaviour of the bare int(n) conversions).
+func TestMalformedIOCountsRejected(t *testing.T) {
+	src := `
+void main() {
+	char buf[16];
+	int huge = 16 * 1024 * 1024;
+	if (read(0, buf, 0 - 1) != -1) exit(1);
+	if (read(0, buf, huge) != -1) exit(2);
+	if (write(1, buf, 0 - 1) != -1) exit(3);
+	if (recv(buf, 0 - 1) != -1) exit(4);
+	if (send(buf, 0 - 1) != -1) exit(5);
+	if (html_write(buf, 0 - 1) != -1) exit(6);
+	if (getarg(0, buf, 0) != -1) exit(7);
+	if (getarg(0, buf, 0 - 1) != -1) exit(8);
+	// The channels stay usable after a rejected request.
+	if (read(0, buf, 4) != 4) exit(9);
+	if (buf[0] != 'd') exit(10);
+	exit(0);
+}
+`
+	world := NewWorld()
+	world.Stdin = []byte("data")
+	world.Args = []string{"argv0"}
+	res, err := BuildAndRun([]Source{{Name: "t", Text: src}}, world, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trap != nil || res.Alert != nil {
+		t.Fatalf("trap=%v alert=%v", res.Trap, res.Alert)
+	}
+	if res.ExitStatus != 0 {
+		t.Fatalf("exit=%d", res.ExitStatus)
+	}
+	if res.Cycles > 10_000_000 {
+		t.Errorf("rejected transfers still charged %d cycles", res.Cycles)
+	}
+	if len(res.World.Stdout) != 0 || len(res.World.NetOut) != 0 || len(res.World.HTMLOut) != 0 {
+		t.Errorf("rejected transfers produced output: stdout=%q netout=%q htmlout=%q",
+			res.World.Stdout, res.World.NetOut, res.World.HTMLOut)
+	}
+}

@@ -58,6 +58,12 @@ type Options struct {
 	// SerializedTags makes byte-level bitmap updates atomic via a
 	// cmpxchg retry loop, closing the §4.4 multi-threading hazard.
 	SerializedTags bool
+	// UnsafePreempt lets the scheduler end a time slice between a data
+	// store and its tag update (machine.Machine.UnsafePreempt), exposing
+	// the §4.4 bitmap hazard the default tag-coherent scheduling closes.
+	// With Oracle set, the strong cross-checks stand down at the first
+	// spawn in this mode, as they would otherwise flag the hazard itself.
+	UnsafePreempt bool
 	// NoRuntime skips linking the runtime library (for tests that
 	// provide their own primitives).
 	NoRuntime bool
@@ -188,6 +194,7 @@ func Run(prog *isa.Program, world *World, opt Options) (*Result, error) {
 	mach.OS = world
 	mach.Feat = opt.Features
 	mach.Budget = opt.Budget
+	mach.UnsafePreempt = opt.UnsafePreempt
 	if opt.Profile {
 		mach.EnableProfile()
 	}
@@ -197,7 +204,7 @@ func Run(prog *isa.Program, world *World, opt Options) (*Result, error) {
 
 	var orc *oracle.Oracle
 	if opt.Oracle {
-		orc = oracle.New(oracle.Config{Tags: world.Tags, Instrumented: opt.Instrument})
+		orc = oracle.New(oracle.Config{Tags: world.Tags, Instrumented: opt.Instrument, UnsafePreempt: opt.UnsafePreempt})
 		orc.Attach(mach)
 		world.Effects = orc
 	}

@@ -215,7 +215,9 @@ void main() {
 `
 
 // taintSurvives runs the race at one (quantum, delay) point and reports
-// whether shared[0]'s taint survived the churn.
+// whether shared[0]'s taint survived the churn. UnsafePreempt is on:
+// reproducing the §4.4 hazard needs slices that can end inside the tag
+// read-modify-write, which the default tag-coherent scheduling forbids.
 func taintSurvives(t *testing.T, quantum uint64, delay int) bool {
 	t.Helper()
 	world := NewWorld()
@@ -227,7 +229,7 @@ func taintSurvives(t *testing.T, quantum uint64, delay int) bool {
 	conf := policy.DefaultConfig()
 	conf.Sources = map[string]bool{"network": true} // args stay clean
 	res, err := BuildAndRun([]Source{{Name: "t", Text: raceProgram}}, world,
-		Options{Instrument: true, Policy: conf, Quantum: quantum})
+		Options{Instrument: true, Policy: conf, Quantum: quantum, UnsafePreempt: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +266,40 @@ func TestNoRaceWithCoarseSlices(t *testing.T) {
 	}
 }
 
-// taintSurvivesSerialized repeats the race grid with SerializedTags on.
+// TestCoherentSchedulingClosesTheRace: under the default scheduling a
+// quantum expiry stretches the slice to the next original-program
+// instruction, so the churner's tag read-modify-write can never split
+// around the tainter's update — the whole grid that loses taint under
+// UnsafePreempt keeps it, with no serialization needed.
+func TestCoherentSchedulingClosesTheRace(t *testing.T) {
+	survives := func(quantum uint64, delay int) bool {
+		world := NewWorld()
+		world.NetIn = []byte{0xAA, 0xBB}
+		world.Args = []string{fmt.Sprint(delay)}
+		conf := policy.DefaultConfig()
+		conf.Sources = map[string]bool{"network": true}
+		res, err := BuildAndRun([]Source{{Name: "t", Text: raceProgram}}, world,
+			Options{Instrument: true, Policy: conf, Quantum: quantum})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Trap != nil || res.Alert != nil {
+			t.Fatalf("quantum %d delay %d: trap=%v alert=%v", quantum, delay, res.Trap, res.Alert)
+		}
+		return res.ExitStatus == 1
+	}
+	for q := uint64(5); q <= 40; q += 5 {
+		for delay := 0; delay <= 60; delay += 3 {
+			if !survives(q, delay) {
+				t.Fatalf("tag-coherent scheduling lost the update at quantum=%d delay=%d", q, delay)
+			}
+		}
+	}
+}
+
+// taintSurvivesSerialized repeats the race grid with SerializedTags on,
+// still under UnsafePreempt — serialization alone must close the race
+// even when slices may end inside an instrumentation block.
 func taintSurvivesSerialized(t *testing.T, quantum uint64, delay int) bool {
 	t.Helper()
 	world := NewWorld()
@@ -273,7 +308,7 @@ func taintSurvivesSerialized(t *testing.T, quantum uint64, delay int) bool {
 	conf := policy.DefaultConfig()
 	conf.Sources = map[string]bool{"network": true}
 	res, err := BuildAndRun([]Source{{Name: "t", Text: raceProgram}}, world,
-		Options{Instrument: true, Policy: conf, Quantum: quantum, SerializedTags: true})
+		Options{Instrument: true, Policy: conf, Quantum: quantum, SerializedTags: true, UnsafePreempt: true})
 	if err != nil {
 		t.Fatal(err)
 	}

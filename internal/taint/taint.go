@@ -11,6 +11,7 @@ package taint
 
 import (
 	"fmt"
+	"sync"
 
 	"shift/internal/mem"
 )
@@ -94,12 +95,72 @@ func (g Granularity) TagAddr(addr uint64) (tagByte uint64, bit uint) {
 type Space struct {
 	Gran Granularity
 	Mem  *mem.Memory
+
+	// shards, when non-nil (see Share), serializes every host-side tag
+	// read-modify-write on a lock picked by the bitmap word the tag byte
+	// lives in, and routes the underlying accesses through the memory's
+	// TLB-free Shared accessors.
+	shards *[tagShards]sync.Mutex
 }
+
+// tagShards is the number of word-granularity locks a shared Space
+// stripes the bitmap over. Collisions only cost contention, never
+// correctness, so a small power of two suffices.
+const tagShards = 64
 
 // NewSpace maps region 0 of m and returns the tag space over it.
 func NewSpace(m *mem.Memory, g Granularity) *Space {
 	m.MapRegion(0, 0)
 	return &Space{Gran: g, Mem: m}
+}
+
+// Share makes the Space safe for concurrent host-side use: every tag
+// read-modify-write is serialized on one of tagShards locks, sharded at
+// bitmap-word granularity (eight tag bytes — 64 tracked units — per
+// lock), so racing goroutines can never tear a tag unit by interleaving
+// inside another's read-modify-write. Shared accesses bypass the
+// machine's software TLB and cache model entirely; mixing a shared Space
+// with a concurrently *executing* machine on the same memory remains the
+// caller's synchronization problem. Share returns the Space for chaining
+// and is idempotent, but must itself be called before the Space is
+// handed to other goroutines.
+func (s *Space) Share() *Space {
+	if s.shards == nil {
+		s.shards = new([tagShards]sync.Mutex)
+	}
+	return s
+}
+
+// Shared reports whether Share was called.
+func (s *Space) Shared() bool { return s.shards != nil }
+
+// lockTag takes the shard lock covering tagByte, returning the unlock
+// function, or a no-op when the Space is not shared.
+func (s *Space) lockTag(tagByte uint64) func() {
+	if s.shards == nil {
+		return func() {}
+	}
+	mu := &s.shards[(tagByte>>dropBits)%tagShards]
+	mu.Lock()
+	return mu.Unlock
+}
+
+// readTag reads one tag byte through the mode-appropriate accessor. The
+// caller holds the shard lock in shared mode.
+func (s *Space) readTag(tb uint64) (byte, *mem.Fault) {
+	if s.shards != nil {
+		return s.Mem.SharedPeek1(tb)
+	}
+	v, f := s.Mem.Read(tb, 1)
+	return byte(v), f
+}
+
+// writeTag writes one tag byte through the mode-appropriate accessor.
+func (s *Space) writeTag(tb uint64, v byte) *mem.Fault {
+	if s.shards != nil {
+		return s.Mem.SharedWrite1(tb, v)
+	}
+	return s.Mem.Write(tb, 1, uint64(v))
 }
 
 // SetRange marks [addr, addr+n) tainted. Host-side (taint sources).
@@ -147,25 +208,37 @@ func (s *Space) setRange(addr, n uint64, v bool) error {
 		return err
 	}
 	// Walk tracked units; any byte tainted within a unit taints the unit.
+	// In shared mode each tag byte's read-modify-write runs under its
+	// bitmap-word shard lock, so concurrent range updates touching
+	// different bits of one tag byte cannot lose each other.
 	start, count := s.units(addr, n)
 	unit := s.Gran.UnitBytes()
 	for i := uint64(0); i < count; i++ {
 		a := start + i*unit
 		tb, bit := s.Gran.TagAddr(a)
-		old, f := s.Mem.Read(tb, 1)
-		if f != nil {
-			return fmt.Errorf("taint: reading tag byte for %#x: %w", a, f)
+		if err := s.rmwTag(a, tb, bit, v); err != nil {
+			return err
 		}
-		var nb uint64
-		if v {
-			nb = old | 1<<bit
-		} else {
-			nb = old &^ (1 << bit)
-		}
-		if nb != old {
-			if f := s.Mem.Write(tb, 1, nb); f != nil {
-				return fmt.Errorf("taint: writing tag byte for %#x: %w", a, f)
-			}
+	}
+	return nil
+}
+
+// rmwTag sets or clears one bit of one tag byte, atomically with respect
+// to other shared-mode updates of the same bitmap word.
+func (s *Space) rmwTag(a, tb uint64, bit uint, v bool) error {
+	unlock := s.lockTag(tb)
+	defer unlock()
+	old, f := s.readTag(tb)
+	if f != nil {
+		return fmt.Errorf("taint: reading tag byte for %#x: %w", a, f)
+	}
+	nb := old &^ (1 << bit)
+	if v {
+		nb = old | 1<<bit
+	}
+	if nb != old {
+		if f := s.writeTag(tb, nb); f != nil {
+			return fmt.Errorf("taint: writing tag byte for %#x: %w", a, f)
 		}
 	}
 	return nil
@@ -184,7 +257,9 @@ func (s *Space) Tainted(addr uint64, n uint64) (bool, error) {
 	for i := uint64(0); i < count; i++ {
 		a := start + i*unit
 		tb, bit := s.Gran.TagAddr(a)
-		v, f := s.Mem.Read(tb, 1)
+		unlock := s.lockTag(tb)
+		v, f := s.readTag(tb)
+		unlock()
 		if f != nil {
 			return false, fmt.Errorf("taint: reading tag byte for %#x: %w", a, f)
 		}
@@ -204,7 +279,15 @@ func (s *Space) PeekUnit(addr uint64) (bool, error) {
 		return false, fmt.Errorf("taint: peek at %#x: unimplemented address bits", addr)
 	}
 	tb, bit := s.Gran.TagAddr(addr)
-	v, f := s.Mem.Peek(tb)
+	var v byte
+	var f *mem.Fault
+	if s.shards != nil {
+		unlock := s.lockTag(tb)
+		v, f = s.readTag(tb)
+		unlock()
+	} else {
+		v, f = s.Mem.Peek(tb)
+	}
 	if f != nil {
 		return false, fmt.Errorf("taint: reading tag byte for %#x: %w", addr, f)
 	}

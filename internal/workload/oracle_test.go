@@ -62,28 +62,74 @@ func TestOracleLockstepOverWorkloads(t *testing.T) {
 	}
 }
 
-// TestOracleOverThreads: once a second thread spawns the oracle stands
-// its strong checks down (the §4.4 atomicity gap makes them unsound) but
-// the thread-local NaT-rule checks must keep passing across worker counts
+// TestOracleOverThreads: under the tag-coherent schedule a time slice
+// can no longer end between a data store and its tag update, so the
+// oracle keeps its full register and bitmap cross-checks live across
+// spawns — no stand-down, at either granularity, across worker counts
 // and scheduling quanta.
 func TestOracleOverThreads(t *testing.T) {
-	for _, k := range []int{1, 4} {
-		for _, q := range []uint64{0, 17} {
-			res, err := shift.BuildAndRun(
-				[]shift.Source{{Name: "mt.mc", Text: MTSource}},
-				MTWorld(1024, k),
-				shift.Options{Instrument: true, Policy: MTConfig(), Quantum: q, Oracle: true})
-			if err != nil {
-				t.Fatalf("k=%d q=%d: %v", k, q, err)
+	for _, g := range []taint.Granularity{taint.Byte, taint.Word} {
+		for _, k := range []int{1, 4} {
+			for _, q := range []uint64{0, 17} {
+				conf := MTConfig()
+				conf.Granularity = g
+				res, err := shift.BuildAndRun(
+					[]shift.Source{{Name: "mt.mc", Text: MTSource}},
+					MTWorld(1024, k),
+					shift.Options{Instrument: true, Policy: conf, Quantum: q, Oracle: true})
+				if err != nil {
+					t.Fatalf("%s k=%d q=%d: %v", g, k, q, err)
+				}
+				if res.Trap != nil || res.Alert != nil {
+					t.Fatalf("%s k=%d q=%d: trap=%v alert=%v", g, k, q, res.Trap, res.Alert)
+				}
+				if d := res.Oracle.Divergence(); d != nil {
+					t.Fatalf("%s k=%d q=%d: divergence: %v", g, k, q, d)
+				}
+				st := res.Oracle.Stats
+				if st.Steps == 0 || st.RegChecks == 0 || st.UnitChecks == 0 {
+					t.Fatalf("%s k=%d q=%d: oracle not cross-checking: %+v", g, k, q, st)
+				}
 			}
-			if res.Trap != nil || res.Alert != nil {
-				t.Fatalf("k=%d q=%d: trap=%v alert=%v", k, q, res.Trap, res.Alert)
-			}
-			if d := res.Oracle.Divergence(); d != nil {
-				t.Fatalf("k=%d q=%d: divergence: %v", k, q, d)
-			}
-			if res.Oracle.Stats.Steps == 0 {
-				t.Fatalf("k=%d q=%d: oracle idle", k, q)
+		}
+	}
+}
+
+// TestOracleChecksSharedUnitsAcrossThreads runs the shared-unit stress —
+// 2 to 4 workers hammering the same tag bytes with alternating tainted
+// and clean stores — under the full lockstep cross-check. The unit-check
+// floor is the teeth: nearly every store in the program happens in a
+// worker thread after the first spawn, so the old post-spawn stand-down
+// would leave UnitChecks at the handful main contributed, while checked
+// multithreaded tracking drives it past a thousand.
+func TestOracleChecksSharedUnitsAcrossThreads(t *testing.T) {
+	for _, g := range []taint.Granularity{taint.Byte, taint.Word} {
+		for _, k := range []int{2, 3, 4} {
+			for _, q := range []uint64{0, 23} {
+				res, err := shift.BuildAndRun(
+					[]shift.Source{{Name: "shared.mc", Text: ThreadedTaintSource}},
+					ThreadedTaintWorld(k),
+					shift.Options{Instrument: true, Policy: ThreadedTaintConfig(g), Quantum: q, Oracle: true})
+				if err != nil {
+					t.Fatalf("%s k=%d q=%d: %v", g, k, q, err)
+				}
+				if res.Trap != nil || res.Alert != nil {
+					t.Fatalf("%s k=%d q=%d: trap=%v alert=%v", g, k, q, res.Trap, res.Alert)
+				}
+				if res.ExitStatus != 0 {
+					t.Fatalf("%s k=%d q=%d: exit=%d (taint lost on shared units)", g, k, q, res.ExitStatus)
+				}
+				if d := res.Oracle.Divergence(); d != nil {
+					t.Fatalf("%s k=%d q=%d: divergence: %v", g, k, q, d)
+				}
+				st := res.Oracle.Stats
+				if st.UnitChecks < 1000 {
+					t.Fatalf("%s k=%d q=%d: only %d unit checks — strong checks stood down after spawn?",
+						g, k, q, st.UnitChecks)
+				}
+				if st.RegChecks == 0 {
+					t.Fatalf("%s k=%d q=%d: no register cross-checks: %+v", g, k, q, st)
+				}
 			}
 		}
 	}

@@ -5,6 +5,7 @@ import (
 
 	"shift/internal/policy"
 	"shift/internal/shift"
+	"shift/internal/taint"
 )
 
 // MTSource is the multi-threaded evaluation program — the "performance
@@ -70,6 +71,78 @@ void main() {
 	exit(0);
 }
 `
+
+// ThreadedTaintSource is the shared-unit stress companion to MTSource:
+// instead of partitioning state, K workers deliberately hammer one
+// 64-byte array whose bytes share tag units (eight neighbours per tag
+// byte at byte granularity, eight per tracked word at word granularity),
+// alternating tainted and clean stores with frequent yields. Every store
+// is a read-modify-write of a tag byte some sibling is also updating, so
+// the run only exits 0 if the tag-coherent schedule kept every update
+// intact — and with the lockstep oracle attached, every one of those
+// post-spawn stores is cross-checked against the bitmap.
+const ThreadedTaintSource = `
+char shared[64];
+char tbuf[8];
+int nworkers;
+
+int worker(int id) {
+	int r;
+	int i;
+	for (r = 0; r < 20; r++) {
+		for (i = id; i < 64; i += nworkers) {
+			shared[i] = (r & 1) ? tbuf[i & 7] : 'x';
+			if (((i >> 3) & 3) == (id & 3)) yield();
+		}
+	}
+	for (i = id; i < 64; i += nworkers) {
+		shared[i] = tbuf[i & 7];
+	}
+	return 0;
+}
+
+void main() {
+	char nbuf[8];
+	recv(tbuf, 8);
+	getarg(0, nbuf, 8);
+	nworkers = atoi(nbuf);
+	if (nworkers < 1) nworkers = 1;
+	if (nworkers > 8) nworkers = 8;
+
+	int tids[8];
+	int k;
+	for (k = 0; k < nworkers; k++) tids[k] = spawn("worker", k);
+	for (k = 0; k < nworkers; k++) {
+		if (tids[k] < 0) exit(2);
+		join(tids[k]);
+	}
+
+	int i;
+	for (i = 0; i < 64; i++) {
+		if (!is_tainted(&shared[i], 1)) exit(1);
+	}
+	exit(0);
+}
+`
+
+// ThreadedTaintWorld builds the world for the shared-unit stress: the
+// tainted bytes arrive over the network, the worker count as a clean
+// argument.
+func ThreadedTaintWorld(workers int) *shift.World {
+	w := shift.NewWorld()
+	w.NetIn = []byte{0xA1, 0xB2, 0xC3, 0xD4, 0xE5, 0xF6, 0x17, 0x28}
+	w.Args = []string{fmt.Sprint(workers)}
+	return w
+}
+
+// ThreadedTaintConfig taints network input only, leaving the worker-count
+// argument clean, at the given granularity.
+func ThreadedTaintConfig(g taint.Granularity) *policy.Config {
+	conf := policy.DefaultConfig()
+	conf.Sources = map[string]bool{"network": true}
+	conf.Granularity = g
+	return conf
+}
 
 // MTWorld builds the world for the threaded benchmark.
 func MTWorld(scale, workers int) *shift.World {
