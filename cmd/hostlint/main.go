@@ -1,0 +1,41 @@
+// Command hostlint runs the host-side Go checks of
+// internal/staticcheck/hostlint (currently the tlbbypass rule) over a
+// source tree.
+//
+// Usage:
+//
+//	hostlint [root]
+//
+// root defaults to the current directory. Exit status: 0 clean,
+// 1 findings, 2 error.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"shift/internal/staticcheck/hostlint"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 2 {
+		fmt.Fprintln(os.Stderr, "hostlint: at most one root directory expected")
+		os.Exit(2)
+	}
+	if len(os.Args) == 2 {
+		root = os.Args[1]
+	}
+	diags, err := hostlint.Check(root, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hostlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "hostlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,148 @@
+// Command shiftlint statically verifies the SHIFT instrumentation
+// contract (internal/staticcheck) over a program and reports every
+// violation, pc-addressed, in human or machine (-json) form.
+//
+// Usage:
+//
+//	shiftlint [-json] [-instrument] [-gran byte|word] [-enhancements]
+//	          [-serialized-tags] [-optimize] [-per-function] [-per-use]
+//	          [-guards] prog.s | prog.mc
+//
+// Assembly sources (.s) are assembled and linted as-is; minic sources
+// (.mc) are compiled with the runtime library first. With -instrument
+// the SHIFT pass runs before the lint — its internal verification gate
+// is bypassed so this tool, not the pass, is the reporter.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or build error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"shift/internal/asm"
+	"shift/internal/instrument"
+	"shift/internal/isa"
+	"shift/internal/machine"
+	"shift/internal/shift"
+	"shift/internal/staticcheck"
+	"shift/internal/taint"
+)
+
+type config struct {
+	jsonOut     bool
+	instr       bool
+	gran        string
+	enhance     bool
+	serialized  bool
+	optimize    bool
+	perFunction bool
+	perUse      bool
+	guards      bool
+	path        string
+}
+
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("shiftlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	c := &config{}
+	fs.BoolVar(&c.jsonOut, "json", false, "emit findings as a JSON array")
+	fs.BoolVar(&c.instr, "instrument", false, "run the SHIFT pass before linting")
+	fs.StringVar(&c.gran, "gran", "byte", "tracking granularity: byte or word")
+	fs.BoolVar(&c.enhance, "enhancements", false, "enable the proposed enhancement instructions")
+	fs.BoolVar(&c.serialized, "serialized-tags", false, "serialize byte-level bitmap updates")
+	fs.BoolVar(&c.optimize, "optimize", false, "enable the §6.4 compiler optimizations")
+	fs.BoolVar(&c.perFunction, "per-function", false, "regenerate the NaT source per function")
+	fs.BoolVar(&c.perUse, "per-use", false, "regenerate the NaT source per tainting site")
+	fs.BoolVar(&c.guards, "guards", false, "insert user-level violation guards")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() != 1 {
+		return nil, fmt.Errorf("exactly one program expected")
+	}
+	c.path = fs.Arg(0)
+	return c, nil
+}
+
+// run executes the lint and returns the process exit status.
+func run(c *config, stdout, stderr io.Writer) int {
+	var prog *isa.Program
+	text, err := os.ReadFile(c.path)
+	if err != nil {
+		fmt.Fprintln(stderr, "shiftlint:", err)
+		return 2
+	}
+	if strings.HasSuffix(c.path, ".s") {
+		prog, err = asm.Assemble(string(text), asm.Options{})
+	} else {
+		prog, err = shift.Build([]shift.Source{{Name: c.path, Text: string(text)}}, shift.Options{})
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "shiftlint:", err)
+		return 2
+	}
+
+	if c.instr {
+		opt := instrument.Options{SkipVerify: true}
+		switch c.gran {
+		case "byte":
+			opt.Gran = taint.Byte
+		case "word":
+			opt.Gran = taint.Word
+		default:
+			fmt.Fprintf(stderr, "shiftlint: unknown granularity %q\n", c.gran)
+			return 2
+		}
+		if c.enhance {
+			opt.Feat = machine.Features{SetClrNaT: true, NaTAwareCmp: true}
+		}
+		opt.SerializedTags = c.serialized
+		opt.Optimize = c.optimize
+		opt.NaTPerFunction = c.perFunction
+		opt.NaTPerUse = c.perUse
+		opt.UserGuards = c.guards
+		prog, err = instrument.Apply(prog, opt)
+		if err != nil {
+			fmt.Fprintln(stderr, "shiftlint:", err)
+			return 2
+		}
+	}
+
+	findings := staticcheck.Check(prog)
+	if c.jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "\t")
+		if findings == nil {
+			findings = []staticcheck.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "shiftlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s: %s\n", c.path, f.String())
+		}
+	}
+	if len(findings) > 0 {
+		if !c.jsonOut {
+			fmt.Fprintf(stdout, "shiftlint: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	c, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shiftlint:", err)
+		os.Exit(2)
+	}
+	os.Exit(run(c, os.Stdout, os.Stderr))
+}

@@ -23,6 +23,13 @@ type inserter struct {
 
 	// casN numbers the retry labels of serialized tag updates.
 	casN int
+
+	// needNaT and needMask record whether the program actually consumes
+	// the NaT-source register r127 and the kept OffsetMask register:
+	// generating either with no consumer is dead code the static
+	// checker flags as an unconsumed speculative load.
+	needNaT  bool
+	needMask bool
 }
 
 func (in *inserter) copy(src *isa.Instruction) {
@@ -37,11 +44,16 @@ func (in *inserter) add(class isa.CostClass, ins isa.Instruction) {
 
 // emitNaTGen materialises the NaT-source register r127 (value 0, NaT set)
 // by speculatively loading from an invalid address (§4.3, Figure 5), and
-// under Optimize also the kept OffsetMask register.
+// under Optimize also the kept OffsetMask register. Either half is
+// skipped when nothing in the program consumes it (setnat replaces the
+// r127 reads under the enhancement; a program without loads never
+// taints a register).
 func (in *inserter) emitNaTGen() {
-	in.add(isa.ClassNatGen, isa.Instruction{Op: isa.OpMovl, Dest: rAddr, Imm: int64(badAddr)})
-	in.add(isa.ClassNatGen, isa.Instruction{Op: isa.OpLdS, Dest: rNaT, Src1: rAddr, Size: 8})
-	if in.opt.Optimize {
+	if in.needNaT {
+		in.add(isa.ClassNatGen, isa.Instruction{Op: isa.OpMovl, Dest: rAddr, Imm: int64(badAddr)})
+		in.add(isa.ClassNatGen, isa.Instruction{Op: isa.OpLdS, Dest: rNaT, Src1: rAddr, Size: 8})
+	}
+	if in.needMask {
 		in.add(isa.ClassNatGen, isa.Instruction{Op: isa.OpMovl, Dest: rKeep, Imm: mem.OffsetMask})
 	}
 }
@@ -89,6 +101,9 @@ func (in *inserter) emitClean(reg uint8, p uint8, class isa.CostClass) {
 // destination register when the tag bit is set. In strict mode a tainted
 // address faults at the load itself (policy L1); in permissive mode the
 // address is cleaned first and taint flows only through the bitmap.
+// A non-ABI ld8.fill is handled identically (the original opcode and its
+// UNAT bit are preserved): its destination carries the union of the
+// filled NaT bit and the location's bitmap state.
 func (in *inserter) emitLoad(src *isa.Instruction, permissive bool) {
 	sz := src.Size
 	g := in.opt.Gran
@@ -162,9 +177,15 @@ func (in *inserter) emitStore(src *isa.Instruction, permissive bool) {
 
 	if sz == 8 {
 		// st8.spill tolerates NaT data directly (Figure 5's choice: "we
-		// choose st8.spill instead of st8 to omit additional code").
+		// choose st8.spill instead of st8 to omit additional code"). An
+		// original st8.spill keeps its own UNAT bit — the program may
+		// pair it with a ld8.fill.
+		spillBit := int64(unatStore)
+		if src.Op == isa.OpStSpill {
+			spillBit = src.Imm
+		}
 		in.out.Text = append(in.out.Text, isa.Instruction{
-			Op: isa.OpStSpill, Qp: src.Qp, Src1: addr, Src2: src.Src2, Size: 8, Imm: unatStore,
+			Op: isa.OpStSpill, Qp: src.Qp, Src1: addr, Src2: src.Src2, Size: 8, Imm: spillBit,
 		})
 	} else {
 		// Narrow stores cannot spill; strip the NaT from a copy first.

@@ -29,19 +29,20 @@ import (
 	"shift/internal/isa"
 	"shift/internal/machine"
 	"shift/internal/mem"
+	"shift/internal/staticcheck"
 	"shift/internal/taint"
 )
 
 // Reserved instrumentation registers.
 const (
-	rKeep  = 119 // OffsetMask kept live under Options.Optimize
-	rTag   = 120 // tag byte address
-	rOff   = 121 // implemented offset of the data address
-	rVal   = 122 // tag byte value
-	rBit   = 123 // bit index / mask shift amount
-	rMask  = 124 // bit mask / cleaned data copy
-	rAddr  = 125 // scratch-slot address / cleaned operand copy
-	rAddr2 = 126 // copy of the data address / second cleaned operand
+	rKeep  = isa.RegKeep // OffsetMask kept live under Options.Optimize
+	rTag   = 120         // tag byte address
+	rOff   = 121         // implemented offset of the data address
+	rVal   = 122         // tag byte value
+	rBit   = 123         // bit index / mask shift amount
+	rMask  = 124         // bit mask / cleaned data copy
+	rAddr  = 125         // scratch-slot address / cleaned operand copy
+	rAddr2 = 126         // copy of the data address / second cleaned operand
 	rNaT   = isa.RegNaT
 )
 
@@ -105,6 +106,12 @@ type Options struct {
 	// unmodified address register is accessed again within a basic
 	// block ("reusing the computation code for some adjacent data").
 	Optimize bool
+	// SkipVerify disables the post-pass static verification of the
+	// instrumentation contract (internal/staticcheck). The gate is on by
+	// default: an output that fails its own invariants is a pass bug,
+	// not a program to run. Tools that want to inspect a broken output
+	// (cmd/shiftlint) opt out and run the checker themselves.
+	SkipVerify bool
 }
 
 // Apply rewrites prog into its instrumented form. The input program is
@@ -130,16 +137,45 @@ func Apply(prog *isa.Program, opt Options) (*isa.Program, error) {
 	ins.out.Data = data
 
 	// Function entries (for per-function NaT regeneration and for the
-	// permissive-pointer function set), plus the set of label positions
-	// (join points reset the compare cleanliness analysis).
+	// permissive-pointer function set), plus the set of join points —
+	// every label AND every raw (unlabelled) branch target. Both reset
+	// the compare-cleanliness analysis and the cached tag translation:
+	// a branch can enter mid-stream with different register contents
+	// than the fallthrough path established.
 	funcEntry := make(map[int][]string)
-	symAt := make(map[int]bool)
+	joinAt := make(map[int]bool)
 	for name, idx := range prog.Symbols {
-		symAt[idx] = true
+		joinAt[idx] = true
 		if !strings.HasPrefix(name, ".") {
 			funcEntry[idx] = append(funcEntry[idx], name)
 		}
 	}
+	for idx := range prog.Text {
+		src := &prog.Text[idx]
+		if src.Op.IsBranch() && src.Op != isa.OpBrRet && src.Op != isa.OpBrInd && src.Label == "" {
+			joinAt[src.Target] = true
+		}
+	}
+
+	// The NaT-source register and the kept OffsetMask register are only
+	// generated when something consumes them; an unconsumed keep-live
+	// sequence is dead weight the static checker (rightly) flags.
+	for idx := range prog.Text {
+		src := &prog.Text[idx]
+		if src.ABI {
+			continue
+		}
+		switch src.Op {
+		case isa.OpLd, isa.OpCmpxchg, isa.OpLdFill:
+			if !opt.Feat.SetClrNaT {
+				ins.needNaT = true
+			}
+			ins.needMask = true
+		case isa.OpSt, isa.OpStSpill:
+			ins.needMask = true
+		}
+	}
+	ins.needMask = ins.needMask && opt.Optimize
 
 	mapping := make([]int, len(prog.Text)+1)
 	clean := newCleanTracker()
@@ -165,15 +201,17 @@ func Apply(prog *isa.Program, opt Options) (*isa.Program, error) {
 				}
 			}
 		}
-		// Any label is a join point: forget cleanliness facts and any
-		// cached tag translation.
-		if symAt[idx] {
+		// Any join point: forget cleanliness facts and any cached tag
+		// translation.
+		if joinAt[idx] {
 			clean.reset()
 			ins.tagFor = -1
 		}
 
 		needsRewrite := !src.ABI &&
-			(src.Op == isa.OpLd || src.Op == isa.OpSt || src.Op == isa.OpCmpxchg ||
+			(src.Op == isa.OpLd || src.Op == isa.OpLdFill ||
+				src.Op == isa.OpSt || src.Op == isa.OpStSpill ||
+				src.Op == isa.OpCmpxchg ||
 				src.Op == isa.OpCmp || src.Op == isa.OpCmpi)
 		if needsRewrite && src.Qp != 0 {
 			return nil, fmt.Errorf("instrument: instruction %d (%s): predicated loads, stores, atomics and compares are not supported", idx, src.String())
@@ -181,9 +219,9 @@ func Apply(prog *isa.Program, opt Options) (*isa.Program, error) {
 		switch {
 		case src.ABI:
 			ins.copy(src)
-		case src.Op == isa.OpLd:
+		case src.Op == isa.OpLd || src.Op == isa.OpLdFill:
 			ins.emitLoad(src, permissive)
-		case src.Op == isa.OpSt:
+		case src.Op == isa.OpSt || src.Op == isa.OpStSpill:
 			ins.emitStore(src, permissive)
 		case src.Op == isa.OpCmpxchg:
 			ins.emitCmpxchg(src, permissive)
@@ -229,6 +267,12 @@ func Apply(prog *isa.Program, opt Options) (*isa.Program, error) {
 	}
 	if err := ins.out.Validate(); err != nil {
 		return nil, fmt.Errorf("instrument: %w", err)
+	}
+	if !opt.SkipVerify {
+		if findings := staticcheck.Check(ins.out); len(findings) > 0 {
+			return nil, fmt.Errorf("instrument: output violates the instrumentation contract (pass bug): %s (%d finding(s) total)",
+				findings[0].String(), len(findings))
+		}
 	}
 	return ins.out, nil
 }

@@ -265,10 +265,13 @@ main:
 }
 
 func TestNaTPerFunctionInsertsGenerators(t *testing.T) {
+	// Every function loads from memory, so each needs the NaT source
+	// live (a loadless function would not consume r127 at all).
 	base := compileSource(t, `
-int f(int a) { return a + 1; }
-int g2(int a) { return a - 1; }
-void main() { exit(g2(f(0))); }
+int d[8];
+int f(int a) { return d[a & 7] + 1; }
+int g2(int a) { return d[a & 7] - 1; }
+void main() { exit(g2(f(0)) & 0); }
 `)
 	once, err := Apply(base, Options{Gran: taint.Byte})
 	if err != nil {

@@ -1,0 +1,241 @@
+package instrument
+
+import (
+	"testing"
+
+	"shift/internal/asm"
+	"shift/internal/isa"
+	"shift/internal/machine"
+	"shift/internal/mem"
+	"shift/internal/staticcheck"
+	"shift/internal/taint"
+)
+
+// Regression tests for real invariant violations the static checker
+// surfaced in the pass itself. Each program below made the pre-fix pass
+// emit output that violates its own contract (the gate inside Apply now
+// rejects such output, so a regression shows up as an Apply error or as
+// the structural assertion failing).
+
+func assembleSrc(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := asm.Assemble(src, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// Fix A: the keep-live NaT source (and the kept OffsetMask under
+// Optimize) used to be generated unconditionally. In a program where
+// nothing consumes them — no loads at all, or every taint application
+// using setnat — the generation is dead weight the checker flags as an
+// unconsumed speculative load.
+func TestNoDeadNaTSourceGeneration(t *testing.T) {
+	countLdS := func(p *isa.Program) int {
+		n := 0
+		for i := range p.Text {
+			if p.Text[i].Op == isa.OpLdS && p.Text[i].Dest == isa.RegNaT {
+				n++
+			}
+		}
+		return n
+	}
+	writesKeep := func(p *isa.Program) bool {
+		for i := range p.Text {
+			if p.Text[i].Op.HasDest() && p.Text[i].Dest == isa.RegKeep {
+				return true
+			}
+		}
+		return false
+	}
+
+	// No memory traffic at all: neither the NaT source nor the kept
+	// mask has a consumer.
+	loadless := assembleSrc(t, `
+main:
+	movl r1 = 5
+	addi r1 = r1, 2
+	movl r32 = 0
+	syscall 1
+`)
+	out, err := Apply(loadless, Options{Gran: taint.Byte, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := countLdS(out); n != 0 {
+		t.Errorf("loadless program got %d NaT-source generations, want 0", n)
+	}
+	if writesKeep(out) {
+		t.Error("loadless program keeps the OffsetMask register live with no consumer")
+	}
+
+	// Stores test the *source's* NaT bit; only loads consume r127. A
+	// store-only program needs the mask (under Optimize) but not the
+	// NaT source.
+	storeOnly := assembleSrc(t, `
+.data
+w: .word8 0
+.text
+main:
+	movl r1 = w
+	movl r2 = 3
+	st8 [r1] = r2
+	movl r32 = 0
+	syscall 1
+`)
+	out, err = Apply(storeOnly, Options{Gran: taint.Byte, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := countLdS(out); n != 0 {
+		t.Errorf("store-only program got %d NaT-source generations, want 0", n)
+	}
+	if !writesKeep(out) {
+		t.Error("store-only Optimize program never materialises the kept OffsetMask")
+	}
+
+	// With setnat available, loads taint their destination directly;
+	// r127 has no consumer in any program.
+	loads := assembleSrc(t, `
+.data
+w: .word8 0
+.text
+main:
+	movl r1 = w
+	ld8 r2 = [r1]
+	movl r32 = 0
+	syscall 1
+`)
+	out, err = Apply(loads, Options{Gran: taint.Byte, Feat: machine.Features{SetClrNaT: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := countLdS(out); n != 0 {
+		t.Errorf("setnat program got %d NaT-source generations, want 0", n)
+	}
+}
+
+// Fix B: a non-ABI st8.spill / ld8.fill pair (hand-written register
+// preservation through data memory) used to pass through Apply
+// uninstrumented — a propagation-completeness hole: the spill never
+// updated the bitmap and the fill never consulted it.
+func TestNonABISpillFillInstrumented(t *testing.T) {
+	p := assembleSrc(t, `
+.data
+slot: .space 8
+.text
+main:
+	movl r1 = slot
+	movl r2 = 9
+	st8.spill [r1] = r2, 5
+	ld8.fill r3 = [r1], 5
+	movl r32 = 0
+	syscall 1
+`)
+	out, err := Apply(p, Options{Gran: taint.Byte})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The spill must keep its own UNAT bit (the program pairs it with
+	// the fill), and both must have gained tag traffic.
+	var spillBits []int64
+	tagWrites, tagReads := 0, 0
+	for i := range out.Text {
+		ins := &out.Text[i]
+		if ins.Class == isa.ClassOrig && ins.Op == isa.OpStSpill && !ins.ABI {
+			spillBits = append(spillBits, ins.Imm)
+		}
+		if ins.Class == isa.ClassStoreTagMem && ins.Op == isa.OpSt {
+			tagWrites++
+		}
+		if ins.Class == isa.ClassLoadTagMem && ins.Op == isa.OpLd {
+			tagReads++
+		}
+	}
+	found := false
+	for _, b := range spillBits {
+		if b == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("original spill's UNAT bit not preserved: bits %v lack 5", spillBits)
+	}
+	if tagWrites == 0 {
+		t.Error("non-ABI spill produced no tag-bitmap write")
+	}
+	if tagReads == 0 {
+		t.Error("non-ABI fill produced no tag-bitmap read")
+	}
+	if fs := staticcheck.Check(out); len(fs) != 0 {
+		t.Errorf("instrumented spill/fill program not contract-clean: %v", fs)
+	}
+}
+
+// Fix C, part 1: the compare-cleanliness tracker walks the text
+// linearly, but a raw (unlabelled) branch can join mid-stream with
+// dirtier registers than the fallthrough established. Before the fix,
+// facts survived across such join points and this compare was kept
+// NaT-sensitive even though the jump path delivers a possibly-NaT r2.
+func TestCleanFactsResetAtRawBranchTarget(t *testing.T) {
+	p := assembleSrc(t, `
+.data
+w: .word8 1
+.text
+main:
+	movl r1 = w
+	ld8 r2 = [r1]
+	br @4
+	movl r2 = 5
+	cmpi.eq p6, p7 = r2, 5
+	syscall 1
+`)
+	out, err := Apply(p, Options{Gran: taint.Byte})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relaxed := 0
+	for i := range out.Text {
+		if out.Text[i].Class == isa.ClassRelax {
+			relaxed++
+		}
+	}
+	if relaxed == 0 {
+		t.Error("compare at a raw branch target kept NaT-sensitive despite a dirty incoming path")
+	}
+}
+
+// Fix C, part 2: the §6.4 tag-translation cache must also die at raw
+// branch targets. A backward branch re-enters the store below with a
+// different address register; reusing the translation cached by the
+// load would write the wrong tag byte. The store must re-emit the
+// translation: two region shifts into rTag, not one.
+func TestTagTranslationNotReusedAcrossRawTarget(t *testing.T) {
+	p := assembleSrc(t, `
+.data
+w: .word8 1
+q: .word8 2
+.text
+main:
+	movl r1 = w
+	ld8 r2 = [r1]
+	st8 [r1] = r2
+	movl r1 = q
+	br @2
+`)
+	out, err := Apply(p, Options{Gran: taint.Byte, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	translations := 0
+	for i := range out.Text {
+		ins := &out.Text[i]
+		if ins.Op == isa.OpShri && ins.Dest == 120 && ins.Imm == mem.RegionShift {
+			translations++
+		}
+	}
+	if translations != 2 {
+		t.Errorf("got %d tag translations, want 2 (load and store must each translate: the store is a raw branch target)", translations)
+	}
+}

@@ -35,6 +35,7 @@ const (
 	RegLoc0 = 40  // first register-allocated local
 	RegLocN = 107 // last register-allocated local
 
+	RegKeep   = 119 // kept OffsetMask register (instrumentation, Optimize)
 	RegInstr0 = 120 // first instrumentation scratch register
 	RegInstrN = 126 // last instrumentation scratch register
 	RegNaT    = 127 // holds value 0 with NaT set: the taint source register
@@ -302,6 +303,12 @@ var opTable = [NumOpcodes]opInfo{
 
 // HasDest reports whether op writes a destination general register.
 func (op Opcode) HasDest() bool { return opTable[op].hasDest }
+
+// ReadsSrc1 reports whether op reads the Src1 general register.
+func (op Opcode) ReadsSrc1() bool { return opTable[op].reads1 }
+
+// ReadsSrc2 reports whether op reads the Src2 general register.
+func (op Opcode) ReadsSrc2() bool { return opTable[op].reads2 }
 
 // Name returns the mnemonic for the opcode.
 func (op Opcode) Name() string {

@@ -1,0 +1,90 @@
+package shift
+
+import (
+	"testing"
+
+	"shift/internal/machine"
+	"shift/internal/staticcheck"
+	"shift/internal/taint"
+)
+
+// lintModes cycles the option space the corpus and fuzz lints sweep:
+// both granularities, each enhancement, the ablations, and the
+// optimization/serialization/guard variants.
+var lintModes = []Options{
+	{Granularity: taint.Byte},
+	{Granularity: taint.Word},
+	{Granularity: taint.Byte, Features: machine.Features{SetClrNaT: true}},
+	{Granularity: taint.Byte, Features: machine.Features{SetClrNaT: true, NaTAwareCmp: true}},
+	{Granularity: taint.Byte, Optimize: true},
+	{Granularity: taint.Byte, SerializedTags: true},
+	{Granularity: taint.Word, UserGuards: true},
+	{Granularity: taint.Byte, NaTPerFunction: true},
+}
+
+// TestLintCorpus holds the zero-false-positive bar: a hundred-plus
+// generated programs, instrumented across the whole option matrix, must
+// all satisfy the static contract. (Build itself gates on the checker;
+// the explicit Check below keeps the property visible even if that gate
+// is ever relaxed.)
+func TestLintCorpus(t *testing.T) {
+	seeds := 104
+	if testing.Short() {
+		seeds = 16
+	}
+	for seed := 0; seed < seeds; seed++ {
+		opt := lintModes[seed%len(lintModes)]
+		opt.Instrument = true
+		prog, err := Build([]Source{{Name: "lint.mc", Text: generate(int64(seed))}}, opt)
+		if err != nil {
+			t.Fatalf("seed %d (%+v): %v", seed, opt, err)
+		}
+		if fs := staticcheck.Check(prog); len(fs) > 0 {
+			t.Errorf("seed %d (%+v): %d finding(s), first: %s", seed, opt, len(fs), fs[0].String())
+		}
+	}
+}
+
+// FuzzLintInstrumented fuzzes the same property over (program seed,
+// option bits): whatever the pass emits, the analyzer must prove the
+// contract — any finding is a pass bug or an analyzer unsoundness.
+func FuzzLintInstrumented(f *testing.F) {
+	f.Add(int64(1), uint8(0))
+	f.Add(int64(7), uint8(3))
+	f.Add(int64(42), uint8(0x15))
+	f.Add(int64(99), uint8(0xff))
+	f.Fuzz(func(t *testing.T, seed int64, mode uint8) {
+		opt := Options{Instrument: true, Granularity: taint.Byte}
+		if mode&1 != 0 {
+			opt.Granularity = taint.Word
+		}
+		if mode&2 != 0 {
+			opt.Features.SetClrNaT = true
+		}
+		if mode&4 != 0 {
+			opt.Features.NaTAwareCmp = true
+		}
+		if mode&8 != 0 {
+			opt.Optimize = true
+		}
+		if mode&16 != 0 {
+			opt.SerializedTags = true
+		}
+		if mode&32 != 0 {
+			opt.UserGuards = true
+		}
+		if mode&64 != 0 {
+			opt.NaTPerFunction = true
+		}
+		if mode&128 != 0 {
+			opt.NaTPerUse = true
+		}
+		prog, err := Build([]Source{{Name: "fuzzlint.mc", Text: generate(seed)}}, opt)
+		if err != nil {
+			t.Fatalf("seed %d mode %#x: %v", seed, mode, err)
+		}
+		if fs := staticcheck.Check(prog); len(fs) > 0 {
+			t.Fatalf("seed %d mode %#x: %d finding(s), first: %s", seed, mode, len(fs), fs[0].String())
+		}
+	})
+}

@@ -1,0 +1,191 @@
+package staticcheck
+
+import (
+	"sort"
+	"strings"
+
+	"shift/internal/isa"
+)
+
+// edgeKind classifies a control-flow edge; the dataflow solver applies a
+// different state transform per kind.
+type edgeKind uint8
+
+const (
+	edgeFall edgeKind = iota // straight-line successor
+	edgeJump                 // taken branch (br, chk.s taken)
+	edgeCall                 // br.call into the callee entry
+	edgeRet                  // continuation after a br.call returns
+	edgeInd                  // conservative indirect-branch edge
+	edgeChk                  // chk.s fallthrough: src1 proven NaT-free
+)
+
+// edge is one outgoing control-flow edge. clr, when >= 0, names a
+// register known NaT-free along this edge (the chk.s fallthrough).
+type edge struct {
+	to   int
+	kind edgeKind
+	clr  int16
+}
+
+// graph is the instruction-level control-flow graph of a program, with
+// every indirect branch conservatively wired to every code label.
+type graph struct {
+	prog  *isa.Program
+	succ  [][]edge
+	roots []int // program entry plus every named function symbol
+
+	// syms is every (index, name) label pair sorted by index, used to
+	// attribute findings to the nearest enclosing symbol.
+	syms []symPos
+}
+
+type symPos struct {
+	idx  int
+	name string
+}
+
+// targetOf resolves the branch destination of ins, preferring the symbol
+// table over a raw index so unlinked programs still analyze.
+func targetOf(p *isa.Program, ins *isa.Instruction) (int, bool) {
+	if ins.Label != "" {
+		t, ok := p.Symbols[ins.Label]
+		return t, ok && t >= 0 && t < len(p.Text)
+	}
+	return ins.Target, ins.Target >= 0 && ins.Target < len(p.Text)
+}
+
+func buildGraph(p *isa.Program) *graph {
+	n := len(p.Text)
+	g := &graph{prog: p, succ: make([][]edge, n)}
+
+	// Indirect branches can reach any label (the code generator only
+	// materialises label addresses, never arbitrary indices).
+	var labelIdx []int
+	for name, idx := range p.Symbols {
+		if idx >= 0 && idx < n {
+			labelIdx = append(labelIdx, idx)
+			g.syms = append(g.syms, symPos{idx, name})
+		}
+	}
+	sort.Ints(labelIdx)
+	sort.Slice(g.syms, func(i, j int) bool {
+		if g.syms[i].idx != g.syms[j].idx {
+			return g.syms[i].idx < g.syms[j].idx
+		}
+		return g.syms[i].name < g.syms[j].name
+	})
+
+	for i := 0; i < n; i++ {
+		ins := &p.Text[i]
+		add := func(e edge) { g.succ[i] = append(g.succ[i], e) }
+		fall := func(kind edgeKind, clr int16) {
+			if i+1 < n {
+				add(edge{to: i + 1, kind: kind, clr: clr})
+			}
+		}
+		switch ins.Op {
+		case isa.OpBr:
+			if t, ok := targetOf(p, ins); ok {
+				add(edge{to: t, kind: edgeJump, clr: -1})
+			}
+			if ins.Qp != 0 {
+				fall(edgeFall, -1)
+			}
+		case isa.OpChkS:
+			// chk.s branches only when src1 carries NaT; on the
+			// fallthrough the register is proven clean.
+			if t, ok := targetOf(p, ins); ok {
+				add(edge{to: t, kind: edgeJump, clr: -1})
+			}
+			fall(edgeChk, int16(ins.Src1))
+		case isa.OpBrCall:
+			if t, ok := targetOf(p, ins); ok {
+				add(edge{to: t, kind: edgeCall, clr: -1})
+			}
+			fall(edgeRet, -1)
+			if ins.Qp != 0 {
+				fall(edgeFall, -1)
+			}
+		case isa.OpBrRet:
+			// Path ends here; the continuation is modelled at the
+			// matching br.call's edgeRet.
+		case isa.OpBrInd:
+			for _, t := range labelIdx {
+				add(edge{to: t, kind: edgeInd, clr: -1})
+			}
+		default:
+			fall(edgeFall, -1)
+		}
+	}
+
+	// Roots: the entry point, plus every named (non-local) function
+	// symbol — spawned threads enter functions without a visible call
+	// edge. The entry's own symbol is excluded so the entry keeps its
+	// precise machine-reset state (reserved registers not yet written).
+	g.roots = append(g.roots, p.Entry)
+	for name, idx := range p.Symbols {
+		if idx == p.Entry || idx < 0 || idx >= n {
+			continue
+		}
+		if !strings.HasPrefix(name, ".") {
+			g.roots = append(g.roots, idx)
+		}
+	}
+	sort.Ints(g.roots)
+	return g
+}
+
+// reachable marks every instruction reachable from the roots.
+func (g *graph) reachable() []bool {
+	seen := make([]bool, len(g.succ))
+	stack := append([]int(nil), g.roots...)
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if i < 0 || i >= len(seen) || seen[i] {
+			continue
+		}
+		seen[i] = true
+		for _, e := range g.succ[i] {
+			stack = append(stack, e.to)
+		}
+	}
+	return seen
+}
+
+// symFor renders the nearest enclosing label for pc, as "name" or
+// "name+delta".
+func (g *graph) symFor(pc int) string {
+	lo, hi := 0, len(g.syms)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.syms[mid].idx <= pc {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return ""
+	}
+	s := g.syms[lo-1]
+	if s.idx == pc {
+		return s.name
+	}
+	return s.name + "+" + itoa(pc-s.idx)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,240 @@
+package staticcheck_test
+
+import (
+	"strings"
+	"testing"
+
+	"shift/internal/asm"
+	"shift/internal/instrument"
+	"shift/internal/isa"
+	"shift/internal/staticcheck"
+	"shift/internal/taint"
+)
+
+func assemble(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := asm.Assemble(src, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func has(fs []staticcheck.Finding, inv string) bool {
+	for _, f := range fs {
+		if f.Invariant == inv {
+			return true
+		}
+	}
+	return false
+}
+
+func list(fs []staticcheck.Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString("\t" + f.String() + "\n")
+	}
+	return b.String()
+}
+
+// A hand-written program with a raw store and load has no tag traffic:
+// both memory invariants must flag it, pc-addressed.
+func TestUninstrumentedMemoryTrafficFlagged(t *testing.T) {
+	p := assemble(t, `
+.data
+buf: .space 64
+.text
+.entry main
+main:
+	movl r1 = buf
+	movl r2 = 7
+	st8 [r1] = r2
+	ld8 r3 = [r1]
+	movl r32 = 0
+	syscall 1
+`)
+	fs := staticcheck.Check(p)
+	if !has(fs, staticcheck.InvStoreTagUpdate) {
+		t.Errorf("missing %s finding:\n%s", staticcheck.InvStoreTagUpdate, list(fs))
+	}
+	if !has(fs, staticcheck.InvLoadTagConsult) {
+		t.Errorf("missing %s finding:\n%s", staticcheck.InvLoadTagConsult, list(fs))
+	}
+	for _, f := range fs {
+		if f.Invariant == staticcheck.InvStoreTagUpdate && f.PC != 2 {
+			t.Errorf("store finding at pc %d, want 2", f.PC)
+		}
+	}
+}
+
+// The instrumented counterpart of the same program is contract-clean.
+func TestInstrumentedCounterpartClean(t *testing.T) {
+	p := assemble(t, `
+.data
+buf: .space 64
+.text
+.entry main
+main:
+	movl r1 = buf
+	movl r2 = 7
+	st8 [r1] = r2
+	ld8 r3 = [r1]
+	movl r32 = 0
+	syscall 1
+`)
+	for _, g := range []taint.Granularity{taint.Byte, taint.Word} {
+		out, err := instrument.Apply(p, instrument.Options{Gran: g})
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if fs := staticcheck.Check(out); len(fs) != 0 {
+			t.Errorf("%v: instrumented program not clean:\n%s", g, list(fs))
+		}
+	}
+}
+
+// A speculative load checked by chk.s is consumed; one whose token is
+// overwritten unread is dead.
+func TestSpecLoadConsumption(t *testing.T) {
+	checked := assemble(t, `
+.data
+buf: .space 8
+.text
+.entry main
+main:
+	movl r1 = buf
+	ld8.s r3 = [r1]
+	chk.s r3, rec
+	movl r32 = 0
+	syscall 1
+rec:
+	movl r32 = 1
+	syscall 1
+`)
+	if fs := staticcheck.Check(checked); has(fs, staticcheck.InvSpecLoadConsumed) {
+		t.Errorf("chk.s-consumed speculative load flagged:\n%s", list(fs))
+	}
+
+	dead := assemble(t, `
+.data
+buf: .space 8
+.text
+.entry main
+main:
+	movl r1 = buf
+	ld8.s r3 = [r1]
+	movl r3 = 0
+	movl r32 = 0
+	syscall 1
+`)
+	if fs := staticcheck.Check(dead); !has(fs, staticcheck.InvSpecLoadConsumed) {
+		t.Errorf("dead speculative load not flagged:\n%s", list(fs))
+	}
+}
+
+// ld8.fill must restore a UNAT bit some st8.spill defined on all paths.
+func TestUnatPairing(t *testing.T) {
+	paired := assemble(t, `
+.data
+buf: .space 8
+.text
+.entry main
+main:
+	movl r1 = buf
+	movl r2 = 9
+	st8.spill [r1] = r2, 5
+	ld8.fill r2 = [r1], 5
+	movl r32 = 0
+	syscall 1
+`)
+	if fs := staticcheck.Check(paired); has(fs, staticcheck.InvUnatPairing) {
+		t.Errorf("paired spill/fill flagged:\n%s", list(fs))
+	}
+
+	mismatched := assemble(t, `
+.data
+buf: .space 8
+.text
+.entry main
+main:
+	movl r1 = buf
+	movl r2 = 9
+	st8.spill [r1] = r2, 5
+	ld8.fill r2 = [r1], 6
+	movl r32 = 0
+	syscall 1
+`)
+	if fs := staticcheck.Check(mismatched); !has(fs, staticcheck.InvUnatPairing) {
+		t.Errorf("mismatched fill bit not flagged:\n%s", list(fs))
+	}
+}
+
+// Consuming the NaT-source register without a dominating generation is
+// a silent taint drop; generating it regenerated-by-ld.s satisfies it.
+func TestNaTSourceLive(t *testing.T) {
+	bad := &isa.Program{Text: []isa.Instruction{
+		{Op: isa.OpAdd, Qp: 8, Dest: 5, Src1: 5, Src2: isa.RegNaT},
+		{Op: isa.OpSyscall, Imm: isa.SysExit},
+	}}
+	if fs := staticcheck.Check(bad); !has(fs, staticcheck.InvNaTSourceLive) {
+		t.Errorf("uninitialised r127 read not flagged:\n%s", list(fs))
+	}
+
+	good := &isa.Program{Text: []isa.Instruction{
+		{Op: isa.OpMovl, Dest: 125, Imm: 42},
+		{Op: isa.OpLdS, Dest: isa.RegNaT, Src1: 125, Size: 8},
+		{Op: isa.OpAdd, Qp: 8, Dest: 5, Src1: 5, Src2: isa.RegNaT},
+		{Op: isa.OpSyscall, Imm: isa.SysExit},
+	}}
+	if fs := staticcheck.Check(good); len(fs) != 0 {
+		t.Errorf("generated-then-consumed NaT source flagged:\n%s", list(fs))
+	}
+}
+
+// A NaT-sensitive compare downstream of a possibly-NaT register is
+// flagged — unless a chk.s proved the register clean on the fallthrough.
+func TestCleanBeforeCompareAndChkRefinement(t *testing.T) {
+	dirty := &isa.Program{Text: []isa.Instruction{
+		{Op: isa.OpLdS, Dest: 3, Src1: 1, Size: 8},
+		{Op: isa.OpCmpi, Cond: isa.CondNE, P1: 6, P2: 7, Src1: 3},
+		{Op: isa.OpSyscall, Imm: isa.SysExit},
+	}}
+	if fs := staticcheck.Check(dirty); !has(fs, staticcheck.InvCleanBeforeCmp) {
+		t.Errorf("NaT-sensitive compare of speculative result not flagged:\n%s", list(fs))
+	}
+
+	guarded := &isa.Program{Text: []isa.Instruction{
+		{Op: isa.OpLdS, Dest: 3, Src1: 1, Size: 8},
+		{Op: isa.OpChkS, Src1: 3, Target: 3},
+		{Op: isa.OpCmpi, Cond: isa.CondNE, P1: 6, P2: 7, Src1: 3},
+		{Op: isa.OpSyscall, Imm: isa.SysExit},
+	}}
+	if fs := staticcheck.Check(guarded); has(fs, staticcheck.InvCleanBeforeCmp) {
+		t.Errorf("chk.s-guarded compare flagged:\n%s", list(fs))
+	}
+}
+
+// Findings carry the nearest enclosing symbol and render pc-addressed.
+func TestFindingRendering(t *testing.T) {
+	p := assemble(t, `
+.data
+buf: .space 8
+.text
+.entry main
+main:
+	movl r1 = buf
+	movl r2 = 7
+	st8 [r1] = r2
+	movl r32 = 0
+	syscall 1
+`)
+	fs := staticcheck.Check(p)
+	if len(fs) == 0 {
+		t.Fatal("expected findings")
+	}
+	s := fs[0].String()
+	if !strings.Contains(s, "pc 2") || !strings.Contains(s, "main+2") ||
+		!strings.Contains(s, staticcheck.InvStoreTagUpdate) {
+		t.Errorf("finding rendering %q lacks pc/symbol/invariant", s)
+	}
+}

@@ -1,0 +1,125 @@
+// Package hostlint checks the *host* (Go) side of the repository for
+// uses of simulator internals that bypass invariants — the complement
+// of the guest-side analyzer in internal/staticcheck.
+//
+// Its one rule, tlbbypass, forbids calls to the TLB-bypassing shared
+// memory accessors mem.SharedPeek1 / mem.SharedWrite1 outside the
+// packages that own the cross-thread tag protocol (internal/taint and
+// internal/oracle, plus internal/mem which declares them). Those
+// accessors skip the software TLB and its per-thread fast path; used
+// casually they are both slow and — worse — they read tag bytes without
+// the serialization the taint engine layers on top.
+//
+// The checker is stdlib-only (go/parser, go/ast): the repository builds
+// without golang.org/x/tools, so the canonical go-vet analyzer wiring
+// is left to CI images that vendor it. Detection is syntactic — any
+// selector naming one of the accessors — which is exact here because
+// the method names are unique to *mem.Memory in this repository.
+package hostlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diag is one rule violation in host Go source.
+type Diag struct {
+	File string // path relative to the checked root
+	Line int
+	Col  int
+	Msg  string
+}
+
+// String renders the diagnostic in file:line:col: msg form.
+func (d Diag) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s", d.File, d.Line, d.Col, d.Msg)
+}
+
+// banned lists the TLB-bypassing accessor names.
+var banned = map[string]bool{
+	"SharedPeek1":  true,
+	"SharedWrite1": true,
+}
+
+// DefaultAllowed lists the package directories (relative to the module
+// root, slash-separated) that may call the shared accessors.
+var DefaultAllowed = []string{
+	"internal/mem",    // declares them
+	"internal/taint",  // the cross-thread tag protocol
+	"internal/oracle", // the reference engine mirroring that protocol
+}
+
+// Check walks every .go file under root (skipping testdata trees) and
+// reports each banned selector outside the allowed directories. allowed
+// is a list of slash-separated directories relative to root; nil means
+// DefaultAllowed.
+func Check(root string, allowed []string) ([]Diag, error) {
+	if allowed == nil {
+		allowed = DefaultAllowed
+	}
+	allowedDir := make(map[string]bool, len(allowed))
+	for _, d := range allowed {
+		allowedDir[d] = true
+	}
+
+	var diags []Diag
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" || strings.HasPrefix(d.Name(), ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if allowedDir[filepath.ToSlash(filepath.Dir(rel))] {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !banned[sel.Sel.Name] {
+				return true
+			}
+			pos := fset.Position(sel.Sel.Pos())
+			diags = append(diags, Diag{
+				File: rel,
+				Line: pos.Line,
+				Col:  pos.Column,
+				Msg: fmt.Sprintf("call of TLB-bypassing %s outside the tag protocol (allowed: %s)",
+					sel.Sel.Name, strings.Join(allowed, ", ")),
+			})
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].File != diags[j].File {
+			return diags[i].File < diags[j].File
+		}
+		return diags[i].Line < diags[j].Line
+	})
+	return diags, nil
+}

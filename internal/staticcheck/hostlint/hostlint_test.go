@@ -1,0 +1,61 @@
+package hostlint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The fixture holds a fake allowed package (internal/taint) and a fake
+// offender (internal/bench): only the offender's two calls surface.
+func TestFixture(t *testing.T) {
+	diags, err := Check(filepath.Join("testdata", "fixture"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.File != "internal/bench/bad.go" {
+			t.Errorf("diagnostic in %s, want internal/bench/bad.go", d.File)
+		}
+		if !strings.Contains(d.Msg, "Shared") {
+			t.Errorf("message lacks accessor name: %s", d.Msg)
+		}
+	}
+	if diags[0].Line != 11 || diags[1].Line != 12 {
+		t.Errorf("lines %d,%d, want 11,12", diags[0].Line, diags[1].Line)
+	}
+}
+
+// The real repository is the baseline: the only production calls live
+// in internal/taint, so the checker must come back clean at the module
+// root. Any new TLB bypass elsewhere fails this test (and CI).
+func TestRepositoryClean(t *testing.T) {
+	root := filepath.Join("..", "..", "..")
+	diags, err := Check(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d.String())
+	}
+}
+
+// An empty allow-list turns the taint fixture package into an offender
+// too — the allow-list, not a hard-coded path, decides.
+func TestAllowListHonoured(t *testing.T) {
+	diags, err := Check(filepath.Join("testdata", "fixture"), []string{"internal/bench"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if d.File != "internal/taint/ok.go" {
+			t.Errorf("diagnostic in %s, want internal/taint/ok.go", d.File)
+		}
+	}
+	if len(diags) != 2 {
+		t.Errorf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+}

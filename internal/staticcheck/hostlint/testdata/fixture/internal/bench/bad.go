@@ -1,0 +1,14 @@
+// Package bench stands in for a package that must NOT bypass the TLB:
+// both calls below are findings.
+package bench
+
+type memory interface {
+	SharedPeek1(addr uint64) (byte, error)
+	SharedWrite1(addr uint64, v byte) error
+}
+
+func sampleTag(m memory, tb uint64) byte {
+	b, _ := m.SharedPeek1(tb) // want finding
+	_ = m.SharedWrite1(tb, b) // want finding
+	return b
+}

@@ -1,0 +1,16 @@
+// Package taint stands in for the real internal/taint in the hostlint
+// fixture: the shared accessors are allowed here.
+package taint
+
+type memory interface {
+	SharedPeek1(addr uint64) (byte, error)
+	SharedWrite1(addr uint64, v byte) error
+}
+
+func readTag(m memory, tb uint64) (byte, error) {
+	return m.SharedPeek1(tb)
+}
+
+func writeTag(m memory, tb uint64, v byte) error {
+	return m.SharedWrite1(tb, v)
+}

@@ -1,0 +1,215 @@
+package staticcheck_test
+
+import (
+	"testing"
+
+	"shift/internal/codegen"
+	"shift/internal/instrument"
+	"shift/internal/isa"
+	"shift/internal/lang"
+	"shift/internal/staticcheck"
+	"shift/internal/taint"
+)
+
+// The mutation suite proves the checker has teeth: each subtest breaks
+// one emit rule of the instrumentation pass in a freshly instrumented
+// program and demands the matching invariant fires. The unmutated
+// output lints clean by construction (instrument.Apply gates on the
+// checker), so every finding below is caused by the mutation alone.
+
+func compileMinic(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	f, err := lang.Parse("mut.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := lang.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := codegen.Compile(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// mutBase exercises every emit rule: narrow and 8-byte stores, loads,
+// a dirty compare (relaxation), and a call with values live across it
+// (UNAT save/restore traffic).
+const mutBase = `
+int data[64];
+int helper(int x) { return x * 2 + data[x & 63]; }
+void main() {
+	char buf[32];
+	int n = recv(buf, 32);
+	int i;
+	int s = 0;
+	for (i = 0; i < n; i++) {
+		data[i & 63] = buf[i & 31];
+		s = s + helper(data[i & 63]);
+	}
+	exit(s & 1);
+}
+`
+
+// nopFirst replaces the first instruction matching pred with a nop of
+// the same cost class, reporting whether a site was found.
+func nopFirst(pred func(*isa.Instruction) bool) func(*isa.Program) bool {
+	return func(p *isa.Program) bool {
+		for i := range p.Text {
+			if pred(&p.Text[i]) {
+				p.Text[i] = isa.Instruction{Op: isa.OpNop, Class: p.Text[i].Class, ABI: p.Text[i].ABI}
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func TestMutationsAreCaught(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*isa.Program) bool
+		want   string
+	}{
+		{
+			// Figure 5 store rule: drop the tag-bitmap write.
+			name: "drop-tag-store",
+			mutate: nopFirst(func(ins *isa.Instruction) bool {
+				return ins.Class == isa.ClassStoreTagMem && ins.Op == isa.OpSt
+			}),
+			want: staticcheck.InvStoreTagUpdate,
+		},
+		{
+			// §4.4 scheduling rule: pretend an original instruction was
+			// scheduled between a store and its tag update, ending the
+			// non-preemptible region early.
+			name: "break-store-region",
+			mutate: func(p *isa.Program) bool {
+				for i := range p.Text {
+					ins := &p.Text[i]
+					if ins.Class == isa.ClassOrig && !ins.ABI &&
+						(ins.Op == isa.OpSt || ins.Op == isa.OpStSpill) && i+1 < len(p.Text) {
+						p.Text[i+1].Class = isa.ClassOrig
+						return true
+					}
+				}
+				return false
+			},
+			want: staticcheck.InvStoreTagUpdate,
+		},
+		{
+			// §4.1 relaxation: drop the plain reload that strips the NaT
+			// from the compared copy.
+			name: "drop-clean-reload",
+			mutate: nopFirst(func(ins *isa.Instruction) bool {
+				return ins.Class == isa.ClassRelax && ins.Op == isa.OpLd && ins.Qp != 0
+			}),
+			want: staticcheck.InvCleanBeforeCmp,
+		},
+		{
+			// Figure 5 load rule: drop the conditional tainting of the
+			// loaded destination.
+			name: "drop-taint-apply",
+			mutate: nopFirst(func(ins *isa.Instruction) bool {
+				return ins.Class == isa.ClassNatGen && ins.Op == isa.OpAdd &&
+					ins.Qp != 0 && ins.Src2 == isa.RegNaT
+			}),
+			want: staticcheck.InvLoadTagConsult,
+		},
+		{
+			// §4.3 keep-live rule: drop the NaT-source generation at the
+			// program entry; every tainting site now consumes an
+			// uninitialised r127.
+			name: "drop-nat-gen",
+			mutate: nopFirst(func(ins *isa.Instruction) bool {
+				return ins.Op == isa.OpLdS && ins.Dest == isa.RegNaT
+			}),
+			want: staticcheck.InvNaTSourceLive,
+		},
+		{
+			// §4.3 spill/fill rule: drop every UNAT restore; fills after a
+			// call can no longer prove their bit was defined.
+			name: "drop-unat-restore",
+			mutate: func(p *isa.Program) bool {
+				found := false
+				for i := range p.Text {
+					if p.Text[i].Op == isa.OpMovToUnat {
+						p.Text[i] = isa.Instruction{Op: isa.OpNop, Class: p.Text[i].Class, ABI: p.Text[i].ABI}
+						found = true
+					}
+				}
+				return found
+			},
+			want: staticcheck.InvUnatPairing,
+		},
+		{
+			// Figure 5 load rule: drop the tag-bitmap read itself.
+			name: "drop-tag-consult",
+			mutate: nopFirst(func(ins *isa.Instruction) bool {
+				return ins.Class == isa.ClassLoadTagMem && ins.Op == isa.OpLd
+			}),
+			want: staticcheck.InvLoadTagConsult,
+		},
+	}
+
+	base := compileMinic(t, mutBase)
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := instrument.Apply(base, instrument.Options{Gran: taint.Byte})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fs := staticcheck.Check(out); len(fs) != 0 {
+				t.Fatalf("unmutated program not clean:\n%s", list(fs))
+			}
+			if !tc.mutate(out) {
+				t.Fatal("mutation found no site to break")
+			}
+			fs := staticcheck.Check(out)
+			if !has(fs, tc.want) {
+				t.Errorf("mutant not caught: want %s, got:\n%s", tc.want, list(fs))
+			}
+		})
+	}
+}
+
+// The atomic-exchange commit test must be a *predicated* branch: made
+// unconditional, every path skips the tag update (stale tags on a
+// committed exchange — exactly the §4.4 gap the pass closes).
+func TestMutationCmpxchgSkipCaught(t *testing.T) {
+	p := assemble(t, `
+.data
+cell: .word8 0
+.text
+.entry main
+main:
+	movl r1 = cell
+	mov ccv = r0
+	movl r2 = 1
+	cmpxchg8 r3 = [r1], r2
+	movl r32 = 0
+	syscall 1
+`)
+	out, err := instrument.Apply(p, instrument.Options{Gran: taint.Byte})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs := staticcheck.Check(out); len(fs) != 0 {
+		t.Fatalf("unmutated program not clean:\n%s", list(fs))
+	}
+	found := false
+	for i := range out.Text {
+		if out.Text[i].Op == isa.OpBr && out.Text[i].Label == ".shift.xchg.1" {
+			out.Text[i].Qp = 0
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no commit-test branch in instrumented output")
+	}
+	if fs := staticcheck.Check(out); !has(fs, staticcheck.InvStoreTagUpdate) {
+		t.Errorf("unconditional commit skip not caught:\n%s", list(fs))
+	}
+}

@@ -1,0 +1,465 @@
+// Package staticcheck verifies the structural contract of SHIFT
+// instrumentation over a whole program, statically. Where the lockstep
+// oracle (internal/oracle) catches a propagation bug only when an
+// execution reaches it, this analyzer walks a basic-block control-flow
+// graph and a forward dataflow fixpoint over every path of the
+// instrumented instruction stream, proving shape properties of the
+// paper's pass:
+//
+//   - store-tag-update: every original store (st, st8.spill, and the
+//     commit path of cmpxchg) is paired with a tag-bitmap write inside
+//     the same non-preemptible region — no original-program instruction
+//     interleaves, matching the tag-coherent scheduling rule (§4.4).
+//   - load-tag-consult: every original load reads the tag bitmap and
+//     conditionally taints its destination within its region (Figure 5).
+//   - clean-before-compare: no NaT-sensitive compare (cmp/cmpi without
+//     the cmp.na enhancement) can observe a possibly-NaT operand; the
+//     relaxation sequence (§4.1) must dominate it.
+//   - spec-load-consumed: every speculative load has a reachable check
+//     (chk.s) or taint-consumption point; a ld.s whose NaT token nothing
+//     ever reads is dead weight (§4.3).
+//   - unat-pairing: every ld8.fill restores a UNAT bit that a st8.spill
+//     (or mov unat=) has defined along all paths (§4.3).
+//   - nat-source-live: reserved instrumentation registers (r119..r127)
+//     are written before use on every path from the program entry — in
+//     particular the keep-live NaT source exists before its first use.
+//
+// The analyzer is deliberately lenient where the machine's dynamic
+// semantics guarantee safety (a plain load clears its destination's NaT;
+// a non-speculative memory access proves its address register clean on
+// the fallthrough), so legitimately instrumented programs lint clean
+// while each broken emit rule is flagged — the mutation suite in this
+// package holds both directions.
+package staticcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"shift/internal/isa"
+)
+
+// Invariant identifiers, stable for machine consumption.
+const (
+	InvStoreTagUpdate   = "store-tag-update"
+	InvLoadTagConsult   = "load-tag-consult"
+	InvCleanBeforeCmp   = "clean-before-compare"
+	InvSpecLoadConsumed = "spec-load-consumed"
+	InvUnatPairing      = "unat-pairing"
+	InvNaTSourceLive    = "nat-source-live"
+)
+
+// Finding is one violation of the instrumentation contract.
+type Finding struct {
+	PC        int    `json:"pc"`        // instruction index in Program.Text
+	Invariant string `json:"invariant"` // stable identifier (Inv* constants)
+	Sym       string `json:"sym"`       // nearest enclosing label, if any
+	Ins       string `json:"ins"`       // disassembled instruction
+	Msg       string `json:"msg"`       // human-readable explanation
+}
+
+// String renders the finding as "pc N (sym): invariant: msg [ins]".
+func (f Finding) String() string {
+	loc := fmt.Sprintf("pc %d", f.PC)
+	if f.Sym != "" {
+		loc += " (" + f.Sym + ")"
+	}
+	return fmt.Sprintf("%s: %s: %s [%s]", loc, f.Invariant, f.Msg, f.Ins)
+}
+
+type checker struct {
+	prog       *isa.Program
+	g          *graph
+	in         []state
+	reach      []bool
+	cleanWrite []bool
+	findings   []Finding
+}
+
+// Check analyzes prog and returns every contract violation, ordered by
+// program counter. A program that was never instrumented reports a
+// finding for each unpaired load, store and NaT-sensitive compare — the
+// analyzer checks the contract, not whether instrumentation was wanted.
+func Check(prog *isa.Program) []Finding {
+	c := &checker{prog: prog, g: buildGraph(prog)}
+	c.cleanWrites()
+	c.solve()
+	c.checkRegions()
+	c.checkDataflow()
+	c.checkSpecLoads()
+	sort.SliceStable(c.findings, func(i, j int) bool {
+		if c.findings[i].PC != c.findings[j].PC {
+			return c.findings[i].PC < c.findings[j].PC
+		}
+		return c.findings[i].Invariant < c.findings[j].Invariant
+	})
+	return c.findings
+}
+
+func (c *checker) report(pc int, inv, msg string) {
+	c.findings = append(c.findings, Finding{
+		PC:        pc,
+		Invariant: inv,
+		Sym:       c.g.symFor(pc),
+		Ins:       c.prog.Text[pc].String(),
+		Msg:       msg,
+	})
+}
+
+// ---------------------------------------------------------------------
+// Region checks (store-tag-update, load-tag-consult).
+//
+// A non-preemptible region is a maximal run of instrumentation-class
+// instructions following an original one: the scheduler may only end a
+// time slice at an original (ClassOrig) instruction, so the pairing of
+// a data access with its tag traffic must complete before the next
+// original instruction — and before anything that leaves the region
+// outright (call, return, indirect branch, syscall, chk.s).
+
+func isTagWrite(ins *isa.Instruction) bool {
+	return ins.Class == isa.ClassStoreTagMem &&
+		(ins.Op == isa.OpSt || ins.Op == isa.OpCmpxchg)
+}
+
+func isTagConsult(ins *isa.Instruction) bool {
+	return ins.Class == isa.ClassLoadTagMem && ins.Op == isa.OpLd
+}
+
+// taintApply recognises the Figure 5 destination-tainting instruction
+// for register d: a predicated setnat, or a predicated add through the
+// NaT-source register.
+func taintApply(ins *isa.Instruction, d uint8) bool {
+	if ins.Qp == 0 || ins.Dest != d {
+		return false
+	}
+	switch ins.Op {
+	case isa.OpSetNat:
+		return true
+	case isa.OpAdd:
+		return ins.Src1 == isa.RegNaT || ins.Src2 == isa.RegNaT
+	}
+	return false
+}
+
+// leavesRegion reports ops that end the non-preemptible region no
+// matter their cost class.
+func leavesRegion(ins *isa.Instruction) bool {
+	switch ins.Op {
+	case isa.OpBrCall, isa.OpBrRet, isa.OpBrInd, isa.OpSyscall, isa.OpChkS:
+		return true
+	}
+	return false
+}
+
+const (
+	walkVisiting int8 = 1
+	walkTrue     int8 = 2
+	walkFalse    int8 = 3
+)
+
+// regionAll reports whether every complete path from the successors of
+// pc hits an instruction satisfying hit before the region ends. An
+// in-region cycle (the serialized-tag retry loop) counts as satisfied:
+// the only exits of such a loop are checked on their own paths.
+func (c *checker) regionAll(pc int, hit func(*isa.Instruction) bool) bool {
+	memo := make(map[int]int8)
+	var walk func(int) bool
+	walk = func(i int) bool {
+		switch memo[i] {
+		case walkVisiting, walkTrue:
+			return true
+		case walkFalse:
+			return false
+		}
+		ins := &c.prog.Text[i]
+		if hit(ins) {
+			memo[i] = walkTrue
+			return true
+		}
+		if ins.Class == isa.ClassOrig || leavesRegion(ins) || len(c.g.succ[i]) == 0 {
+			memo[i] = walkFalse
+			return false
+		}
+		memo[i] = walkVisiting
+		ok := true
+		for _, e := range c.g.succ[i] {
+			if !walk(e.to) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			memo[i] = walkTrue
+		} else {
+			memo[i] = walkFalse
+		}
+		return ok
+	}
+	if len(c.g.succ[pc]) == 0 {
+		return false
+	}
+	for _, e := range c.g.succ[pc] {
+		if !walk(e.to) {
+			return false
+		}
+	}
+	return true
+}
+
+// regionExists reports whether some path from pc's successors hits an
+// instruction satisfying hit before the region ends.
+func (c *checker) regionExists(pc int, hit func(*isa.Instruction) bool) bool {
+	memo := make(map[int]bool)
+	var walk func(int) bool
+	walk = func(i int) bool {
+		if done, ok := memo[i]; ok {
+			return done
+		}
+		memo[i] = false // break cycles pessimistically
+		ins := &c.prog.Text[i]
+		if hit(ins) {
+			memo[i] = true
+			return true
+		}
+		if ins.Class == isa.ClassOrig || leavesRegion(ins) {
+			return false
+		}
+		for _, e := range c.g.succ[i] {
+			if walk(e.to) {
+				memo[i] = true
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range c.g.succ[pc] {
+		if walk(e.to) {
+			return true
+		}
+	}
+	return false
+}
+
+// regionAllOrBypass reports whether every complete path from pc either
+// hits the tag write or has crossed the taken edge of a *predicated*
+// branch — the legitimate commit-test skip of a failed cmpxchg. An
+// unconditional skip (or a fallthrough that never updates the bitmap)
+// fails.
+func (c *checker) regionAllOrBypass(pc int) bool {
+	type key struct {
+		i   int
+		byp bool
+	}
+	memo := make(map[key]int8)
+	var walk func(int, bool) bool
+	walk = func(i int, byp bool) bool {
+		k := key{i, byp}
+		switch memo[k] {
+		case walkVisiting, walkTrue:
+			return true
+		case walkFalse:
+			return false
+		}
+		ins := &c.prog.Text[i]
+		if isTagWrite(ins) {
+			memo[k] = walkTrue
+			return true
+		}
+		if ins.Class == isa.ClassOrig || leavesRegion(ins) || len(c.g.succ[i]) == 0 {
+			if byp {
+				memo[k] = walkTrue
+			} else {
+				memo[k] = walkFalse
+			}
+			return byp
+		}
+		memo[k] = walkVisiting
+		ok := true
+		for _, e := range c.g.succ[i] {
+			nb := byp || (e.kind == edgeJump && ins.Qp != 0)
+			if !walk(e.to, nb) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			memo[k] = walkTrue
+		} else {
+			memo[k] = walkFalse
+		}
+		return ok
+	}
+	for _, e := range c.g.succ[pc] {
+		if !walk(e.to, false) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *checker) checkRegions() {
+	for pc := range c.prog.Text {
+		ins := &c.prog.Text[pc]
+		if ins.Class != isa.ClassOrig || ins.ABI {
+			continue
+		}
+		switch ins.Op {
+		case isa.OpSt, isa.OpStSpill:
+			if !c.regionAll(pc, isTagWrite) {
+				c.report(pc, InvStoreTagUpdate,
+					"store is not followed by a tag-bitmap write in its non-preemptible region")
+			}
+		case isa.OpCmpxchg:
+			if !c.regionExists(pc, isTagWrite) {
+				c.report(pc, InvStoreTagUpdate,
+					"atomic exchange has no committed-path tag-bitmap write in its region")
+			} else if !c.regionAllOrBypass(pc) {
+				c.report(pc, InvStoreTagUpdate,
+					"atomic exchange can skip its tag-bitmap write without a predicated commit test")
+			}
+		case isa.OpLd, isa.OpLdFill:
+			if !c.regionAll(pc, isTagConsult) {
+				c.report(pc, InvLoadTagConsult,
+					"load is not followed by a tag-bitmap read in its non-preemptible region")
+			} else if d := ins.Dest; !c.regionAll(pc, func(i *isa.Instruction) bool { return taintApply(i, d) }) {
+				c.report(pc, InvLoadTagConsult,
+					"load's destination is never conditionally tainted from the tag bit")
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Dataflow checks (clean-before-compare, unat-pairing, nat-source-live).
+
+func (c *checker) checkDataflow() {
+	for pc := range c.prog.Text {
+		if !c.reach[pc] || !c.in[pc].live {
+			continue
+		}
+		ins := &c.prog.Text[pc]
+		st := c.in[pc]
+
+		switch ins.Op {
+		case isa.OpCmp:
+			if st.nat.has(ins.Src1) || st.nat.has(ins.Src2) {
+				c.report(pc, InvCleanBeforeCmp,
+					"NaT-sensitive compare may observe a tainted operand; relaxation sequence missing")
+			}
+		case isa.OpCmpi:
+			if st.nat.has(ins.Src1) {
+				c.report(pc, InvCleanBeforeCmp,
+					"NaT-sensitive compare may observe a tainted operand; relaxation sequence missing")
+			}
+		case isa.OpLdFill:
+			if st.unat>>uint(ins.Imm&63)&1 == 0 {
+				c.report(pc, InvUnatPairing,
+					fmt.Sprintf("ld8.fill restores UNAT bit %d that no st8.spill defined on all paths", ins.Imm))
+			}
+		}
+
+		// Reads of reserved instrumentation registers must be dominated
+		// by a write: in particular, consuming the NaT source before
+		// (or without) its keep-live generation is a silent taint drop.
+		checkRead := func(r uint8) {
+			if r >= isa.RegKeep && !st.init.has(r) {
+				c.report(pc, InvNaTSourceLive,
+					fmt.Sprintf("reserved register r%d read with no dominating write (keep-live NaT source missing?)", r))
+			}
+		}
+		if ins.Op.ReadsSrc1() {
+			checkRead(ins.Src1)
+		}
+		if ins.Op.ReadsSrc2() {
+			checkRead(ins.Src2)
+		}
+		if ins.Op == isa.OpSetNat || ins.Op == isa.OpClrNat {
+			checkRead(ins.Dest) // value-preserving: reads the destination
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Speculative-load consumption (spec-load-consumed).
+
+// readsReg reports whether ins consumes register d.
+func readsReg(ins *isa.Instruction, d uint8) bool {
+	if ins.Op.ReadsSrc1() && ins.Src1 == d {
+		return true
+	}
+	if ins.Op.ReadsSrc2() && ins.Src2 == d {
+		return true
+	}
+	if (ins.Op == isa.OpSetNat || ins.Op == isa.OpClrNat) && ins.Dest == d {
+		return true
+	}
+	return false
+}
+
+func (c *checker) checkSpecLoads() {
+	// The NaT-source register is program-global by contract (it stays
+	// live across calls and spawns), so its generators are judged
+	// globally: dead only if nothing in the whole program reads r127.
+	natConsumed := false
+	for pc := range c.prog.Text {
+		if readsReg(&c.prog.Text[pc], isa.RegNaT) {
+			natConsumed = true
+			break
+		}
+	}
+
+	for pc := range c.prog.Text {
+		ins := &c.prog.Text[pc]
+		if ins.Op != isa.OpLdS {
+			continue
+		}
+		if ins.Dest == isa.RegNaT {
+			if !natConsumed {
+				c.report(pc, InvSpecLoadConsumed,
+					"NaT-source generation is dead: nothing in the program consumes r127")
+			}
+			continue
+		}
+		if !c.reach[pc] {
+			continue
+		}
+		if !c.useReached(pc, ins.Dest) {
+			c.report(pc, InvSpecLoadConsumed,
+				fmt.Sprintf("speculative load's r%d has no reachable chk.s or consumption before being overwritten", ins.Dest))
+		}
+	}
+}
+
+// useReached reports whether some path from pc's successors reads d
+// before overwriting it.
+func (c *checker) useReached(pc int, d uint8) bool {
+	memo := make(map[int]bool)
+	var walk func(int) bool
+	walk = func(i int) bool {
+		if done, ok := memo[i]; ok {
+			return done
+		}
+		memo[i] = false
+		ins := &c.prog.Text[i]
+		if readsReg(ins, d) {
+			memo[i] = true
+			return true
+		}
+		if ins.Op.HasDest() && ins.Dest == d {
+			return false
+		}
+		for _, e := range c.g.succ[i] {
+			if walk(e.to) {
+				memo[i] = true
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range c.g.succ[pc] {
+		if walk(e.to) {
+			return true
+		}
+	}
+	return false
+}
