@@ -1,0 +1,32 @@
+package instrument
+
+import (
+	"testing"
+
+	"shift/internal/asm"
+	"shift/internal/taint"
+)
+
+// Guest function: spill a callee-saved reg, call a leaf, fill on return.
+// edgeRet zeroes the must-unat set; does the verify gate reject this?
+func TestProbeSpillCallFill(t *testing.T) {
+	src := `
+main:
+	addi r12 = r12, -16
+	st8.spill [r12] = r4, 3
+	br.call b0 = leaf
+	ld8.fill r4 = [r12], 3
+	addi r12 = r12, 16
+	syscall 1
+leaf:
+	movl r8 = 1
+	br.ret b0
+`
+	p, err := asm.Assemble(src, asm.Options{})
+	if err != nil {
+		t.Skipf("assemble: %v", err)
+	}
+	if _, err := Apply(p, Options{Gran: taint.Byte}); err != nil {
+		t.Fatalf("Apply failed: %v", err)
+	}
+}
