@@ -7,13 +7,24 @@
 //	shiftrun [-protect] [-gran byte|word] [-enhancements] [-policy file]
 //	         [-serialized-tags] [-unsafe-preempt] [-quantum n]
 //	         [-net string] [-stdin string] [-file name=path ...]
-//	         [-arg value ...] [-counters] [-oracle] prog.mc
+//	         [-arg value ...] [-counters] [-oracle]
+//	         [-trace out.jsonl] [-trace-chrome out.json] [-trace-depth n]
+//	         [-metrics dest] prog.mc
 //
 // -net supplies network input (a taint source), -file mounts a host file
 // into the simulated filesystem, -arg appends a program argument.
 // -oracle runs the lockstep reference DIFT engine alongside execution and
 // reports any divergence between the tag machinery and plain shadow
 // interpretation (exit status 4).
+//
+// -trace records the taint-lifecycle flight recorder to a JSONL file
+// ("-" for stdout); -trace-chrome writes the same events in Chrome
+// trace-event format for Perfetto; -trace-depth bounds the ring buffer.
+// When a traced run ends in a policy violation, the forensic report
+// (signature, provenance, trace tail) is printed to stderr.
+// -metrics exposes the run's counters: an addr-like value (":9090")
+// serves Prometheus text over HTTP until interrupted, anything else is a
+// file ("-" for stdout) the exposition is dumped to after the run.
 //
 // For threaded guests, -quantum sets the scheduler time slice in cycles,
 // -serialized-tags makes byte-level bitmap updates lock-free atomic, and
@@ -25,14 +36,19 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"os"
+	"os/signal"
 	"strings"
 
 	"shift/internal/isa"
 	"shift/internal/machine"
+	"shift/internal/metrics"
 	"shift/internal/policy"
 	"shift/internal/shift"
 	"shift/internal/taint"
+	"shift/internal/trace"
 )
 
 // listFlag collects repeated string flags.
@@ -54,6 +70,10 @@ func main() {
 	serialized := flag.Bool("serialized-tags", false, "serialize byte-level bitmap updates with a cmpxchg retry loop")
 	unsafePreempt := flag.Bool("unsafe-preempt", false, "allow preemption between a data store and its tag update (reproduces the paper's §4.4 hazard)")
 	quantum := flag.Uint64("quantum", 0, "scheduler time slice in cycles for threaded guests (0 = default)")
+	traceOut := flag.String("trace", "", "write the taint-lifecycle trace as JSONL to this file (- for stdout)")
+	traceChrome := flag.String("trace-chrome", "", "write the trace in Chrome trace-event format (Perfetto) to this file")
+	traceDepth := flag.Int("trace-depth", 0, "flight-recorder ring capacity in events (0 = default)")
+	metricsDest := flag.String("metrics", "", "metrics destination: a listen address like :9090 serves Prometheus text over HTTP; otherwise a file the exposition is written to after the run (- for stdout)")
 	var files, args listFlag
 	flag.Var(&files, "file", "mount name=hostpath into the simulated filesystem (repeatable)")
 	flag.Var(&args, "arg", "program argument (repeatable)")
@@ -96,6 +116,24 @@ func main() {
 			os.Exit(1)
 		}
 		opt.Policy = conf
+	}
+
+	if *traceOut != "" || *traceChrome != "" {
+		opt.Trace = trace.New(*traceDepth)
+	}
+	var serving net.Listener
+	if *metricsDest != "" {
+		opt.Metrics = metrics.NewRegistry()
+		opt.Metrics.PublishExpvar()
+		if strings.Contains(*metricsDest, ":") {
+			ln, err := opt.Metrics.Serve(*metricsDest)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "shiftrun:", err)
+				os.Exit(1)
+			}
+			serving = ln
+			fmt.Fprintf(os.Stderr, "shiftrun: serving metrics at http://%s/metrics\n", ln.Addr())
+		}
 	}
 
 	text, err := os.ReadFile(flag.Arg(0))
@@ -164,6 +202,42 @@ func main() {
 			}
 		}
 	}
+	if opt.Trace != nil {
+		if *traceOut != "" {
+			if err := writeOut(*traceOut, opt.Trace.WriteJSONL); err != nil {
+				fmt.Fprintln(os.Stderr, "shiftrun:", err)
+				os.Exit(1)
+			}
+		}
+		if *traceChrome != "" {
+			if err := writeOut(*traceChrome, opt.Trace.WriteChromeTrace); err != nil {
+				fmt.Fprintln(os.Stderr, "shiftrun:", err)
+				os.Exit(1)
+			}
+		}
+		// A traced violation gets the full flight-recorder report: the
+		// attack signature plus the event tail showing the tainted
+		// input's path to the sink.
+		if res.Alert != nil {
+			if rep := res.Report(); rep != nil {
+				fmt.Fprint(os.Stderr, rep)
+			}
+		}
+	}
+	if opt.Metrics != nil && serving == nil {
+		if err := writeOut(*metricsDest, opt.Metrics.WritePrometheus); err != nil {
+			fmt.Fprintln(os.Stderr, "shiftrun:", err)
+			os.Exit(1)
+		}
+	}
+	if serving != nil {
+		// Keep the exposition scrapeable until the user interrupts; the
+		// run's counters are final at this point.
+		fmt.Fprintln(os.Stderr, "shiftrun: run complete; metrics still serving (interrupt to exit)")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+	}
 	switch {
 	case res.Alert != nil:
 		os.Exit(3)
@@ -172,4 +246,20 @@ func main() {
 	default:
 		os.Exit(int(res.ExitStatus) & 0x7f)
 	}
+}
+
+// writeOut writes via fn to path, with "-" meaning stdout.
+func writeOut(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

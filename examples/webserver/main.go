@@ -2,13 +2,21 @@
 // with every network byte tainted. Benign requests are served with a few
 // percent overhead; a directory-traversal request trips policy H2 at the
 // open() sink before any file content leaks.
+//
+// The attack run carries the observability stack: a flight recorder and
+// a metrics registry ride the run, the violation's forensic report
+// (signature, provenance, trace tail) prints, and the trace is written
+// to webserver-trace.jsonl — load it in Perfetto via "Open trace file".
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
+	"shift/internal/metrics"
 	"shift/internal/shift"
+	"shift/internal/trace"
 	"shift/internal/workload"
 )
 
@@ -34,14 +42,17 @@ func main() {
 		len(prot.World.NetOut),
 		(float64(prot.Cycles)/float64(base.Cycles)-1)*100)
 
-	// Now an attacker asks for a path outside the document root.
+	// Now an attacker asks for a path outside the document root — with
+	// the flight recorder and metrics running.
 	attack := shift.NewWorld()
 	req := make([]byte, workload.HTTPDRequestSize)
 	copy(req, "GET ../../../../etc/passwd")
 	attack.NetIn = req
+	tr := trace.New(0)
+	reg := metrics.NewRegistry()
 	res, err := shift.BuildAndRun(
 		[]shift.Source{{Name: "httpd.mc", Text: workload.HTTPDSource}},
-		attack, shift.Options{Instrument: true, Policy: workload.HTTPDConfig()})
+		attack, shift.Options{Instrument: true, Policy: workload.HTTPDConfig(), Trace: tr, Metrics: reg})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,4 +60,25 @@ func main() {
 		log.Fatal("traversal went undetected")
 	}
 	fmt.Printf("attack blocked: %s\n", res.Alert)
+
+	if rep := res.Report(); rep != nil {
+		fmt.Println("--- forensic report ---")
+		fmt.Print(rep)
+	}
+	fmt.Printf("recorder: %d events (%d dropped), tag writes %d, spec defers %d\n",
+		tr.Total(), tr.Dropped(),
+		reg.Counter("shift_tag_writes_total").Value(),
+		reg.Counter("shift_spec_defers_total").Value())
+
+	f, err := os.Create("webserver-trace.jsonl")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tr.WriteJSONL(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("trace written to webserver-trace.jsonl")
 }

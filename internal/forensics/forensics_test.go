@@ -1,10 +1,11 @@
-package forensics
+package forensics_test
 
 import (
 	"strings"
 	"testing"
 
 	"shift/internal/attacks"
+	"shift/internal/forensics"
 	"shift/internal/policy"
 	"shift/internal/shift"
 	"shift/internal/taint"
@@ -29,7 +30,7 @@ func runExploit(t *testing.T, a *attacks.Attack) (*policy.Violation, *shift.Worl
 
 func TestSignatureFromQwikiwikiTraversal(t *testing.T) {
 	v, world := runExploit(t, attacks.Qwikiwiki)
-	sig := FromViolation(v)
+	sig := forensics.FromViolation(v)
 	if sig == nil {
 		t.Fatal("no signature extracted")
 	}
@@ -56,7 +57,7 @@ func TestSignatureFromQwikiwikiTraversal(t *testing.T) {
 
 func TestSignatureFromSQLInjection(t *testing.T) {
 	v, world := runExploit(t, attacks.PhpMyFAQ)
-	sig := FromViolation(v)
+	sig := forensics.FromViolation(v)
 	if sig == nil {
 		t.Fatal("no signature extracted")
 	}
@@ -67,7 +68,7 @@ func TestSignatureFromSQLInjection(t *testing.T) {
 		t.Error("signature matches a benign id")
 	}
 	// Provenance: the tokens came from the network channel.
-	prov := Locate(sig, Channels{Network: world.NetIn})
+	prov := forensics.Locate(sig, forensics.Channels{Network: world.NetIn})
 	if len(prov) == 0 {
 		t.Fatal("no provenance found")
 	}
@@ -80,7 +81,7 @@ func TestSignatureFromSQLInjection(t *testing.T) {
 
 func TestSignatureFromXSS(t *testing.T) {
 	v, world := runExploit(t, attacks.Scry)
-	sig := FromViolation(v)
+	sig := forensics.FromViolation(v)
 	if sig == nil {
 		t.Fatal("no signature extracted")
 	}
@@ -94,11 +95,11 @@ func TestSignatureFromXSS(t *testing.T) {
 
 func TestSignatureFromFileChannel(t *testing.T) {
 	v, world := runExploit(t, attacks.GnuTar)
-	sig := FromViolation(v)
+	sig := forensics.FromViolation(v)
 	if sig == nil {
 		t.Fatal("no signature extracted")
 	}
-	prov := Locate(sig, Channels{Files: world.Files})
+	prov := forensics.Locate(sig, forensics.Channels{Files: world.Files})
 	if len(prov) == 0 {
 		t.Fatal("no provenance into the archive file")
 	}
@@ -109,10 +110,10 @@ func TestSignatureFromFileChannel(t *testing.T) {
 
 func TestLowLevelViolationsHaveNoSinkContext(t *testing.T) {
 	v, _ := runExploit(t, attacks.Bftpd) // L2: faults inside the pipeline
-	if sig := FromViolation(v); sig != nil {
+	if sig := forensics.FromViolation(v); sig != nil {
 		t.Errorf("unexpected signature for a register-level fault: %s", sig)
 	}
-	if FromViolation(nil) != nil {
+	if forensics.FromViolation(nil) != nil {
 		t.Error("nil violation produced a signature")
 	}
 }
@@ -130,11 +131,11 @@ func TestTokenExtractionRules(t *testing.T) {
 	}
 
 	// Runs shorter than minTokenLen are dropped.
-	if sig := FromViolation(mk("SELECT 'x'", [2]int{8, 9})); sig != nil {
+	if sig := forensics.FromViolation(mk("SELECT 'x'", [2]int{8, 9})); sig != nil {
 		t.Errorf("one-byte run produced a signature: %s", sig)
 	}
 	// Runs separated by small gaps merge.
-	sig := FromViolation(mk("ab cd efgh", [2]int{0, 2}, [2]int{3, 5}, [2]int{6, 10}))
+	sig := forensics.FromViolation(mk("ab cd efgh", [2]int{0, 2}, [2]int{3, 5}, [2]int{6, 10}))
 	if sig == nil || len(sig.Tokens) != 1 {
 		t.Fatalf("gap merge failed: %v", sig)
 	}
@@ -142,7 +143,7 @@ func TestTokenExtractionRules(t *testing.T) {
 		t.Errorf("merged token = %q", sig.Tokens[0].Text)
 	}
 	// Distant runs stay separate tokens, and Match requires order.
-	sig = FromViolation(mk("aaaa......bbbb", [2]int{0, 4}, [2]int{10, 14}))
+	sig = forensics.FromViolation(mk("aaaa......bbbb", [2]int{0, 4}, [2]int{10, 14}))
 	if sig == nil || len(sig.Tokens) != 2 {
 		t.Fatalf("distant runs merged: %v", sig)
 	}

@@ -1,0 +1,77 @@
+package forensics
+
+import (
+	"fmt"
+	"strings"
+
+	"shift/internal/policy"
+	"shift/internal/trace"
+)
+
+// Report is a violation bundle for incident response: the signature and
+// provenance chain the static analysis extracts, plus the flight
+// recorder's tail — the last events before the stop, which show *how*
+// the tainted input travelled (birth at the source syscall, tag-bitmap
+// writes, spec-load defers, the failing policy check) rather than only
+// *what* reached the sink.
+type Report struct {
+	Violation  *policy.Violation
+	Signature  *Signature   // nil for low-level (in-processor) violations
+	Provenance []Provenance // tokens mapped back to input channels
+	Trail      []trace.Event
+	Dropped    uint64 // events the recorder overwrote before the stop
+}
+
+// DefaultTrail is the trace-tail length BuildReport keeps when n <= 0.
+const DefaultTrail = 256
+
+// BuildReport assembles the bundle: signature from the violation, token
+// provenance from the channels, and the most recent n events from the
+// recorder (tr may be nil — the report then documents only the static
+// side).
+func BuildReport(v *policy.Violation, ch Channels, tr *trace.Tracer, n int) *Report {
+	if n <= 0 {
+		n = DefaultTrail
+	}
+	r := &Report{Violation: v, Signature: FromViolation(v)}
+	if r.Signature != nil {
+		r.Provenance = Locate(r.Signature, ch)
+	}
+	r.Trail = tr.Tail(n)
+	r.Dropped = tr.Dropped()
+	return r
+}
+
+// String renders the report for an incident log.
+func (r *Report) String() string {
+	var b strings.Builder
+	if r.Violation != nil {
+		fmt.Fprintf(&b, "violation: %s\n", r.Violation.Error())
+	}
+	if r.Signature != nil {
+		fmt.Fprintf(&b, "signature: %s\n", r.Signature)
+	}
+	for _, p := range r.Provenance {
+		fmt.Fprintf(&b, "provenance: %q from %s+%d\n", p.Token.Text, p.Channel, p.Offset)
+	}
+	if len(r.Trail) > 0 {
+		fmt.Fprintf(&b, "trace tail (%d events, %d older dropped):\n", len(r.Trail), r.Dropped)
+		for _, ev := range r.Trail {
+			fmt.Fprintf(&b, "  cycle=%d tid=%d pc=%d %s", ev.Cycle, ev.TID, ev.PC, ev.Kind)
+			if ev.Name != "" {
+				fmt.Fprintf(&b, " name=%s", ev.Name)
+			}
+			if ev.Addr != 0 {
+				fmt.Fprintf(&b, " addr=%#x", ev.Addr)
+			}
+			if ev.N != 0 {
+				fmt.Fprintf(&b, " n=%d", ev.N)
+			}
+			if ev.Reg != 0 {
+				fmt.Fprintf(&b, " reg=r%d", ev.Reg)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

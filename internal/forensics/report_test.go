@@ -1,0 +1,84 @@
+package forensics
+
+import (
+	"strings"
+	"testing"
+
+	"shift/internal/policy"
+	"shift/internal/trace"
+)
+
+func reportViolation() *policy.Violation {
+	data := []byte("GET ../../secret")
+	taint := make([]bool, len(data))
+	for i := 4; i < len(data); i++ {
+		taint[i] = true
+	}
+	return &policy.Violation{
+		Policy:    "H2",
+		SinkLabel: "open",
+		SinkData:  data,
+		SinkTaint: taint,
+	}
+}
+
+func TestBuildReportBundlesTrail(t *testing.T) {
+	tr := trace.New(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(trace.Event{Cycle: uint64(i), Kind: trace.KindTagWrite})
+	}
+	tr.Emit(trace.Event{Cycle: 10, Kind: trace.KindViolation, Name: "H2"})
+
+	ch := Channels{Network: []byte("GET ../../secret HTTP/1.0")}
+	rep := BuildReport(reportViolation(), ch, tr, 3)
+	if rep.Signature == nil {
+		t.Fatal("no signature extracted")
+	}
+	if len(rep.Provenance) == 0 || rep.Provenance[0].Channel != "network" {
+		t.Errorf("provenance = %+v", rep.Provenance)
+	}
+	if len(rep.Trail) != 3 {
+		t.Fatalf("trail has %d events, want the requested 3", len(rep.Trail))
+	}
+	if rep.Trail[2].Kind != trace.KindViolation {
+		t.Errorf("trail does not end at the violation: %+v", rep.Trail)
+	}
+	if rep.Dropped != 7 {
+		t.Errorf("Dropped = %d, want 7 (11 emitted, ring of 4)", rep.Dropped)
+	}
+
+	text := rep.String()
+	for _, want := range []string{"violation: ", "signature: H2@open", "provenance: ", "trace tail (3 events, 7 older dropped)", "name=H2"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// Without a recorder the report still documents the static side.
+func TestBuildReportWithoutTracer(t *testing.T) {
+	rep := BuildReport(reportViolation(), Channels{}, nil, 0)
+	if rep.Signature == nil {
+		t.Fatal("signature lost without a tracer")
+	}
+	if len(rep.Trail) != 0 || rep.Dropped != 0 {
+		t.Errorf("nil tracer produced a trail: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "signature:") {
+		t.Error("static-only report renders nothing")
+	}
+}
+
+// Low-level violations carry no sink bytes; the report degrades to the
+// trail alone.
+func TestBuildReportLowLevelViolation(t *testing.T) {
+	tr := trace.New(8)
+	tr.Emit(trace.Event{Kind: trace.KindViolation, Name: "L1"})
+	rep := BuildReport(&policy.Violation{Policy: "L1"}, Channels{}, tr, 0)
+	if rep.Signature != nil {
+		t.Error("signature fabricated from an empty sink")
+	}
+	if len(rep.Trail) != 1 {
+		t.Errorf("trail has %d events, want 1", len(rep.Trail))
+	}
+}

@@ -1,0 +1,76 @@
+package instrument
+
+import (
+	"strings"
+	"testing"
+
+	"shift/internal/asm"
+	"shift/internal/isa"
+	"shift/internal/taint"
+)
+
+// assembleUnat builds the spill-call-fill guest used by both contract
+// tests below.
+func assembleUnat(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := asm.Assemble(src, asm.Options{})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+// In this ABI, UNAT is NOT preserved across calls: the compiler saves it
+// to the frame before every call and restores it after (funcgen.go's
+// prologue and exprgen.go's call sequence). A st8.spill/ld8.fill pair
+// straddling a br.call without that save therefore reads a UNAT bit the
+// callee may have clobbered, and the verify gate must reject it. This
+// pins the edgeRet rule (callee UNAT untrusted) that an earlier
+// exploratory probe mistook for a false positive.
+func TestVerifyRejectsUnsavedUnatAcrossCall(t *testing.T) {
+	p := assembleUnat(t, `
+main:
+	addi r12 = r12, -16
+	st8.spill [r12] = r4, 3
+	br.call b0 = leaf
+	ld8.fill r4 = [r12], 3
+	addi r12 = r12, 16
+	syscall 1
+leaf:
+	movl r8 = 1
+	br.ret b0
+`)
+	_, err := Apply(p, Options{Gran: taint.Byte})
+	if err == nil {
+		t.Fatal("Apply accepted a ld8.fill whose UNAT bit crossed a call unsaved")
+	}
+	if !strings.Contains(err.Error(), "unat-pairing") {
+		t.Errorf("rejection is not the unat-pairing invariant: %v", err)
+	}
+}
+
+// The compiler's discipline — mov-from-unat + store before the call,
+// load + mov-to-unat after — makes the same fill verifiable.
+func TestVerifyAcceptsSavedUnatAcrossCall(t *testing.T) {
+	p := assembleUnat(t, `
+main:
+	addi r12 = r12, -32
+	st8.spill [r12] = r4, 3
+	mov r2 = unat
+	addi r3 = r12, 8
+	st8 [r3] = r2
+	br.call b0 = leaf
+	addi r3 = r12, 8
+	ld8 r2 = [r3]
+	mov unat = r2
+	ld8.fill r4 = [r12], 3
+	addi r12 = r12, 32
+	syscall 1
+leaf:
+	movl r8 = 1
+	br.ret b0
+`)
+	if _, err := Apply(p, Options{Gran: taint.Byte}); err != nil {
+		t.Fatalf("Apply rejected the ABI save/restore discipline: %v", err)
+	}
+}

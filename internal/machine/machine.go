@@ -168,6 +168,30 @@ type StepHook interface {
 	PostStep(m *Machine, ins *isa.Instruction) error
 }
 
+// MultiHook fans one retirement stream out to several observers (e.g.
+// the lockstep oracle plus the flight recorder). The interpreter's hot
+// path still pays its single nil check; the slice walk lands only on
+// runs that asked for more than one observer. PostStep errors stop at
+// the first failing hook, matching the single-hook abort semantics.
+type MultiHook []StepHook
+
+// PreStep implements StepHook.
+func (h MultiHook) PreStep(m *Machine, ins *isa.Instruction) {
+	for _, s := range h {
+		s.PreStep(m, ins)
+	}
+}
+
+// PostStep implements StepHook.
+func (h MultiHook) PostStep(m *Machine, ins *isa.Instruction) error {
+	for _, s := range h {
+		if err := s.PostStep(m, ins); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // SyscallHandler is the OS model invoked by the syscall instruction. It
 // may read registers and memory through the machine, must set the result
 // in r8 if the call returns a value, and returns extra cycles to charge
@@ -271,8 +295,20 @@ func New(p *isa.Program, m *mem.Memory) *Machine {
 }
 
 // Reset rewinds execution state (registers, accounting) but not memory.
+// The Stats collector survives with its counters zeroed: EnableStats and
+// EnableProfile express a standing request for accounting, not a
+// per-run one, so a Reset must not silently turn them off.
 func (m *Machine) Reset() {
-	*m = Machine{Prog: m.Prog, Mem: m.Mem, OS: m.OS, Feat: m.Feat, Costs: m.Costs, Budget: m.Budget, TID: m.TID, Hook: m.Hook, UnsafePreempt: m.UnsafePreempt}
+	st := m.Stats
+	*m = Machine{Prog: m.Prog, Mem: m.Mem, OS: m.OS, Feat: m.Feat, Costs: m.Costs, Budget: m.Budget, TID: m.TID, Hook: m.Hook, UnsafePreempt: m.UnsafePreempt, Stats: st}
+	if st != nil {
+		prof := st.Profile
+		*st = Stats{}
+		if prof != nil {
+			clear(prof)
+			st.Profile = prof
+		}
+	}
 	m.PR[0] = true
 	m.PC = m.Prog.Entry
 }

@@ -28,17 +28,20 @@ type Hotspot struct {
 	Ins    string
 }
 
-// Hotspots returns the n most-retired instructions, hottest first.
-func (m *Machine) Hotspots(n int) []Hotspot {
-	if m.profile() == nil {
-		return nil
-	}
-	// Nearest-symbol table.
-	type symAt struct {
-		idx  int
-		name string
-	}
-	var syms []symAt
+// symAt is one code symbol and the instruction index it labels.
+type symAt struct {
+	idx  int
+	name string
+}
+
+// symbolTable builds the sorted nearest-symbol table both profile views
+// share: function symbols (internal `.`-prefixed labels excluded) in
+// index order, ties broken by name. The tie-break matters: Symbols is a
+// map, so two labels on the same instruction arrive in random order, and
+// an index-only sort would attribute that pc's counts to whichever label
+// the iteration happened to yield — nondeterministically across runs.
+func (m *Machine) symbolTable() []symAt {
+	syms := make([]symAt, 0, len(m.Prog.Symbols))
 	for name, idx := range m.Prog.Symbols {
 		if len(name) > 0 && name[0] == '.' {
 			continue // internal labels are not function boundaries
@@ -51,16 +54,26 @@ func (m *Machine) Hotspots(n int) []Hotspot {
 		}
 		return syms[i].name < syms[j].name
 	})
-	nearest := func(pc int) string {
-		name := ""
-		for _, s := range syms {
-			if s.idx > pc {
-				break
-			}
-			name = s.name
-		}
-		return name
+	return syms
+}
+
+// nearestSymbol returns the last symbol at or before pc ("" when pc
+// precedes every symbol). The table is sorted, so one binary search
+// replaces the per-hotspot linear scan.
+func nearestSymbol(syms []symAt, pc int) string {
+	i := sort.Search(len(syms), func(i int) bool { return syms[i].idx > pc })
+	if i == 0 {
+		return ""
 	}
+	return syms[i-1].name
+}
+
+// Hotspots returns the n most-retired instructions, hottest first.
+func (m *Machine) Hotspots(n int) []Hotspot {
+	if m.profile() == nil {
+		return nil
+	}
+	syms := m.symbolTable()
 
 	var out []Hotspot
 	for pc, count := range m.profile() {
@@ -78,7 +91,7 @@ func (m *Machine) Hotspots(n int) []Hotspot {
 		out = out[:n]
 	}
 	for i := range out {
-		out[i].Symbol = nearest(out[i].PC)
+		out[i].Symbol = nearestSymbol(syms, out[i].PC)
 		out[i].Ins = m.Prog.Text[out[i].PC].String()
 	}
 	return out
@@ -92,18 +105,7 @@ func (m *Machine) FunctionProfile() []Hotspot {
 	}
 	hs := make([]Hotspot, 0, 16)
 	byName := make(map[string]uint64)
-	type symAt struct {
-		idx  int
-		name string
-	}
-	var syms []symAt
-	for name, idx := range m.Prog.Symbols {
-		if len(name) > 0 && name[0] == '.' {
-			continue
-		}
-		syms = append(syms, symAt{idx, name})
-	}
-	sort.Slice(syms, func(i, j int) bool { return syms[i].idx < syms[j].idx })
+	syms := m.symbolTable()
 	si := 0
 	current := ""
 	for pc, count := range m.profile() {

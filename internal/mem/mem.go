@@ -114,6 +114,13 @@ type Memory struct {
 	Cache   *Cache // optional L1 model; nil disables cache accounting
 	touched uint64 // pages allocated, for footprint reporting
 
+	// Software-TLB accounting. Plain (non-atomic) counters: frame runs on
+	// the simulator's hottest path, and the single-goroutine scheduler is
+	// the only writer; readers (metrics exposition) sample after or
+	// between runs.
+	tlbHits   uint64
+	tlbMisses uint64
+
 	// shmu guards pages and touched for the Shared* accessors, which
 	// bypass the software TLB (the TLB is mutated even by plain reads,
 	// so it can never be consulted concurrently). The plain accessors do
@@ -143,6 +150,10 @@ func (m *Memory) MapRegion(region uint64, limit uint64) {
 
 // RegionMapped reports whether the region is enabled.
 func (m *Memory) RegionMapped(region uint64) bool { return m.mapped[region&7] }
+
+// TLBStats returns the software TLB's hit and miss counts. Sample it
+// between runs: the counters are unsynchronized with in-flight accesses.
+func (m *Memory) TLBStats() (hits, misses uint64) { return m.tlbHits, m.tlbMisses }
 
 // check validates an access and returns a fault or nil. It is the
 // classifying slow path; the hot paths use ok/rangeOK and only come here
@@ -202,8 +213,10 @@ func (m *Memory) frame(addr uint64, alloc bool) *[pageSize]byte {
 	key := addr >> pageBits
 	e := &m.tlb[key&(tlbSize-1)]
 	if e.frame != nil && e.key == key {
+		m.tlbHits++
 		return e.frame
 	}
+	m.tlbMisses++
 	p := m.pages[key]
 	if p == nil {
 		if !alloc {

@@ -1,0 +1,47 @@
+package mem
+
+import "testing"
+
+// The software-TLB counters must classify the classic access pattern:
+// first touch of a page misses, repeats hit, and a conflicting page
+// evicts the entry so the return visit misses again.
+func TestTLBStats(t *testing.T) {
+	m := New()
+	m.MapRegion(1, 0)
+	base := Addr(1, 0)
+
+	if h, ms := m.TLBStats(); h != 0 || ms != 0 {
+		t.Fatalf("fresh memory has TLB stats %d/%d", h, ms)
+	}
+	if f := m.WriteBytes(base, []byte{1}); f != nil {
+		t.Fatal(f)
+	}
+	if _, ms := m.TLBStats(); ms != 1 {
+		t.Errorf("first touch recorded %d misses, want 1", ms)
+	}
+	for i := 0; i < 5; i++ {
+		if _, f := m.Read(base, 1); f != nil {
+			t.Fatal(f)
+		}
+	}
+	if h, _ := m.TLBStats(); h != 5 {
+		t.Errorf("5 repeat reads recorded %d hits", h)
+	}
+
+	// A page whose key collides in the direct-mapped array (tlbSize pages
+	// away) evicts the entry; returning to the first page misses.
+	conflict := base + uint64(tlbSize)*pageSize
+	if f := m.WriteBytes(conflict, []byte{2}); f != nil {
+		t.Fatal(f)
+	}
+	if _, f := m.Read(base, 1); f != nil {
+		t.Fatal(f)
+	}
+	h, ms := m.TLBStats()
+	if ms != 3 {
+		t.Errorf("conflict pattern recorded %d misses, want 3 (cold, conflict, re-entry)", ms)
+	}
+	if h != 5 {
+		t.Errorf("hits moved to %d during conflict misses", h)
+	}
+}

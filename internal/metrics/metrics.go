@@ -1,0 +1,331 @@
+// Package metrics is a small stdlib-only metrics registry for the
+// simulator's observability surface: counters, gauges, gauge functions
+// and fixed-bucket histograms, exposed in Prometheus text exposition
+// format and bridged to expvar. The paper's evaluation hinges on exactly
+// these aggregates — TLB and cache hit rates (§6.4), tag-operation
+// volume, per-syscall check latency — so the registry gives them one
+// scrapeable home instead of ad-hoc struct fields.
+//
+// Metric names follow Prometheus conventions; a name may carry a label
+// set inline, e.g. `shift_slice_cycles_total{tid="2"}`. Instruments are
+// get-or-create: asking for the same name twice returns the same
+// instrument, so wiring code never has to thread pointers around.
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable uint64.
+type Gauge struct{ v atomic.Uint64 }
+
+// Set stores n.
+func (g *Gauge) Set(n uint64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() uint64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram of uint64 samples
+// (cycle counts, byte lengths). Bounds are inclusive upper edges; an
+// implicit +Inf bucket catches the rest.
+type Histogram struct {
+	bounds []uint64
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
+	sum    atomic.Uint64
+	n      atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Registry holds named instruments. The zero value is not usable; call
+// NewRegistry. A nil *Registry is a valid no-op: the getters return
+// instruments that work but are not exported anywhere, so call sites
+// need no nil checks of their own beyond fetching instruments up front.
+type Registry struct {
+	mu    sync.Mutex
+	cs    map[string]*Counter
+	gs    map[string]*Gauge
+	fns   map[string]func() uint64
+	hs    map[string]*Histogram
+	order []string // names in first-registration order, for the expvar map
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		cs:  make(map[string]*Counter),
+		gs:  make(map[string]*Gauge),
+		fns: make(map[string]func() uint64),
+		hs:  make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return new(Counter)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.cs[name]
+	if c == nil {
+		c = new(Counter)
+		r.cs[name] = c
+		r.order = append(r.order, name)
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return new(Gauge)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gs[name]
+	if g == nil {
+		g = new(Gauge)
+		r.gs[name] = g
+		r.order = append(r.order, name)
+	}
+	return g
+}
+
+// GaugeFunc registers fn as the source for name; exposition calls it at
+// scrape time. Registering the same name again replaces the function.
+func (r *Registry) GaugeFunc(name string, fn func() uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, seen := r.fns[name]; !seen {
+		r.order = append(r.order, name)
+	}
+	r.fns[name] = fn
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket bounds on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	if r == nil {
+		h := &Histogram{bounds: bounds}
+		h.counts = make([]atomic.Uint64, len(bounds)+1)
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hs[name]
+	if h == nil {
+		sorted := append([]uint64(nil), bounds...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		h = &Histogram{bounds: sorted}
+		h.counts = make([]atomic.Uint64, len(sorted)+1)
+		r.hs[name] = h
+		r.order = append(r.order, name)
+	}
+	return h
+}
+
+// splitLabels separates `base{labels}` into base and the inner label
+// text ("" when the name is unlabeled).
+func splitLabels(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// withLabel re-attaches a label set plus one extra pair to a base name.
+func withLabel(base, labels, extra string) string {
+	if labels == "" {
+		return base + "{" + extra + "}"
+	}
+	return base + "{" + labels + "," + extra + "}"
+}
+
+// WritePrometheus writes every instrument in Prometheus text exposition
+// format (v0.0.4), sorted by name so output is stable. Instruments that
+// share a base name (differing only in labels) share one TYPE line.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	type row struct {
+		name string
+		kind string // "counter", "gauge", "histogram"
+	}
+	r.mu.Lock()
+	rows := make([]row, 0, len(r.order))
+	for _, name := range r.order {
+		switch {
+		case r.cs[name] != nil:
+			rows = append(rows, row{name, "counter"})
+		case r.gs[name] != nil || r.fns[name] != nil:
+			rows = append(rows, row{name, "gauge"})
+		case r.hs[name] != nil:
+			rows = append(rows, row{name, "histogram"})
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+
+	typed := make(map[string]bool)
+	for _, rw := range rows {
+		base, labels := splitLabels(rw.name)
+		if !typed[base] {
+			typed[base] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, rw.kind); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch rw.kind {
+		case "counter", "gauge":
+			var v uint64
+			r.mu.Lock()
+			switch {
+			case r.cs[rw.name] != nil:
+				v = r.cs[rw.name].Value()
+			case r.gs[rw.name] != nil:
+				v = r.gs[rw.name].Value()
+			default:
+				fn := r.fns[rw.name]
+				r.mu.Unlock()
+				v = fn() // outside the lock: fn may read other instruments
+				r.mu.Lock()
+			}
+			r.mu.Unlock()
+			_, err = fmt.Fprintf(w, "%s %d\n", rw.name, v)
+		case "histogram":
+			r.mu.Lock()
+			h := r.hs[rw.name]
+			r.mu.Unlock()
+			cum := uint64(0)
+			for i, b := range h.bounds {
+				cum += h.counts[i].Load()
+				if _, err = fmt.Fprintf(w, "%s %d\n", withLabel(base+"_bucket", labels, fmt.Sprintf("le=%q", fmt.Sprint(b))), cum); err != nil {
+					return err
+				}
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			if _, err = fmt.Fprintf(w, "%s %d\n", withLabel(base+"_bucket", labels, `le="+Inf"`), cum); err != nil {
+				return err
+			}
+			if _, err = fmt.Fprintf(w, "%s %d\n", attachLabels(base+"_sum", labels), h.Sum()); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s %d\n", attachLabels(base+"_count", labels), h.Count())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// attachLabels re-attaches a (possibly empty) label set to a name.
+func attachLabels(base, labels string) string {
+	if labels == "" {
+		return base
+	}
+	return base + "{" + labels + "}"
+}
+
+// Handler returns an http.Handler serving the Prometheus exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Serve starts an HTTP listener on addr (e.g. ":9090", "127.0.0.1:0")
+// with the exposition at /metrics and at /. It returns the bound
+// listener so callers can learn the port and close it; the serve loop
+// runs in a background goroutine until the listener closes.
+func (r *Registry) Serve(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/", r.Handler())
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}
+
+// expvarOnce guards the process-global expvar name: Publish panics on
+// duplicates, and tests build many registries.
+var expvarOnce sync.Once
+
+// PublishExpvar exposes the registry under the expvar name
+// "shift_metrics" as a map of instrument name to value (histograms
+// appear as their sample count). Only the first registry published this
+// way wins; the call is a no-op for later ones.
+func (r *Registry) PublishExpvar() {
+	if r == nil {
+		return
+	}
+	expvarOnce.Do(func() {
+		expvar.Publish("shift_metrics", expvar.Func(func() any {
+			out := make(map[string]uint64)
+			r.mu.Lock()
+			names := append([]string(nil), r.order...)
+			r.mu.Unlock()
+			for _, name := range names {
+				r.mu.Lock()
+				c, g, fn, h := r.cs[name], r.gs[name], r.fns[name], r.hs[name]
+				r.mu.Unlock()
+				switch {
+				case c != nil:
+					out[name] = c.Value()
+				case g != nil:
+					out[name] = g.Value()
+				case fn != nil:
+					out[name] = fn()
+				case h != nil:
+					out[name] = h.Count()
+				}
+			}
+			return out
+		}))
+	})
+}

@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestGetOrCreateIdentity(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("Counter returned different instruments for one name")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("Gauge returned different instruments for one name")
+	}
+	if r.Histogram("h", []uint64{1, 2}) != r.Histogram("h", nil) {
+		t.Error("Histogram returned different instruments for one name")
+	}
+}
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(5)
+	r.Gauge("y").Set(7)
+	r.Histogram("z", []uint64{10}).Observe(3)
+	r.GaugeFunc("f", func() uint64 { return 1 })
+	if err := r.WritePrometheus(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	r.PublishExpvar()
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("shift_tag_writes_total").Add(3)
+	r.Gauge("shift_threads").Set(2)
+	r.GaugeFunc("shift_tlb_hits", func() uint64 { return 41 })
+	r.Counter(`shift_slice_cycles_total{tid="0"}`).Add(100)
+	r.Counter(`shift_slice_cycles_total{tid="1"}`).Add(50)
+	h := r.Histogram(`lat{sys="read"}`, []uint64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE shift_tag_writes_total counter\n",
+		"shift_tag_writes_total 3\n",
+		"# TYPE shift_threads gauge\n",
+		"shift_threads 2\n",
+		"shift_tlb_hits 41\n",
+		`shift_slice_cycles_total{tid="0"} 100` + "\n",
+		`shift_slice_cycles_total{tid="1"} 50` + "\n",
+		"# TYPE lat histogram\n",
+		`lat_bucket{sys="read",le="10"} 1` + "\n",
+		`lat_bucket{sys="read",le="100"} 2` + "\n",
+		`lat_bucket{sys="read",le="+Inf"} 3` + "\n",
+		`lat_sum{sys="read"} 5055` + "\n",
+		`lat_count{sys="read"} 3` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per base name even with several label sets.
+	if n := strings.Count(out, "# TYPE shift_slice_cycles_total "); n != 1 {
+		t.Errorf("%d TYPE lines for the labeled counter family, want 1", n)
+	}
+	// Output is sorted, hence byte-stable across calls.
+	var again strings.Builder
+	if err := r.WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != out {
+		t.Error("exposition not deterministic")
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edge", []uint64{10})
+	h.Observe(10) // inclusive upper edge
+	h.Observe(11)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `edge_bucket{le="10"} 1`+"\n") {
+		t.Errorf("le=10 bucket should include the sample equal to the edge:\n%s", sb.String())
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total").Inc()
+	ln, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", ln.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "hits_total 1") {
+		t.Errorf("GET /metrics = %d %q", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Histogram("h", []uint64{100}).Observe(uint64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("exp_total").Add(9)
+	r.PublishExpvar()
+	r.PublishExpvar() // second call must not panic (expvar rejects dupes)
+	NewRegistry().PublishExpvar()
+	v := expvar.Get("shift_metrics")
+	if v == nil {
+		t.Fatal("shift_metrics not published")
+	}
+	if s := v.String(); !strings.Contains(s, `"exp_total":9`) {
+		t.Errorf("expvar value %s", s)
+	}
+}

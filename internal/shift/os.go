@@ -7,6 +7,7 @@ import (
 	"shift/internal/machine"
 	"shift/internal/policy"
 	"shift/internal/taint"
+	"shift/internal/trace"
 )
 
 // IOCosts models the cycle cost of moving bytes across the OS boundary.
@@ -68,6 +69,10 @@ type World struct {
 	// Effects, when non-nil, is notified of host-side guest-state
 	// mutations (for the lockstep oracle).
 	Effects HostEffects
+	// Trace, when non-nil, records taint-lifecycle events the OS model
+	// originates: taint birth at input syscalls, host writes, policy
+	// checks and violations, spawns. Run wires it from Options.Trace.
+	Trace *trace.Tracer
 
 	IO IOCosts
 
@@ -109,6 +114,16 @@ func (w *World) source(name string) bool {
 	return w.Engine != nil && w.Engine.Conf.Sources[name]
 }
 
+// emit records one trace event stamped with the calling machine's clock,
+// thread and pc. A nil Trace makes it a no-op.
+func (w *World) emit(m *machine.Machine, ev trace.Event) {
+	if w.Trace == nil {
+		return
+	}
+	ev.Cycle, ev.TID, ev.PC = m.Cycles, m.TID, m.PC
+	w.Trace.Emit(ev)
+}
+
 // markTaint taints guest memory [addr, addr+n) when tracking is enabled
 // and the channel is an untrusted source.
 func (w *World) markTaint(m *machine.Machine, addr uint64, n int, channel string) error {
@@ -121,14 +136,34 @@ func (w *World) markTaint(m *machine.Machine, addr uint64, n int, channel string
 	if w.Effects != nil {
 		w.Effects.HostTaint(addr, uint64(n))
 	}
+	// Taint birth: the event every later provenance question traces back
+	// to, so it carries the source channel by name.
+	w.emit(m, trace.Event{Kind: trace.KindTaint, Addr: addr, N: uint64(n), Name: channel})
 	return nil
 }
 
 // notifyWrite reports a host data transfer into guest memory.
-func (w *World) notifyWrite(addr uint64, n int) {
-	if w.Effects != nil && n > 0 {
+func (w *World) notifyWrite(m *machine.Machine, addr uint64, n int) {
+	if n <= 0 {
+		return
+	}
+	if w.Effects != nil {
 		w.Effects.HostWrite(addr, n)
 	}
+	w.emit(m, trace.Event{Kind: trace.KindHostWrite, Addr: addr, N: uint64(n)})
+}
+
+// checkSink records the policy check (and, when v is non-nil, the
+// violation) in the trace and converts the violation to a trap. Callers
+// invoke it only when an Engine is installed — a recorded policy-check
+// event means a check actually ran.
+func (w *World) checkSink(m *machine.Machine, sink string, v *policy.Violation) *machine.Trap {
+	w.emit(m, trace.Event{Kind: trace.KindPolicyCheck, Name: sink})
+	if v == nil {
+		return nil
+	}
+	w.emit(m, trace.Event{Kind: trace.KindViolation, Name: v.Policy})
+	return violationTrap(m, v)
 }
 
 // hostTrap wraps an internal error.
@@ -273,6 +308,7 @@ func (w *World) Syscall(m *machine.Machine, num int64) (uint64, *machine.Trap) {
 		if w.Engine != nil {
 			w.Engine.Alerts = append(w.Engine.Alerts, v)
 		}
+		w.emit(m, trace.Event{Kind: trace.KindViolation, Name: v.Policy})
 		return 0, violationTrap(m, v)
 	}
 	return 0, hostTrap(m, fmt.Errorf("unknown syscall %d", num))
@@ -311,6 +347,7 @@ func (w *World) sysSpawn(m *machine.Machine) (uint64, *machine.Trap) {
 	if w.Effects != nil {
 		w.Effects.OnSpawn(m.TID, tid)
 	}
+	w.emit(m, trace.Event{Kind: trace.KindSpawn, N: uint64(tid), Name: name})
 	m.GR[isa.RegRet] = int64(tid)
 	m.NaT[isa.RegRet] = false
 	return 0, nil
@@ -359,7 +396,7 @@ func (w *World) sysRead(m *machine.Machine) (uint64, *machine.Trap) {
 			return 0, hostTrap(m, f)
 		}
 		*off += count
-		w.notifyWrite(uint64(buf), count)
+		w.notifyWrite(m, uint64(buf), count)
 		if err := w.markTaint(m, uint64(buf), count, channel); err != nil {
 			return 0, hostTrap(m, err)
 		}
@@ -414,8 +451,8 @@ func (w *World) sysOpen(m *machine.Machine) (uint64, *machine.Trap) {
 		if err != nil {
 			return 0, hostTrap(m, err)
 		}
-		if v := w.Engine.CheckOpen(path, tb); v != nil {
-			return 0, violationTrap(m, v)
+		if trap := w.checkSink(m, "open", w.Engine.CheckOpen(path, tb)); trap != nil {
+			return 0, trap
 		}
 	}
 	if _, ok := w.Files[path]; !ok {
@@ -451,7 +488,7 @@ func (w *World) sysRecv(m *machine.Machine) (uint64, *machine.Trap) {
 			return 0, hostTrap(m, f)
 		}
 		w.netOff += count
-		w.notifyWrite(uint64(buf), count)
+		w.notifyWrite(m, uint64(buf), count)
 		if err := w.markTaint(m, uint64(buf), count, "network"); err != nil {
 			return 0, hostTrap(m, err)
 		}
@@ -499,8 +536,8 @@ func (w *World) sysSQL(m *machine.Machine) (uint64, *machine.Trap) {
 		if err != nil {
 			return 0, hostTrap(m, err)
 		}
-		if v := w.Engine.CheckSQL(q, tb); v != nil {
-			return 0, violationTrap(m, v)
+		if trap := w.checkSink(m, "sql", w.Engine.CheckSQL(q, tb)); trap != nil {
+			return 0, trap
 		}
 	}
 	m.GR[isa.RegRet] = 0
@@ -523,8 +560,8 @@ func (w *World) sysSystem(m *machine.Machine) (uint64, *machine.Trap) {
 		if err != nil {
 			return 0, hostTrap(m, err)
 		}
-		if v := w.Engine.CheckSystem(cmd, tb); v != nil {
-			return 0, violationTrap(m, v)
+		if trap := w.checkSink(m, "system", w.Engine.CheckSystem(cmd, tb)); trap != nil {
+			return 0, trap
 		}
 	}
 	m.GR[isa.RegRet] = 0
@@ -554,8 +591,8 @@ func (w *World) sysHTML(m *machine.Machine) (uint64, *machine.Trap) {
 		if err != nil {
 			return 0, hostTrap(m, err)
 		}
-		if v := w.Engine.CheckHTML(b, tb); v != nil {
-			return 0, violationTrap(m, v)
+		if trap := w.checkSink(m, "html", w.Engine.CheckHTML(b, tb)); trap != nil {
+			return 0, trap
 		}
 	}
 	w.HTMLOut = append(w.HTMLOut, b...)
@@ -582,6 +619,7 @@ func (w *World) sysTaintOps(m *machine.Machine, num int64) (uint64, *machine.Tra
 			if w.Effects != nil && n > 0 {
 				w.Effects.HostTaint(uint64(buf), uint64(n))
 			}
+			w.emit(m, trace.Event{Kind: trace.KindTaint, Addr: uint64(buf), N: uint64(n), Name: "syscall"})
 		}
 	case isa.SysUntaint:
 		if w.Tags != nil {
@@ -591,6 +629,7 @@ func (w *World) sysTaintOps(m *machine.Machine, num int64) (uint64, *machine.Tra
 			if w.Effects != nil && n > 0 {
 				w.Effects.HostUntaint(uint64(buf), uint64(n))
 			}
+			w.emit(m, trace.Event{Kind: trace.KindUntaint, Addr: uint64(buf), N: uint64(n)})
 		}
 	case isa.SysIsTainted:
 		var res int64
@@ -634,7 +673,7 @@ func (w *World) sysGetArg(m *machine.Machine) (uint64, *machine.Trap) {
 	if f := m.Mem.WriteBytes(uint64(buf), append([]byte(s), 0)); f != nil {
 		return 0, hostTrap(m, f)
 	}
-	w.notifyWrite(uint64(buf), len(s)+1)
+	w.notifyWrite(m, uint64(buf), len(s)+1)
 	if err := w.markTaint(m, uint64(buf), len(s), "args"); err != nil {
 		return 0, hostTrap(m, err)
 	}

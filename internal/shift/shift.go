@@ -13,15 +13,18 @@ import (
 	"fmt"
 
 	"shift/internal/codegen"
+	"shift/internal/forensics"
 	"shift/internal/instrument"
 	"shift/internal/isa"
 	"shift/internal/lang"
 	"shift/internal/loader"
 	"shift/internal/machine"
+	"shift/internal/metrics"
 	"shift/internal/oracle"
 	"shift/internal/policy"
 	"shift/internal/rtlib"
 	"shift/internal/taint"
+	"shift/internal/trace"
 )
 
 // Source is one minic translation unit.
@@ -83,6 +86,16 @@ type Options struct {
 	Oracle bool
 	// Costs overrides the cycle cost model (nil = machine defaults).
 	Costs *machine.Costs
+	// Trace, when non-nil, records taint-lifecycle events into the given
+	// flight recorder: both the OS-boundary events (taint birth, policy
+	// checks, violations, spawns) and the per-retirement propagation
+	// events a machine hook derives (spec-load defers, NaT sets, tag-
+	// bitmap writes, chk.s recoveries, slices, syscall latency).
+	Trace *trace.Tracer
+	// Metrics, when non-nil, receives the run's aggregate instruments
+	// (tag-op counts, TLB/cache hit rates, slice occupancy, syscall
+	// latency histograms). Independent of Trace; either may be set alone.
+	Metrics *metrics.Registry
 }
 
 // Build parses, checks, compiles and (optionally) instruments sources
@@ -162,6 +175,25 @@ type Result struct {
 	// Oracle is the lockstep checker when Options.Oracle was set; its
 	// Divergence() and Stats report what was cross-checked.
 	Oracle *oracle.Oracle
+	// Trace is the flight recorder when Options.Trace was set.
+	Trace *trace.Tracer
+}
+
+// Report assembles the forensic incident bundle for the run's alert:
+// attack signature, token provenance against the world's input channels,
+// and the flight recorder's tail when the run was traced. Nil when the
+// run raised no alert.
+func (r *Result) Report() *forensics.Report {
+	if r.Alert == nil || r.Alert.Violation == nil {
+		return nil
+	}
+	w := r.World
+	return forensics.BuildReport(r.Alert.Violation, forensics.Channels{
+		Network: w.NetIn,
+		Stdin:   w.Stdin,
+		Args:    w.Args,
+		Files:   w.Files,
+	}, r.Trace, 0)
 }
 
 // Run loads and executes a program against a world. When opt.Instrument
@@ -209,12 +241,38 @@ func Run(prog *isa.Program, world *World, opt Options) (*Result, error) {
 		world.Effects = orc
 	}
 
+	// Observability rides the same StepHook seam as the oracle; with both
+	// requested, MultiHook fans the retirement stream out (oracle first,
+	// so its abort-on-divergence semantics are unchanged).
+	var obs *trace.MachineHook
+	if opt.Trace != nil || opt.Metrics != nil {
+		obs = trace.NewMachineHook(opt.Trace, opt.Metrics)
+		if mach.Hook != nil {
+			mach.Hook = machine.MultiHook{mach.Hook, obs}
+		} else {
+			mach.Hook = obs
+		}
+		world.Trace = opt.Trace
+	}
+	if opt.Metrics != nil {
+		m := mach.Mem
+		opt.Metrics.GaugeFunc("shift_tlb_hits", func() uint64 { h, _ := m.TLBStats(); return h })
+		opt.Metrics.GaugeFunc("shift_tlb_misses", func() uint64 { _, ms := m.TLBStats(); return ms })
+		if c := m.Cache; c != nil {
+			opt.Metrics.GaugeFunc("shift_cache_hits", func() uint64 { return c.Hits })
+			opt.Metrics.GaugeFunc("shift_cache_misses", func() uint64 { return c.Misses })
+		}
+	}
+
 	sched := machine.NewScheduler(mach)
 	sched.Quantum = opt.Quantum
 	world.Sched = sched
 	world.StackTop = img.StackTop
 
 	trap := sched.Run()
+	if obs != nil {
+		obs.Flush()
+	}
 	if trap == nil && orc != nil {
 		// The run halted cleanly: the final state must still agree.
 		if err := orc.Finish(mach); err != nil {
@@ -228,6 +286,7 @@ func Run(prog *isa.Program, world *World, opt Options) (*Result, error) {
 		World:      world,
 		Machine:    mach,
 		Oracle:     orc,
+		Trace:      opt.Trace,
 	}
 	for _, th := range sched.Threads {
 		for i, c := range th.CyclesByClass {
@@ -247,6 +306,9 @@ func Run(prog *isa.Program, world *World, opt Options) (*Result, error) {
 	}
 	if trap.Kind.IsNaTConsumption() && world.Engine != nil {
 		if v := world.Engine.ClassifyTrap(trap); v != nil {
+			// Hardware-detected (L1–L3) violations bypass the syscall
+			// sink path, so the trace event is recorded here.
+			opt.Trace.Emit(trace.Event{Cycle: mach.Cycles, TID: mach.TID, PC: trap.PC, Kind: trace.KindViolation, Name: v.Policy})
 			res.Alert = &Alert{Violation: v, Trap: trap}
 			return res, nil
 		}

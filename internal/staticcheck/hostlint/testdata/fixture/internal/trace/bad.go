@@ -1,0 +1,14 @@
+// Package trace stands in for the observability package: a hook might
+// be tempted to sample tag bytes through the shared accessors, but it
+// is NOT on the allow-list — observers must read through the plain
+// (TLB-respecting) path or not at all.
+package trace
+
+type memory interface {
+	SharedPeek1(addr uint64) (byte, error)
+}
+
+func sampleTagForEvent(m memory, tb uint64) byte {
+	b, _ := m.SharedPeek1(tb) // want finding
+	return b
+}

@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"fmt"
+
+	"shift/internal/isa"
+	"shift/internal/machine"
+	"shift/internal/mem"
+	"shift/internal/metrics"
+)
+
+// syscallBuckets are the latency-histogram bucket bounds, in simulated
+// cycles. Syscall costs in this simulator span a few cycles (putc) to
+// tens of thousands (a full-policy check over a large buffer).
+var syscallBuckets = []uint64{8, 32, 128, 512, 2048, 8192, 32768}
+
+// MachineHook is the per-retirement observer that turns architectural
+// effects into trace events and metrics. It derives everything from the
+// PreStep/PostStep seam — the interpreter itself is untouched, and a run
+// without a hook pays only the existing nil check.
+//
+// The hook is shared by every thread of a scheduler (Spawn copies the
+// Hook field), and the scheduler runs threads from one goroutine, so the
+// pre-state scratch fields below need no locking; the Tracer and the
+// metrics instruments do their own synchronization.
+type MachineHook struct {
+	tr  *Tracer
+	reg *metrics.Registry
+
+	// Aggregate instruments, fetched once at construction.
+	tagWrites   *metrics.Counter
+	specDefers  *metrics.Counter
+	chkRecovers *metrics.Counter
+	natSets     *metrics.Counter
+	slices      *metrics.Counter
+
+	// Label-split instruments, created lazily (syscalls and spawns are
+	// rare next to retirements).
+	sysHist     map[int64]*metrics.Histogram
+	sliceCycles map[int]*metrics.Counter
+
+	// Pre-state captured by PreStep for the matching PostStep.
+	preSquashed bool
+	preNaT      bool
+	preAddr     uint64
+	preCycles   uint64
+
+	// Slice tracking: the last thread observed retiring, where its
+	// current slice started, and its clock at the latest retirement.
+	lastTID    int
+	lastPC     int
+	lastCycles uint64
+	sliceStart uint64
+}
+
+// NewMachineHook builds a hook feeding tr and reg; either may be nil
+// (a nil Tracer records nothing, a nil Registry counts into orphaned
+// instruments), so one constructor covers trace-only, metrics-only and
+// combined runs.
+func NewMachineHook(tr *Tracer, reg *metrics.Registry) *MachineHook {
+	return &MachineHook{
+		tr:          tr,
+		reg:         reg,
+		tagWrites:   reg.Counter("shift_tag_writes_total"),
+		specDefers:  reg.Counter("shift_spec_defers_total"),
+		chkRecovers: reg.Counter("shift_chk_recoveries_total"),
+		natSets:     reg.Counter("shift_nat_sets_total"),
+		slices:      reg.Counter("shift_slices_total"),
+		sysHist:     make(map[int64]*metrics.Histogram),
+		sliceCycles: make(map[int]*metrics.Counter),
+		lastTID:     -1,
+	}
+}
+
+// Tracer returns the tracer the hook feeds (nil for metrics-only hooks).
+func (h *MachineHook) Tracer() *Tracer { return h.tr }
+
+// PreStep implements machine.StepHook: capture the pre-state PostStep
+// will compare against, and detect slice boundaries by TID change.
+func (h *MachineHook) PreStep(m *machine.Machine, ins *isa.Instruction) {
+	if m.TID != h.lastTID {
+		h.sliceSwitch(m)
+	}
+	h.preSquashed = ins.Qp != 0 && !m.PR[ins.Qp]
+	if h.preSquashed {
+		return
+	}
+	if ins.Op.HasDest() {
+		h.preNaT = m.NaT[ins.Dest]
+	}
+	switch {
+	case ins.Op.IsMem():
+		h.preAddr = uint64(m.GR[ins.Src1])
+	case ins.Op == isa.OpSyscall:
+		h.preCycles = m.Cycles
+	}
+}
+
+// sliceSwitch closes the previous thread's slice and opens one for the
+// thread now retiring. Detecting the boundary here — instead of hooking
+// the scheduler — keeps the observability seam to StepHook alone.
+func (h *MachineHook) sliceSwitch(m *machine.Machine) {
+	if h.lastTID >= 0 {
+		occ := h.lastCycles - h.sliceStart
+		h.tr.Emit(Event{Cycle: h.lastCycles, TID: h.lastTID, PC: h.lastPC, Kind: KindSliceEnd, N: occ})
+		h.sliceCycleCounter(h.lastTID).Add(occ)
+	}
+	h.tr.Emit(Event{Cycle: m.Cycles, TID: m.TID, PC: m.PC, Kind: KindSliceBegin})
+	h.slices.Inc()
+	h.lastTID = m.TID
+	h.sliceStart = m.Cycles
+	h.lastCycles = m.Cycles
+	h.lastPC = m.PC
+}
+
+// Flush closes the trailing slice after a run completes. Safe to call
+// repeatedly; a later retirement simply opens a new slice.
+func (h *MachineHook) Flush() {
+	if h.lastTID >= 0 {
+		occ := h.lastCycles - h.sliceStart
+		h.tr.Emit(Event{Cycle: h.lastCycles, TID: h.lastTID, PC: h.lastPC, Kind: KindSliceEnd, N: occ})
+		h.sliceCycleCounter(h.lastTID).Add(occ)
+		h.lastTID = -1
+	}
+}
+
+func (h *MachineHook) sliceCycleCounter(tid int) *metrics.Counter {
+	c := h.sliceCycles[tid]
+	if c == nil {
+		c = h.reg.Counter(fmt.Sprintf("shift_slice_cycles_total{tid=%q}", fmt.Sprint(tid)))
+		h.sliceCycles[tid] = c
+	}
+	return c
+}
+
+// PostStep implements machine.StepHook: classify what the retirement did
+// to the taint machinery and record it.
+func (h *MachineHook) PostStep(m *machine.Machine, ins *isa.Instruction) error {
+	h.lastCycles = m.Cycles
+	h.lastPC = m.PC
+	if h.preSquashed {
+		return nil
+	}
+	switch ins.Op {
+	case isa.OpLdS:
+		// A speculative load that deferred its fault left a NaT token in
+		// the destination — the paper's core tag-propagation event.
+		if ins.Dest != 0 && m.NaT[ins.Dest] {
+			h.specDefers.Inc()
+			h.tr.Emit(Event{Cycle: m.Cycles, TID: m.TID, PC: m.PC, Kind: KindSpecDefer, Addr: h.preAddr, Reg: ins.Dest})
+		}
+	case isa.OpChkS:
+		// chk.s saw the token and redirected to recovery code (§2.2).
+		if m.NaT[ins.Src1] {
+			h.chkRecovers.Inc()
+			h.tr.Emit(Event{Cycle: m.Cycles, TID: m.TID, PC: m.PC, Kind: KindChkRecover, Reg: ins.Src1})
+		}
+	case isa.OpSt, isa.OpStSpill, isa.OpCmpxchg:
+		// Stores into region 0 maintain the tag bitmap (Figure 4); the
+		// write volume is the cost the paper's §6.4 argues is cheap.
+		if mem.Region(h.preAddr) == 0 {
+			h.tagWrites.Inc()
+			h.tr.Emit(Event{Cycle: m.Cycles, TID: m.TID, PC: m.PC, Kind: KindTagWrite, Addr: h.preAddr})
+		}
+	case isa.OpSyscall:
+		lat := m.Cycles - h.preCycles
+		h.syscallHistogram(ins.Imm).Observe(lat)
+		h.tr.Emit(Event{Cycle: m.Cycles, TID: m.TID, PC: m.PC, Kind: KindSyscall, N: lat, Name: isa.SyscallName(ins.Imm)})
+	default:
+		if ins.Op.HasDest() && ins.Dest != 0 && !h.preNaT && m.NaT[ins.Dest] {
+			h.natSets.Inc()
+			h.tr.Emit(Event{Cycle: m.Cycles, TID: m.TID, PC: m.PC, Kind: KindNaTSet, Reg: ins.Dest})
+		}
+	}
+	return nil
+}
+
+func (h *MachineHook) syscallHistogram(num int64) *metrics.Histogram {
+	hg := h.sysHist[num]
+	if hg == nil {
+		hg = h.reg.Histogram(fmt.Sprintf("shift_syscall_cycles{sys=%q}", isa.SyscallName(num)), syscallBuckets)
+		h.sysHist[num] = hg
+	}
+	return hg
+}
+
+// The hook must satisfy the machine's observer seam.
+var _ machine.StepHook = (*MachineHook)(nil)

@@ -1,0 +1,245 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"shift/internal/asm"
+	"shift/internal/isa"
+	"shift/internal/machine"
+	"shift/internal/mem"
+	"shift/internal/metrics"
+)
+
+type hookOS struct{}
+
+func (hookOS) Syscall(m *machine.Machine, num int64) (uint64, *machine.Trap) {
+	if num == isa.SysExit {
+		m.Halt(m.GR[isa.RegArg0])
+		return 0, nil
+	}
+	return 0, &machine.Trap{Kind: machine.TrapHostError, PC: m.PC, Ins: "syscall"}
+}
+
+// runTraced executes src on a fresh machine with the hook attached.
+func runTraced(t *testing.T, src string) (*Tracer, *metrics.Registry) {
+	t.Helper()
+	p, err := asm.Assemble(src, asm.Options{})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := mem.New()
+	m.MapRegion(0, 0)
+	m.MapRegion(1, 0)
+	m.MapRegion(2, 0)
+	mach := machine.New(p, m)
+	mach.OS = hookOS{}
+	mach.GR[isa.RegSP] = int64(mem.Addr(2, 0x10000))
+	tr := New(0)
+	reg := metrics.NewRegistry()
+	h := NewMachineHook(tr, reg)
+	mach.Hook = h
+	if trap := mach.Run(); trap != nil {
+		t.Fatal(trap)
+	}
+	h.Flush()
+	return tr, reg
+}
+
+func kinds(evs []Event) []Kind {
+	out := make([]Kind, len(evs))
+	for i, ev := range evs {
+		out[i] = ev.Kind
+	}
+	return out
+}
+
+func countKind(evs []Event, k Kind) int {
+	n := 0
+	for _, ev := range evs {
+		if ev.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// One pass through the taint lifecycle the hook derives from retirement
+// alone: a deferred speculative load, NaT propagation to a second
+// register, a chk.s recovery, a region-0 (tag bitmap) store, the exit
+// syscall, and the slice bracket.
+func TestHookLifecycleEvents(t *testing.T) {
+	tr, reg := runTraced(t, `
+main:
+	movl r9 = 0x3000000000000000   ; unmapped region 3
+	ld8.s r3 = [r9]                ; defers the fault into a NaT token
+	mov r4 = r3                    ; propagates the token
+	chk.s r3, fix                  ; sees the token, branches to recovery
+	br done
+fix:
+	movl r3 = 0
+done:
+	movl r11 = 8                   ; region-0 address = tag bitmap
+	st8 [r11] = r3
+	mov r32 = r0
+	syscall 1
+`)
+	evs := tr.Events()
+
+	if n := countKind(evs, KindSpecDefer); n != 1 {
+		t.Errorf("%d spec-defer events, want 1 (events: %v)", n, kinds(evs))
+	}
+	if n := countKind(evs, KindNaTSet); n != 1 {
+		t.Errorf("%d nat-set events, want 1 (the mov propagation)", n)
+	}
+	if n := countKind(evs, KindChkRecover); n != 1 {
+		t.Errorf("%d chk-recover events, want 1", n)
+	}
+	if n := countKind(evs, KindTagWrite); n != 1 {
+		t.Errorf("%d tag-write events, want 1", n)
+	}
+	if n := countKind(evs, KindSyscall); n != 1 {
+		t.Errorf("%d syscall events, want 1", n)
+	}
+	if countKind(evs, KindSliceBegin) != 1 || countKind(evs, KindSliceEnd) != 1 {
+		t.Errorf("slice bracket missing: %v", kinds(evs))
+	}
+	if evs[0].Kind != KindSliceBegin || evs[len(evs)-1].Kind != KindSliceEnd {
+		t.Errorf("slice events do not bracket the run: %v", kinds(evs))
+	}
+
+	// Field sanity on the interesting ones.
+	for _, ev := range evs {
+		switch ev.Kind {
+		case KindSpecDefer:
+			if ev.Reg != 3 || ev.Addr != 0x3000000000000000 {
+				t.Errorf("spec-defer fields: %+v", ev)
+			}
+		case KindNaTSet:
+			if ev.Reg != 4 {
+				t.Errorf("nat-set register = r%d, want r4", ev.Reg)
+			}
+		case KindTagWrite:
+			if mem.Region(ev.Addr) != 0 {
+				t.Errorf("tag-write outside region 0: %+v", ev)
+			}
+		case KindSyscall:
+			if ev.Name != "exit" || ev.N == 0 {
+				t.Errorf("syscall event fields: %+v", ev)
+			}
+		case KindSliceEnd:
+			if ev.N == 0 {
+				t.Error("slice end carries zero occupancy")
+			}
+		}
+	}
+
+	// The counters agree with the event stream.
+	if got := reg.Counter("shift_spec_defers_total").Value(); got != 1 {
+		t.Errorf("shift_spec_defers_total = %d", got)
+	}
+	if got := reg.Counter("shift_tag_writes_total").Value(); got != 1 {
+		t.Errorf("shift_tag_writes_total = %d", got)
+	}
+	if got := reg.Counter("shift_chk_recoveries_total").Value(); got != 1 {
+		t.Errorf("shift_chk_recoveries_total = %d", got)
+	}
+	if got := reg.Counter("shift_slices_total").Value(); got != 1 {
+		t.Errorf("shift_slices_total = %d", got)
+	}
+}
+
+// A predicated-off instruction retires without architectural effect; the
+// hook must not mistake its stale pre-state for an event.
+func TestHookIgnoresSquashedInstructions(t *testing.T) {
+	tr, _ := runTraced(t, `
+main:
+	movl r11 = 8
+	cmpi.gt p6, p7 = r0, 10   ; p6 false, p7 true
+	(p6) st8 [r11] = r0       ; squashed region-0 store
+	mov r32 = r0
+	syscall 1
+`)
+	if n := countKind(tr.Events(), KindTagWrite); n != 0 {
+		t.Errorf("squashed store produced %d tag-write events", n)
+	}
+}
+
+// A successful (non-deferring) speculative load and a region-1 store
+// must stay silent: events fire on taint activity, not on opcodes.
+func TestHookSilentOnCleanOperations(t *testing.T) {
+	tr, _ := runTraced(t, `
+main:
+	movl r10 = 0x2000000000000100   ; region-1 scratch
+	st8 [r10] = r0
+	ld8.s r3 = [r10]                ; mapped: loads fine, no NaT
+	mov r4 = r3
+	mov r32 = r0
+	syscall 1
+`)
+	evs := tr.Events()
+	for _, k := range []Kind{KindSpecDefer, KindNaTSet, KindTagWrite, KindChkRecover} {
+		if n := countKind(evs, k); n != 0 {
+			t.Errorf("clean run produced %d %s events", n, k)
+		}
+	}
+}
+
+// The hook works tracer-less (metrics only) and registry-less (trace
+// only) — the constructor's nil contract.
+func TestHookNilHalves(t *testing.T) {
+	p, err := asm.Assemble(`
+main:
+	movl r11 = 8
+	st8 [r11] = r0
+	mov r32 = r0
+	syscall 1
+`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(h *MachineHook) {
+		m := mem.New()
+		m.MapRegion(0, 0)
+		m.MapRegion(2, 0)
+		mach := machine.New(p, m)
+		mach.OS = hookOS{}
+		mach.Hook = h
+		if trap := mach.Run(); trap != nil {
+			t.Fatal(trap)
+		}
+		h.Flush()
+	}
+
+	reg := metrics.NewRegistry()
+	run(NewMachineHook(nil, reg))
+	if got := reg.Counter("shift_tag_writes_total").Value(); got != 1 {
+		t.Errorf("metrics-only hook counted %d tag writes", got)
+	}
+
+	tr := New(0)
+	run(NewMachineHook(tr, nil))
+	if n := countKind(tr.Events(), KindTagWrite); n != 1 {
+		t.Errorf("trace-only hook recorded %d tag writes", n)
+	}
+}
+
+// Syscall latency lands in the per-syscall histogram with a name label.
+func TestHookSyscallHistogram(t *testing.T) {
+	_, reg := runTraced(t, `
+main:
+	mov r32 = r0
+	syscall 1
+`)
+	h := reg.Histogram(`shift_syscall_cycles{sys="exit"}`, nil)
+	if h.Count() != 1 {
+		t.Errorf("exit histogram has %d samples, want 1", h.Count())
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `shift_syscall_cycles_bucket{sys="exit",le="+Inf"} 1`) {
+		t.Errorf("exposition missing the labeled histogram:\n%s", sb.String())
+	}
+}

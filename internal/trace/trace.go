@@ -1,0 +1,269 @@
+// Package trace is the flight recorder: a nil-gated, bounded ring buffer
+// of taint-lifecycle events. Production DIFT lives or dies on selective,
+// low-overhead tracing — the paper's measured claims (slowdown factors,
+// instruction-mix deltas, the §3.3.4/§4.4 profiling-guided decisions) all
+// presume you can see what the tracking hardware did. The recorder keeps
+// the most recent events (overwriting the oldest and counting the drops),
+// so a policy violation's forensic report can carry the provenance chain
+// that led to it without unbounded memory.
+//
+// Events are exported two ways: JSONL (one JSON object per line, the
+// machine-readable archive format) and the Chrome trace-event format that
+// Perfetto / chrome://tracing load directly, with scheduler slices and
+// syscalls as duration events and everything else as instants.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Kind classifies a lifecycle event.
+type Kind uint8
+
+// Event kinds. The set follows the life of a tag: birth at an input
+// syscall, propagation (a speculative load manufacturing a token, a NaT
+// bit reaching a new register, a tag-bitmap write), consumption (chk.s
+// recoveries, policy checks), and death or verdict (untaint, violation) —
+// plus the scheduler and OS boundary events that situate them in time.
+const (
+	KindTaint       Kind = iota + 1 // taint birth at an input syscall
+	KindUntaint                     // explicit clearing of a range
+	KindHostWrite                   // host data transfer into guest memory
+	KindSpecDefer                   // speculative load deferred a fault into a NaT token
+	KindNaTSet                      // a register's NaT bit went clean -> set
+	KindTagWrite                    // store into the region-0 tag bitmap
+	KindChkRecover                  // chk.s observed a token and branched to recovery
+	KindPolicyCheck                 // a sink check ran (violating or not)
+	KindViolation                   // a policy violation stopped the run
+	KindSliceBegin                  // scheduler slice started on a thread
+	KindSliceEnd                    // scheduler slice ended (N = cycles occupied)
+	KindSpawn                       // a guest thread was created (N = child tid)
+	KindSyscall                     // syscall retired (N = cycles of latency)
+)
+
+// String names the kind (also its JSON encoding).
+func (k Kind) String() string {
+	switch k {
+	case KindTaint:
+		return "taint"
+	case KindUntaint:
+		return "untaint"
+	case KindHostWrite:
+		return "host-write"
+	case KindSpecDefer:
+		return "spec-defer"
+	case KindNaTSet:
+		return "nat-set"
+	case KindTagWrite:
+		return "tag-write"
+	case KindChkRecover:
+		return "chk-recover"
+	case KindPolicyCheck:
+		return "policy-check"
+	case KindViolation:
+		return "violation"
+	case KindSliceBegin:
+		return "slice-begin"
+	case KindSliceEnd:
+		return "slice-end"
+	case KindSpawn:
+		return "spawn"
+	case KindSyscall:
+		return "syscall"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// MarshalJSON encodes the kind as its name.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON decodes a kind name (tooling that re-reads JSONL).
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for c := KindTaint; c <= KindSyscall; c++ {
+		if c.String() == s {
+			*k = c
+			return nil
+		}
+	}
+	return fmt.Errorf("trace: unknown event kind %q", s)
+}
+
+// Event is one recorded lifecycle event. Cycle is the simulated cycle
+// counter of the thread that produced it — the deterministic clock every
+// export uses as its timebase.
+type Event struct {
+	Cycle uint64 `json:"cycle"`
+	TID   int    `json:"tid"`
+	PC    int    `json:"pc"`
+	Kind  Kind   `json:"kind"`
+	Addr  uint64 `json:"addr,omitempty"` // guest address (data or tag byte)
+	N     uint64 `json:"n,omitempty"`    // length / latency / child tid
+	Reg   uint8  `json:"reg,omitempty"`  // register, for NaT events
+	Name  string `json:"name,omitempty"` // channel, policy, sink or syscall name
+}
+
+// DefaultDepth is the ring capacity New uses for depth <= 0.
+const DefaultDepth = 1 << 14
+
+// Tracer is the bounded ring buffer. A nil *Tracer is a valid no-op
+// recorder: every method works and records nothing, so call sites gate
+// on one nil check and nothing else.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []Event
+	seq  uint64 // events ever emitted; ring[seq%len] is the next slot
+}
+
+// New builds a tracer retaining the most recent depth events
+// (DefaultDepth when depth <= 0).
+func New(depth int) *Tracer {
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	return &Tracer{ring: make([]Event, depth)}
+}
+
+// Emit records one event, overwriting the oldest when the ring is full.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ring[t.seq%uint64(len(t.ring))] = ev
+	t.seq++
+	t.mu.Unlock()
+}
+
+// Total returns the number of events ever emitted.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Dropped returns how many of the emitted events have been overwritten —
+// the flight recorder keeps the tail, so drops are always the oldest.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.droppedLocked()
+}
+
+func (t *Tracer) droppedLocked() uint64 {
+	if n := uint64(len(t.ring)); t.seq > n {
+		return t.seq - n
+	}
+	return 0
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	return t.Tail(-1)
+}
+
+// Tail returns the most recent n retained events, oldest first (all of
+// them when n < 0 or n exceeds the retained count).
+func (t *Tracer) Tail(n int) []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	held := t.seq
+	if cap := uint64(len(t.ring)); held > cap {
+		held = cap
+	}
+	if n >= 0 && uint64(n) < held {
+		held = uint64(n)
+	}
+	out := make([]Event, held)
+	for i := uint64(0); i < held; i++ {
+		out[i] = t.ring[(t.seq-held+i)%uint64(len(t.ring))]
+	}
+	return out
+}
+
+// WriteJSONL writes the retained events as JSON Lines, oldest first.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range t.Events() {
+		if err := enc.Encode(&ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one entry of the Chrome trace-event format. Cycles map
+// to microseconds: the timebase is simulated anyway, and Perfetto's UI
+// math expects microsecond "ts"/"dur" fields.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the retained events in Chrome trace-event
+// format (a {"traceEvents": [...]} object), loadable in Perfetto or
+// chrome://tracing. Scheduler slices become B/E duration pairs, syscalls
+// become complete ("X") events spanning their latency, and everything
+// else becomes a thread-scoped instant.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	out := make([]chromeEvent, 0, len(events))
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Kind.String(),
+			TS:   ev.Cycle,
+			PID:  1,
+			TID:  ev.TID,
+			Args: map[string]any{"pc": ev.PC},
+		}
+		if ev.Name != "" {
+			ce.Name = ev.Kind.String() + ":" + ev.Name
+		}
+		if ev.Addr != 0 {
+			ce.Args["addr"] = fmt.Sprintf("%#x", ev.Addr)
+		}
+		if ev.N != 0 {
+			ce.Args["n"] = ev.N
+		}
+		switch ev.Kind {
+		case KindSliceBegin:
+			ce.Ph, ce.Name = "B", "slice"
+		case KindSliceEnd:
+			ce.Ph, ce.Name = "E", "slice"
+			// An end stamped at the slice's last retirement: ts already
+			// carries the cycle, args carry the occupancy.
+		case KindSyscall:
+			ce.Ph = "X"
+			ce.Dur = ev.N
+			if ce.TS >= ev.N {
+				ce.TS -= ev.N // span covers the syscall, ending at retirement
+			}
+		default:
+			ce.Ph, ce.S = "i", "t"
+		}
+		out = append(out, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": out})
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The ring must keep exactly the most recent capacity events, count the
+// overwritten ones, and return the tail oldest-first.
+func TestRingWrapAndDropCounter(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Cycle: uint64(i), Kind: KindTagWrite})
+	}
+	if got := tr.Total(); got != 10 {
+		t.Errorf("Total = %d, want 10", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Errorf("Dropped = %d, want 6", got)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events returned %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.Cycle != want {
+			t.Errorf("event %d has cycle %d, want %d (oldest-first tail)", i, ev.Cycle, want)
+		}
+	}
+}
+
+func TestTailBeforeWrap(t *testing.T) {
+	tr := New(8)
+	if tr.Dropped() != 0 || len(tr.Events()) != 0 {
+		t.Fatal("fresh tracer not empty")
+	}
+	for i := 0; i < 3; i++ {
+		tr.Emit(Event{Cycle: uint64(i)})
+	}
+	if got := tr.Dropped(); got != 0 {
+		t.Errorf("Dropped = %d before the ring filled", got)
+	}
+	tail := tr.Tail(2)
+	if len(tail) != 2 || tail[0].Cycle != 1 || tail[1].Cycle != 2 {
+		t.Errorf("Tail(2) = %+v, want cycles [1 2]", tail)
+	}
+	if all := tr.Tail(100); len(all) != 3 {
+		t.Errorf("Tail(100) returned %d events, want all 3", len(all))
+	}
+}
+
+// A nil tracer is the disabled state: every method is a safe no-op.
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Kind: KindTaint})
+	if tr.Total() != 0 || tr.Dropped() != 0 || tr.Events() != nil || tr.Tail(5) != nil {
+		t.Error("nil tracer leaked state")
+	}
+}
+
+// JSONL: one parseable object per line, kinds as names, round-trippable.
+func TestWriteJSONL(t *testing.T) {
+	tr := New(8)
+	tr.Emit(Event{Cycle: 7, TID: 1, PC: 42, Kind: KindTaint, Addr: 0x1000, N: 64, Name: "network"})
+	tr.Emit(Event{Cycle: 9, Kind: KindViolation, Name: "H2"})
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got []Event
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		got = append(got, ev)
+	}
+	if len(got) != 2 {
+		t.Fatalf("decoded %d events, want 2", len(got))
+	}
+	if got[0] != (Event{Cycle: 7, TID: 1, PC: 42, Kind: KindTaint, Addr: 0x1000, N: 64, Name: "network"}) {
+		t.Errorf("round trip mangled event: %+v", got[0])
+	}
+	if got[1].Kind != KindViolation || got[1].Name != "H2" {
+		t.Errorf("second event = %+v", got[1])
+	}
+}
+
+// The Chrome export must be one JSON object with a traceEvents array
+// whose phases follow the slice/syscall/instant mapping.
+func TestWriteChromeTrace(t *testing.T) {
+	tr := New(16)
+	tr.Emit(Event{Cycle: 0, TID: 0, Kind: KindSliceBegin})
+	tr.Emit(Event{Cycle: 100, TID: 0, PC: 5, Kind: KindTaint, Name: "network"})
+	tr.Emit(Event{Cycle: 400, TID: 0, PC: 9, Kind: KindSyscall, N: 300, Name: "recv"})
+	tr.Emit(Event{Cycle: 500, TID: 0, Kind: KindSliceEnd, N: 500})
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			TS   uint64 `json:"ts"`
+			Dur  uint64 `json:"dur"`
+			TID  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not a Chrome trace document: %v", err)
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("%d trace events, want 4", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0].Ph != "B" || doc.TraceEvents[0].Name != "slice" {
+		t.Errorf("slice begin rendered as %+v", doc.TraceEvents[0])
+	}
+	if doc.TraceEvents[1].Ph != "i" || !strings.HasPrefix(doc.TraceEvents[1].Name, "taint") {
+		t.Errorf("instant rendered as %+v", doc.TraceEvents[1])
+	}
+	if sc := doc.TraceEvents[2]; sc.Ph != "X" || sc.Dur != 300 || sc.TS != 100 {
+		t.Errorf("syscall rendered as %+v (want X span ts=100 dur=300)", sc)
+	}
+	if doc.TraceEvents[3].Ph != "E" {
+		t.Errorf("slice end rendered as %+v", doc.TraceEvents[3])
+	}
+}
+
+func TestKindStringsRoundTrip(t *testing.T) {
+	for k := KindTaint; k <= KindSyscall; k++ {
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Kind
+		if err := json.Unmarshal(b, &back); err != nil || back != k {
+			t.Errorf("kind %d did not round-trip through %s", k, b)
+		}
+	}
+	var bad Kind
+	if err := bad.UnmarshalJSON([]byte(`"no-such-kind"`)); err == nil {
+		t.Error("unknown kind name accepted")
+	}
+}
