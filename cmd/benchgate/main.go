@@ -1,0 +1,207 @@
+// Command benchgate is the CI performance gate for the execution
+// engines. It measures the translated-block engine, the reference
+// interpreter, and the hook-free (untraced) path with Go's benchmark
+// machinery, writes the numbers to a JSON report, and fails when the
+// block engine has regressed against the checked-in baseline or when
+// the untraced path costs measurably more than the raw engine.
+//
+// Usage:
+//
+//	benchgate [-o BENCH_engines.json] [-baseline BENCH_engines.baseline.json]
+//	          [-best N] [-ratio-slack F] [-overhead-max F] [-check]
+//
+// Each configuration runs N times and the fastest run is kept (CI
+// machines are noisy; the minimum is the most stable estimator of the
+// code's actual cost). The gate checks two properties:
+//
+//   - the block/interp speedup ratio must be at least (1 - ratio-slack)
+//     of the baseline ratio: the block engine must not lose ground
+//     against the interpreter measured on the same machine, which
+//     cancels out host speed differences;
+//   - the untraced overhead — the hook-capable driver with no hook
+//     attached versus the raw block engine — must stay under
+//     overhead-max (default 2%), the observability-is-free invariant.
+//
+// Without -check the report is written and the gate always passes
+// (useful for refreshing the baseline: copy the output over it).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"shift/internal/asm"
+	"shift/internal/isa"
+	"shift/internal/machine"
+	"shift/internal/mem"
+)
+
+// Report is the JSON schema of BENCH_engines.json.
+type Report struct {
+	// Nanoseconds per benchmark iteration (one full guest program run),
+	// best of -best runs.
+	BlockNsPerOp    float64 `json:"block_ns_per_op"`
+	InterpNsPerOp   float64 `json:"interp_ns_per_op"`
+	UntracedNsPerOp float64 `json:"untraced_ns_per_op"`
+	// BlockSpeedup is interp/block: >1 means the block engine is faster.
+	BlockSpeedup float64 `json:"block_speedup"`
+	// UntracedOverhead is (untraced-block)/block: the cost of the
+	// hook-capable entry point when no hook is attached.
+	UntracedOverhead float64 `json:"untraced_overhead"`
+	GuestInstrPerRun uint64  `json:"guest_instr_per_run"`
+}
+
+// benchSource is the same ALU/load/store/branch mix as the repository's
+// BenchmarkStepThroughput, so the gate and the Go benchmarks agree.
+const benchSource = `
+	movl r10 = 2305843009213693952   ; region-1 scratch base
+	movl r1 = 1000
+	movl r2 = 0
+loop:
+	add r2 = r2, r1
+	xor r3 = r2, r1
+	shli r4 = r3, 3
+	st8 [r10] = r4
+	ld8 r5 = [r10]
+	addi r1 = r1, -1
+	cmpi.gt p6, p7 = r1, 0
+	(p6) br loop
+	mov r32 = r2
+	syscall 1
+`
+
+type exitOS struct{}
+
+func (exitOS) Syscall(m *machine.Machine, num int64) (uint64, *machine.Trap) {
+	if num == isa.SysExit {
+		m.Halt(m.GR[isa.RegArg0])
+		return 0, nil
+	}
+	return 0, &machine.Trap{Kind: machine.TrapHostError, PC: m.PC, Ins: "syscall"}
+}
+
+// measure times one full guest run per iteration under the given engine
+// and hook. The untraced configuration assigns the Hook field an
+// explicit nil (mirroring internal/trace's BenchmarkStepThroughputUntraced);
+// it is measured separately from the plain block configuration to guard
+// the nil-check fast path against future hook plumbing taxing hookless
+// runs.
+func measure(engine machine.Engine, hook machine.StepHook) (nsPerOp float64, retiredPerRun uint64) {
+	p, err := asm.Assemble(benchSource, asm.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: assemble:", err)
+		os.Exit(1)
+	}
+	var retired uint64
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := mem.New()
+			m.MapRegion(0, 0)
+			m.MapRegion(1, 0)
+			m.MapRegion(2, 0)
+			m.Cache = mem.NewCache(16*1024, 64)
+			mach := machine.New(p, m)
+			mach.Engine = engine
+			mach.OS = exitOS{}
+			mach.GR[isa.RegSP] = int64(mem.Addr(2, 0x10000))
+			mach.Hook = hook
+			if trap := mach.Run(); trap != nil {
+				b.Fatal(trap)
+			}
+			retired = mach.Retired
+		}
+	})
+	return float64(res.NsPerOp()), retired
+}
+
+// bestOfRounds interleaves the configurations round-robin for n rounds
+// and keeps each one's fastest observation. Interleaving matters: host
+// noise (frequency scaling, background load) comes in stretches, and
+// round-robin sampling exposes every configuration to the same
+// stretches instead of letting one configuration soak up a slow window.
+func bestOfRounds(n int, fns []func() (float64, uint64)) ([]float64, uint64) {
+	mins := make([]float64, len(fns))
+	var instr uint64
+	for round := 0; round < n; round++ {
+		for i, fn := range fns {
+			ns, retired := fn()
+			if round == 0 || ns < mins[i] {
+				mins[i] = ns
+			}
+			if retired != 0 {
+				instr = retired
+			}
+		}
+	}
+	return mins, instr
+}
+
+func main() {
+	out := flag.String("o", "BENCH_engines.json", "write the JSON report here (- for stdout)")
+	baselinePath := flag.String("baseline", "BENCH_engines.baseline.json", "checked-in baseline report")
+	bestOf := flag.Int("best", 5, "runs per configuration; the fastest is kept")
+	ratioSlack := flag.Float64("ratio-slack", 0.05, "allowed fractional loss of block/interp speedup vs the baseline")
+	overheadMax := flag.Float64("overhead-max", 0.02, "maximum untraced overhead fraction")
+	check := flag.Bool("check", false, "enforce the gate (exit 1 on regression)")
+	flag.Parse()
+
+	rep := &Report{}
+	mins, instr := bestOfRounds(*bestOf, []func() (float64, uint64){
+		func() (float64, uint64) { return measure(machine.EngineBlock, nil) },
+		func() (float64, uint64) { return measure(machine.EngineInterp, nil) },
+		func() (float64, uint64) { return measure(machine.EngineBlock, machine.StepHook(nil)) },
+	})
+	rep.BlockNsPerOp, rep.InterpNsPerOp, rep.UntracedNsPerOp = mins[0], mins[1], mins[2]
+	rep.GuestInstrPerRun = instr
+	rep.BlockSpeedup = rep.InterpNsPerOp / rep.BlockNsPerOp
+	rep.UntracedOverhead = rep.UntracedNsPerOp/rep.BlockNsPerOp - 1
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchgate: block %.0f ns/op, interp %.0f ns/op (speedup %.3fx), untraced overhead %+.2f%%\n",
+		rep.BlockNsPerOp, rep.InterpNsPerOp, rep.BlockSpeedup, 100*rep.UntracedOverhead)
+
+	if !*check {
+		return
+	}
+	failed := false
+	base, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	var baseline Report
+	if err := json.Unmarshal(base, &baseline); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: baseline:", err)
+		os.Exit(1)
+	}
+	floor := baseline.BlockSpeedup * (1 - *ratioSlack)
+	if rep.BlockSpeedup < floor {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: block/interp speedup %.3fx below floor %.3fx (baseline %.3fx - %.0f%% slack)\n",
+			rep.BlockSpeedup, floor, baseline.BlockSpeedup, 100**ratioSlack)
+		failed = true
+	}
+	if rep.UntracedOverhead > *overheadMax {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: untraced overhead %.2f%% exceeds %.2f%%\n",
+			100*rep.UntracedOverhead, 100**overheadMax)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: PASS")
+}

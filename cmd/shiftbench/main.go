@@ -5,14 +5,17 @@
 //
 //	shiftbench [-experiment all|table1|table2|table3|fig6|fig7|fig8|fig9|ablation]
 //	           [-scale-div N] [-requests N] [-workers N]
-//	           [-cpuprofile FILE] [-memprofile FILE]
+//	           [-engine block|interp] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -scale-div divides the benchmarks' reference input sizes (1 = the full
 // evaluation; larger values run proportionally faster). -requests sets
 // the Figure 6 request count (the paper used 1000). -workers caps the
 // experiment cells run concurrently (0 = one per CPU; the results are
-// identical at any setting). -cpuprofile and -memprofile write pprof
-// profiles for the performance workflow in docs/PERFORMANCE.md.
+// identical at any setting). -engine selects the execution engine (the
+// default block engine and the reference interpreter produce identical
+// results; the flag exists for performance comparison). -cpuprofile and
+// -memprofile write pprof profiles for the performance workflow in
+// docs/PERFORMANCE.md.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"runtime/pprof"
 
 	"shift/internal/bench"
+	"shift/internal/machine"
 )
 
 func main() {
@@ -30,6 +34,7 @@ func main() {
 	scaleDiv := flag.Int("scale-div", 1, "divide reference input scales by this factor")
 	requests := flag.Int("requests", 1000, "Figure 6 request count")
 	workers := flag.Int("workers", 0, "max concurrent experiment cells (0 = NumCPU, 1 = serial)")
+	engineName := flag.String("engine", "block", "execution engine: block or interp")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -39,6 +44,12 @@ func main() {
 		os.Exit(2)
 	}
 	bench.Workers = *workers
+	engine, ok := machine.EngineFromString(*engineName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "shiftbench: unknown engine %q (want block or interp)\n", *engineName)
+		os.Exit(2)
+	}
+	bench.Engine = engine
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -57,6 +68,10 @@ func main() {
 	if err := bench.PrintAll(os.Stdout, *experiment, *scaleDiv, *requests); err != nil {
 		fmt.Fprintln(os.Stderr, "shiftbench:", err)
 		os.Exit(1)
+	}
+	if engine == machine.EngineBlock {
+		caches, blocks := machine.TranslationTotals()
+		fmt.Printf("\nblock translation: %d program texts cached, %d basic blocks compiled\n", caches, blocks)
 	}
 
 	if *memprofile != "" {

@@ -7,9 +7,14 @@
 //	shiftrun [-protect] [-gran byte|word] [-enhancements] [-policy file]
 //	         [-serialized-tags] [-unsafe-preempt] [-quantum n]
 //	         [-net string] [-stdin string] [-file name=path ...]
-//	         [-arg value ...] [-counters] [-oracle]
+//	         [-arg value ...] [-counters] [-oracle] [-engine block|interp]
 //	         [-trace out.jsonl] [-trace-chrome out.json] [-trace-depth n]
 //	         [-metrics dest] prog.mc
+//
+// -engine selects the execution engine: block (default) runs cached
+// pre-decoded basic blocks, interp runs the reference interpreter. Both
+// produce bit-identical results; interp exists as the differential
+// baseline and for debugging.
 //
 // -net supplies network input (a taint source), -file mounts a host file
 // into the simulated filesystem, -arg appends a program argument.
@@ -74,6 +79,7 @@ func main() {
 	traceChrome := flag.String("trace-chrome", "", "write the trace in Chrome trace-event format (Perfetto) to this file")
 	traceDepth := flag.Int("trace-depth", 0, "flight-recorder ring capacity in events (0 = default)")
 	metricsDest := flag.String("metrics", "", "metrics destination: a listen address like :9090 serves Prometheus text over HTTP; otherwise a file the exposition is written to after the run (- for stdout)")
+	engineName := flag.String("engine", "block", "execution engine: block (cached translated basic blocks) or interp (reference interpreter)")
 	var files, args listFlag
 	flag.Var(&files, "file", "mount name=hostpath into the simulated filesystem (repeatable)")
 	flag.Var(&args, "arg", "program argument (repeatable)")
@@ -101,6 +107,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "shiftrun: unknown granularity %q\n", *gran)
 		os.Exit(2)
 	}
+	engine, ok := machine.EngineFromString(*engineName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "shiftrun: unknown engine %q (want block or interp)\n", *engineName)
+		os.Exit(2)
+	}
+	opt.Engine = engine
 	if *enhance {
 		opt.Features = machine.Features{SetClrNaT: true, NaTAwareCmp: true}
 	}

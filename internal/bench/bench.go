@@ -15,6 +15,13 @@ import (
 	"shift/internal/workload"
 )
 
+// Engine selects the execution engine for every benchmark run in this
+// package (cmd/shiftbench's -engine flag sets it). The default is the
+// translated-block engine; the results are engine-independent — the
+// engines are bit-identical in every architectural observable — so the
+// knob exists for performance comparison and differential testing.
+var Engine machine.Engine
+
 // Config is one measurement configuration of the SHIFT system.
 type Config struct {
 	Key  string
@@ -78,6 +85,7 @@ func RunBenchmark(b *workload.Benchmark, scale int, cfg *Config) (*Measurement, 
 	if cfg != nil {
 		opt = cfg.options(b)
 	}
+	opt.Engine = Engine
 	res, err := shift.BuildAndRun(
 		[]shift.Source{{Name: b.Name + ".mc", Text: b.Source}}, b.World(scale), opt)
 	if err != nil {

@@ -8,11 +8,10 @@ import (
 	"shift/internal/mem"
 )
 
-// BenchmarkStepThroughput measures raw interpreter speed in guest
-// instructions per second on a tight ALU/load/store/branch mix — the
-// fast-path engine's headline number, independent of any workload's
-// build pipeline.
-func BenchmarkStepThroughput(b *testing.B) {
+// benchThroughput measures raw engine speed in guest instructions per
+// second on a tight ALU/load/store/branch mix — the execution engine's
+// headline number, independent of any workload's build pipeline.
+func benchThroughput(b *testing.B, engine Engine) {
 	p, err := asm.Assemble(`
 	movl r10 = 2305843009213693952   ; region-1 scratch base
 	movl r1 = 1000
@@ -42,6 +41,7 @@ loop:
 		m.MapRegion(2, 0)
 		m.Cache = mem.NewCache(16*1024, 64)
 		mach := New(p, m)
+		mach.Engine = engine
 		mach.OS = benchOS{}
 		mach.GR[isa.RegSP] = int64(mem.Addr(2, 0x10000))
 		if trap := mach.Run(); trap != nil {
@@ -54,6 +54,13 @@ loop:
 		b.ReportMetric(float64(retired)/b.Elapsed().Seconds(), "guest-instr/s")
 	}
 }
+
+// BenchmarkStepThroughput runs the default translated-block engine.
+func BenchmarkStepThroughput(b *testing.B) { benchThroughput(b, EngineBlock) }
+
+// BenchmarkStepThroughputInterp runs the reference interpreter — the
+// oracle's ground-truth engine and the block engine's comparison point.
+func BenchmarkStepThroughputInterp(b *testing.B) { benchThroughput(b, EngineInterp) }
 
 type benchOS struct{}
 

@@ -1,0 +1,1586 @@
+// Translated-block execution engine: the first time control reaches a
+// basic block, its instructions are pre-decoded into a compact micro-op
+// array (operand registers, immediates, cost classes and memory widths
+// resolved; the self-clearing idioms recognized) and the array is cached
+// in a per-text translation cache keyed by entry PC. Subsequent
+// executions run the micro-ops through one flat switch loop, skipping
+// the fetch and operand-decode work of the reference interpreter in exec
+// and binding fixed-width memory accesses to the mem package's
+// specialized paths.
+//
+// The engine is an optimization, never a semantic fork: the interpreter
+// remains the reference (the lockstep oracle's ground truth), and the
+// block engine must be bit-identical to it in every observable —
+// registers, NaT bits, traps, cycle accounting per cost class, retired
+// counts, and the scheduler's slice-boundary decisions. Where exactness
+// is cheaper to inherit than to re-derive (a retirement budget expiring
+// mid-block), the engine delegates the slice to exec instead of
+// duplicating its behaviour.
+//
+// Machine state is materialized lazily on the hook-free fast path:
+// within a block, PC and Retired live as (entry, index) in the driver
+// and Cycles accumulates in a local; all three are written back only at
+// block exits — terminators, traps, syscalls, and quantum expiry. The
+// per-class cycle split stays eager (it is off the critical dependency
+// chain), and the quantum check compares the local cycle counter after
+// every micro-op, so tag-coherent expiry lands on exactly the
+// instruction the interpreter would pick.
+package machine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"shift/internal/isa"
+)
+
+// Engine selects the execution engine for Run and scheduler slices.
+// The zero value is the block engine, so machines default to it; Step
+// always uses the interpreter (it is the single-instruction reference
+// path).
+type Engine uint8
+
+// Engines.
+const (
+	// EngineBlock executes cached pre-decoded basic blocks (default).
+	EngineBlock Engine = iota
+	// EngineInterp executes through the reference interpreter in exec.
+	// It is the oracle's reference engine: the block engine is validated
+	// against it, never the other way around.
+	EngineInterp
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineBlock:
+		return "block"
+	case EngineInterp:
+		return "interp"
+	}
+	return fmt.Sprintf("engine(%d)", uint8(e))
+}
+
+// EngineFromString parses an engine name as used by -engine flags.
+func EngineFromString(s string) (Engine, bool) {
+	switch s {
+	case "block":
+		return EngineBlock, true
+	case "interp":
+		return EngineInterp, true
+	}
+	return 0, false
+}
+
+// uopKind is the pre-decoded dispatch key: the opcode specialized by
+// whatever was resolvable at translation time (memory access width, the
+// self-clearing xor/sub idiom). Terminator kinds are grouped at the
+// end; they transfer control and always end a block.
+type uopKind uint8
+
+const (
+	uAdd uopKind = iota
+	uSub
+	uClear // xor/sub with Src1 == Src2: the §3.2 self-clearing idiom
+	uAnd
+	uAndcm
+	uOr
+	uXor
+	uShl
+	uShr
+	uSar
+	uMul
+	uDiv
+	uRem
+	uAddi
+	uAndi
+	uOri
+	uXori
+	uShli
+	uShri
+	uSari
+	uMov
+	uMovl
+	uCmp
+	uCmpi
+	uCmpNa
+	uCmpiNa
+	uTnat
+	uLd8
+	uLd4
+	uLd2
+	uLd1
+	uLdS8
+	uLdS4
+	uLdS2
+	uLdS1
+	uLdFill
+	uSt8
+	uSt4
+	uSt2
+	uSt1
+	uStSpill
+	uMovToBr
+	uMovFromBr
+	uMovToUnat
+	uMovFromUnat
+	uMovToCcv
+	uMovFromCcv
+	uCmpxchg
+	uSetNat
+	uClrNat
+	uNop
+	uIllegal
+
+	// Terminators.
+	uChkS
+	uBr
+	uBrCall
+	uBrRet
+	uBrInd
+	uSyscall
+)
+
+// uop is one pre-decoded instruction: every operand field the execution
+// arms need, flattened into a small struct so the fast driver walks a
+// contiguous array with no pointer chasing. Cost *values* and feature
+// gates are read from the machine at run time, never baked in here, so
+// a cache shared across runs stays correct under differing Costs or
+// Features — the translation depends on the program text alone.
+type uop struct {
+	kind  uopKind
+	class isa.CostClass
+	qp    uint8
+	d     uint8
+	s1    uint8
+	s2    uint8
+	p1    uint8
+	p2    uint8
+	b     uint8
+	bit   uint8 // UNAT bit (spill/fill); access width (cmpxchg)
+	cond  isa.Cond
+	imm   int64
+	tgt   int32
+}
+
+// block is one compiled basic block: a maximal straight-line run of
+// instructions starting at entry, ended by a control-transfer
+// terminator (branch, call, return, chk.s, syscall) or the end of the
+// text. Blocks are immutable after compilation and safe to execute
+// concurrently from any machine over the same program text.
+type block struct {
+	entry int
+	n     int  // instruction count (== len(uops))
+	term  bool // last uop is a terminator
+	uops  []uop
+	// ins holds the source instruction per op — cold data used only for
+	// trap disassembly and the hooked driver's PreStep/PostStep.
+	ins []*isa.Instruction
+	// preempt[i] reports whether pc entry+i+1 — the fall-through
+	// successor of op i — is a tag-coherent preemption point (the next
+	// instruction is original-program code, or past the text). It folds
+	// the sliceBoundary recomputation into the translation step.
+	preempt []bool
+}
+
+// BlockStats counts the machine's translation-cache traffic. Hits and
+// misses are per block *execution*, compiled per block built by this
+// machine, invalidations per stale cache dropped on a program swap.
+// Reset zeroes the counters along with the other accounting; the cache
+// itself survives.
+type BlockStats struct {
+	Compiled      uint64
+	Hits          uint64
+	Misses        uint64
+	Invalidations uint64
+}
+
+// TransCache is the shared translation cache for one program text:
+// compiled blocks indexed by entry PC. Lookups are lock-free atomic
+// loads; concurrent first executions of the same block may compile it
+// twice, which is benign — the blocks are identical and immutable, and
+// the last store wins.
+type TransCache struct {
+	text     []isa.Instruction
+	blocks   []atomic.Pointer[block]
+	compiled atomic.Uint64 // blocks ever stored (duplicates included)
+}
+
+// Blocks returns how many block compilations this cache has absorbed.
+func (tc *TransCache) Blocks() uint64 { return tc.compiled.Load() }
+
+// matches reports whether the cache was compiled for exactly this text.
+// The pointer identity fast path covers machines sharing one program;
+// the content comparison covers separate runs rebuilding an identical
+// program (the bench harness re-executes the same instrumented program
+// across cells and file sizes).
+func (tc *TransCache) matches(text []isa.Instruction) bool {
+	if len(tc.text) != len(text) {
+		return false
+	}
+	if len(text) == 0 || &tc.text[0] == &text[0] {
+		return true
+	}
+	for i := range text {
+		if tc.text[i] != text[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the compiled block starting at pc, compiling it on
+// first use. pc must be a valid index into the cache's text.
+func (tc *TransCache) lookup(m *Machine, pc int) *block {
+	if b := tc.blocks[pc].Load(); b != nil {
+		m.BlockStats.Hits++
+		return b
+	}
+	m.BlockStats.Misses++
+	b := compileBlock(tc.text, pc)
+	tc.blocks[pc].Store(b)
+	tc.compiled.Add(1)
+	m.BlockStats.Compiled++
+	return b
+}
+
+// transRegistry is the process-wide home of translation caches, keyed
+// by a content hash of the program text so runs that rebuild an
+// identical program (every bench cell, every reset) share one cache.
+// The mutex guards only attach — once a machine holds its *TransCache,
+// block lookups never touch the registry.
+var transRegistry struct {
+	mu     sync.Mutex
+	byHash map[uint64][]*TransCache
+}
+
+// hashText hashes the semantic fields of every instruction (FNV-1a).
+// Hash collisions are resolved by full comparison in matches, so the
+// field choice only affects bucket quality, not correctness.
+func hashText(text []isa.Instruction) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		h = (h ^ v) * prime64
+	}
+	mix(uint64(len(text)))
+	for i := range text {
+		ins := &text[i]
+		mix(uint64(ins.Op) | uint64(ins.Qp)<<8 | uint64(ins.Dest)<<16 |
+			uint64(ins.Src1)<<24 | uint64(ins.Src2)<<32 | uint64(ins.P1)<<40 |
+			uint64(ins.P2)<<48 | uint64(ins.B)<<56)
+		mix(uint64(ins.Size) | uint64(ins.Cond)<<8 | uint64(ins.Class)<<16)
+		mix(uint64(ins.Imm))
+		mix(uint64(ins.Target))
+	}
+	return h
+}
+
+// translationsFor returns the shared cache for text, creating it on
+// first sight of this program content.
+func translationsFor(text []isa.Instruction) *TransCache {
+	h := hashText(text)
+	transRegistry.mu.Lock()
+	defer transRegistry.mu.Unlock()
+	if transRegistry.byHash == nil {
+		transRegistry.byHash = make(map[uint64][]*TransCache)
+	}
+	for _, tc := range transRegistry.byHash[h] {
+		if tc.matches(text) {
+			return tc
+		}
+	}
+	tc := &TransCache{text: text, blocks: make([]atomic.Pointer[block], len(text))}
+	transRegistry.byHash[h] = append(transRegistry.byHash[h], tc)
+	return tc
+}
+
+// TranslationTotals reports process-wide translation-registry
+// aggregates: distinct program texts with a cache, and total block
+// compilations.
+func TranslationTotals() (caches, blocks uint64) {
+	transRegistry.mu.Lock()
+	defer transRegistry.mu.Unlock()
+	for _, list := range transRegistry.byHash {
+		for _, tc := range list {
+			caches++
+			blocks += tc.compiled.Load()
+		}
+	}
+	return caches, blocks
+}
+
+// Translations returns the machine's attached translation cache (nil
+// before the block engine has run). Reset preserves it: the cache is a
+// property of the program text, not of one run.
+func (m *Machine) Translations() *TransCache { return m.tc }
+
+// translations returns the cache valid for text, attaching through the
+// registry when the machine has none or a program swap made the
+// attached one stale. The fast path is one pointer identity check per
+// slice.
+func (m *Machine) translations(text []isa.Instruction) *TransCache {
+	tc := m.tc
+	if tc != nil {
+		if len(m.tcText) == len(text) && (len(text) == 0 || &m.tcText[0] == &text[0]) {
+			return tc
+		}
+		if tc.matches(text) {
+			// Same program content behind a different slice header (a
+			// Prog swap to an identical build); revalidate, don't drop.
+			m.tcText = text
+			return tc
+		}
+		m.BlockStats.Invalidations++
+	}
+	tc = translationsFor(text)
+	m.tc = tc
+	m.tcText = text
+	return tc
+}
+
+// slice executes one scheduling slice on the machine's selected engine.
+// Run and the Scheduler go through here so the engine choice is applied
+// uniformly; Step stays on the interpreter.
+func (m *Machine) slice(text []isa.Instruction, budget, sliceEnd uint64) *Trap {
+	if m.Engine == EngineInterp {
+		return m.exec(text, budget, sliceEnd, false)
+	}
+	if m.Hook != nil || m.Stats != nil {
+		return m.execBlocksCareful(text, budget, sliceEnd)
+	}
+	return m.execBlocksFast(text, budget, sliceEnd)
+}
+
+// compileBlock pre-decodes the basic block starting at entry.
+func compileBlock(text []isa.Instruction, entry int) *block {
+	b := &block{entry: entry}
+	for pc := entry; pc < len(text); pc++ {
+		ins := &text[pc]
+		u, term := encodeUop(ins)
+		b.uops = append(b.uops, u)
+		b.ins = append(b.ins, ins)
+		b.preempt = append(b.preempt,
+			pc+1 >= len(text) || text[pc+1].Class == isa.ClassOrig)
+		if term {
+			b.term = true
+			break
+		}
+	}
+	b.n = len(b.uops)
+	return b
+}
+
+// encodeUop translates one instruction into its micro-op form. term
+// marks control-transfer terminators.
+func encodeUop(ins *isa.Instruction) (u uop, term bool) {
+	u = uop{
+		class: ins.Class, qp: ins.Qp,
+		d: ins.Dest, s1: ins.Src1, s2: ins.Src2,
+		p1: ins.P1, p2: ins.P2, b: ins.B,
+		cond: ins.Cond, imm: ins.Imm, tgt: int32(ins.Target),
+	}
+	switch ins.Op {
+	case isa.OpAdd:
+		u.kind = uAdd
+	case isa.OpSub:
+		if ins.Src1 == ins.Src2 {
+			u.kind = uClear
+		} else {
+			u.kind = uSub
+		}
+	case isa.OpAnd:
+		u.kind = uAnd
+	case isa.OpAndcm:
+		u.kind = uAndcm
+	case isa.OpOr:
+		u.kind = uOr
+	case isa.OpXor:
+		if ins.Src1 == ins.Src2 {
+			u.kind = uClear
+		} else {
+			u.kind = uXor
+		}
+	case isa.OpShl:
+		u.kind = uShl
+	case isa.OpShr:
+		u.kind = uShr
+	case isa.OpSar:
+		u.kind = uSar
+	case isa.OpMul:
+		u.kind = uMul
+	case isa.OpDiv:
+		u.kind = uDiv
+	case isa.OpRem:
+		u.kind = uRem
+	case isa.OpAddi:
+		u.kind = uAddi
+	case isa.OpAndi:
+		u.kind = uAndi
+	case isa.OpOri:
+		u.kind = uOri
+	case isa.OpXori:
+		u.kind = uXori
+	case isa.OpShli:
+		u.kind = uShli
+	case isa.OpShri:
+		u.kind = uShri
+	case isa.OpSari:
+		u.kind = uSari
+	case isa.OpMov:
+		u.kind = uMov
+	case isa.OpMovl:
+		u.kind = uMovl
+	case isa.OpCmp:
+		u.kind = uCmp
+	case isa.OpCmpi:
+		u.kind = uCmpi
+	case isa.OpCmpNa:
+		u.kind = uCmpNa
+	case isa.OpCmpiNa:
+		u.kind = uCmpiNa
+	case isa.OpTnat:
+		u.kind = uTnat
+	case isa.OpLd:
+		switch ins.Size {
+		case 8:
+			u.kind = uLd8
+		case 4:
+			u.kind = uLd4
+		case 2:
+			u.kind = uLd2
+		default:
+			u.kind = uLd1
+		}
+	case isa.OpLdS:
+		switch ins.Size {
+		case 8:
+			u.kind = uLdS8
+		case 4:
+			u.kind = uLdS4
+		case 2:
+			u.kind = uLdS2
+		default:
+			u.kind = uLdS1
+		}
+	case isa.OpLdFill:
+		u.kind = uLdFill
+		u.bit = uint8(ins.Imm)
+	case isa.OpSt:
+		switch ins.Size {
+		case 8:
+			u.kind = uSt8
+		case 4:
+			u.kind = uSt4
+		case 2:
+			u.kind = uSt2
+		default:
+			u.kind = uSt1
+		}
+	case isa.OpStSpill:
+		u.kind = uStSpill
+		u.bit = uint8(ins.Imm)
+	case isa.OpChkS:
+		u.kind = uChkS
+		term = true
+	case isa.OpBr:
+		u.kind = uBr
+		term = true
+	case isa.OpBrCall:
+		u.kind = uBrCall
+		term = true
+	case isa.OpBrRet:
+		u.kind = uBrRet
+		term = true
+	case isa.OpBrInd:
+		u.kind = uBrInd
+		term = true
+	case isa.OpMovToBr:
+		u.kind = uMovToBr
+	case isa.OpMovFromBr:
+		u.kind = uMovFromBr
+	case isa.OpMovToUnat:
+		u.kind = uMovToUnat
+	case isa.OpMovFromUnat:
+		u.kind = uMovFromUnat
+	case isa.OpMovToCcv:
+		u.kind = uMovToCcv
+	case isa.OpMovFromCcv:
+		u.kind = uMovFromCcv
+	case isa.OpCmpxchg:
+		u.kind = uCmpxchg
+		u.bit = ins.Size
+	case isa.OpSetNat:
+		u.kind = uSetNat
+	case isa.OpClrNat:
+		u.kind = uClrNat
+	case isa.OpSyscall:
+		u.kind = uSyscall
+		term = true
+	case isa.OpNop:
+		u.kind = uNop
+	default:
+		u.kind = uIllegal
+	}
+	return u, term
+}
+
+// blockAbort materializes machine state at a fault inside a block's
+// straight-line run — PC at the trapping instruction, the trapping
+// instruction counted as retired (matching the interpreter's
+// count-at-fetch), locally accumulated cycles written back — and builds
+// the trap.
+func (m *Machine) blockAbort(b *block, i int, cycles uint64, kind TrapKind, addr uint64, reg uint8, err error) *Trap {
+	pc := b.entry + i
+	m.PC = pc
+	m.Retired += uint64(i + 1)
+	m.Cycles = cycles
+	return &Trap{Kind: kind, PC: pc, Addr: addr, Reg: reg, Ins: b.ins[i].String(), Err: err}
+}
+
+// execBlocksFast is the hook-free block engine slice loop, the drop-in
+// counterpart of exec(text, budget, sliceEnd, false) when no StepHook
+// or Stats collector is attached. Exit conditions, trap state and
+// accounting are bit-identical to the interpreter's; PC, Retired and
+// Cycles are materialized lazily at block exits.
+func (m *Machine) execBlocksFast(text []isa.Instruction, budget, sliceEnd uint64) *Trap {
+	tc := m.translations(text)
+	unsafePre := m.UnsafePreempt
+	textLen := uint(len(text))
+	mm := m.Mem
+	co := &m.Costs
+	cALU, cMovl, cMulDiv := co.ALU, co.Movl, co.MulDiv
+	cLd, cLdMiss, cSt, cSpillFill := co.Ld, co.LdMiss, co.St, co.SpillFill
+	cChk, cBr, cNop, cPredOff := co.Chk, co.Br, co.Nop, co.PredOff
+	cSyscall, cDefer := co.Syscall, co.Defer
+	byClass := &m.CyclesByClass
+	cycles := m.Cycles
+	for {
+		pc := m.PC
+		// One unsigned compare covers both out-of-range directions
+		// (HaltPC is negative, so it lands here too) — same as exec.
+		if uint(pc) >= textLen {
+			m.Cycles = cycles
+			if pc == HaltPC {
+				m.Halt(m.GR[isa.RegRet])
+				return nil
+			}
+			return &Trap{Kind: TrapBadPC, PC: pc, Ins: "<none>"}
+		}
+		b := tc.lookup(m, pc)
+		if m.Retired+uint64(b.n) > budget {
+			// The retirement budget expires inside this block. The
+			// interpreter is the reference for the exact trap point and
+			// state, so hand it the rest of the slice rather than
+			// re-deriving those semantics here.
+			m.Cycles = cycles
+			return m.exec(text, budget, sliceEnd, false)
+		}
+
+		entry := b.entry
+		steps := b.n
+		if b.term {
+			steps--
+		}
+		uops := b.uops
+		for i := 0; i < steps; i++ {
+			u := &uops[i]
+			if u.qp != 0 && !m.PR[u.qp&63] {
+				// Predicated off: the fetch slot is consumed, nothing
+				// else happens.
+				cycles += cPredOff
+				byClass[u.class] += cPredOff
+			} else {
+				switch u.kind {
+				case uAdd:
+					if u.d != 0 {
+						m.GR[u.d&127] = m.GR[u.s1&127] + m.GR[u.s2&127]
+						m.NaT[u.d&127] = m.NaT[u.s1&127] || m.NaT[u.s2&127]
+					}
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uSub:
+					if u.d != 0 {
+						m.GR[u.d&127] = m.GR[u.s1&127] - m.GR[u.s2&127]
+						m.NaT[u.d&127] = m.NaT[u.s1&127] || m.NaT[u.s2&127]
+					}
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uClear:
+					// xor/sub self-clearing (§3.2): the result is
+					// independent of the register's content, so the
+					// token clears with it.
+					if u.d != 0 {
+						m.GR[u.d&127] = 0
+						m.NaT[u.d&127] = false
+					}
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uAnd:
+					if u.d != 0 {
+						m.GR[u.d&127] = m.GR[u.s1&127] & m.GR[u.s2&127]
+						m.NaT[u.d&127] = m.NaT[u.s1&127] || m.NaT[u.s2&127]
+					}
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uAndcm:
+					if u.d != 0 {
+						m.GR[u.d&127] = m.GR[u.s1&127] &^ m.GR[u.s2&127]
+						m.NaT[u.d&127] = m.NaT[u.s1&127] || m.NaT[u.s2&127]
+					}
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uOr:
+					if u.d != 0 {
+						m.GR[u.d&127] = m.GR[u.s1&127] | m.GR[u.s2&127]
+						m.NaT[u.d&127] = m.NaT[u.s1&127] || m.NaT[u.s2&127]
+					}
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uXor:
+					if u.d != 0 {
+						m.GR[u.d&127] = m.GR[u.s1&127] ^ m.GR[u.s2&127]
+						m.NaT[u.d&127] = m.NaT[u.s1&127] || m.NaT[u.s2&127]
+					}
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uShl:
+					if u.d != 0 {
+						m.GR[u.d&127] = m.GR[u.s1&127] << (uint64(m.GR[u.s2&127]) & 63)
+						m.NaT[u.d&127] = m.NaT[u.s1&127] || m.NaT[u.s2&127]
+					}
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uShr:
+					if u.d != 0 {
+						m.GR[u.d&127] = int64(uint64(m.GR[u.s1&127]) >> (uint64(m.GR[u.s2&127]) & 63))
+						m.NaT[u.d&127] = m.NaT[u.s1&127] || m.NaT[u.s2&127]
+					}
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uSar:
+					if u.d != 0 {
+						m.GR[u.d&127] = m.GR[u.s1&127] >> (uint64(m.GR[u.s2&127]) & 63)
+						m.NaT[u.d&127] = m.NaT[u.s1&127] || m.NaT[u.s2&127]
+					}
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uMul:
+					if u.d != 0 {
+						m.GR[u.d&127] = m.GR[u.s1&127] * m.GR[u.s2&127]
+						m.NaT[u.d&127] = m.NaT[u.s1&127] || m.NaT[u.s2&127]
+					}
+					cycles += cMulDiv
+					byClass[u.class] += cMulDiv
+				case uDiv:
+					v := m.GR[u.s2&127]
+					if v == 0 {
+						return m.blockAbort(b, i, cycles, TrapDivZero, 0, 0, nil)
+					}
+					if u.d != 0 {
+						m.GR[u.d&127] = m.GR[u.s1&127] / v
+						m.NaT[u.d&127] = m.NaT[u.s1&127] || m.NaT[u.s2&127]
+					}
+					cycles += cMulDiv
+					byClass[u.class] += cMulDiv
+				case uRem:
+					v := m.GR[u.s2&127]
+					if v == 0 {
+						return m.blockAbort(b, i, cycles, TrapDivZero, 0, 0, nil)
+					}
+					if u.d != 0 {
+						m.GR[u.d&127] = m.GR[u.s1&127] % v
+						m.NaT[u.d&127] = m.NaT[u.s1&127] || m.NaT[u.s2&127]
+					}
+					cycles += cMulDiv
+					byClass[u.class] += cMulDiv
+				case uAddi:
+					if u.d != 0 {
+						m.GR[u.d&127] = m.GR[u.s1&127] + u.imm
+						m.NaT[u.d&127] = m.NaT[u.s1&127]
+					}
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uAndi:
+					if u.d != 0 {
+						m.GR[u.d&127] = m.GR[u.s1&127] & u.imm
+						m.NaT[u.d&127] = m.NaT[u.s1&127]
+					}
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uOri:
+					if u.d != 0 {
+						m.GR[u.d&127] = m.GR[u.s1&127] | u.imm
+						m.NaT[u.d&127] = m.NaT[u.s1&127]
+					}
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uXori:
+					if u.d != 0 {
+						m.GR[u.d&127] = m.GR[u.s1&127] ^ u.imm
+						m.NaT[u.d&127] = m.NaT[u.s1&127]
+					}
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uShli:
+					if u.d != 0 {
+						m.GR[u.d&127] = m.GR[u.s1&127] << (uint64(u.imm) & 63)
+						m.NaT[u.d&127] = m.NaT[u.s1&127]
+					}
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uShri:
+					if u.d != 0 {
+						m.GR[u.d&127] = int64(uint64(m.GR[u.s1&127]) >> (uint64(u.imm) & 63))
+						m.NaT[u.d&127] = m.NaT[u.s1&127]
+					}
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uSari:
+					if u.d != 0 {
+						m.GR[u.d&127] = m.GR[u.s1&127] >> (uint64(u.imm) & 63)
+						m.NaT[u.d&127] = m.NaT[u.s1&127]
+					}
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uMov:
+					if u.d != 0 {
+						m.GR[u.d&127] = m.GR[u.s1&127]
+						m.NaT[u.d&127] = m.NaT[u.s1&127]
+					}
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uMovl:
+					if u.d != 0 {
+						m.GR[u.d&127] = u.imm
+						m.NaT[u.d&127] = false
+					}
+					cycles += cMovl
+					byClass[u.class] += cMovl
+				case uCmp:
+					if m.NaT[u.s1&127] || m.NaT[u.s2&127] {
+						// NaT-sensitive: clear both predicate targets so
+						// neither branch direction commits state (§3.1).
+						if u.p1 != 0 {
+							m.PR[u.p1&63] = false
+						}
+						if u.p2 != 0 {
+							m.PR[u.p2&63] = false
+						}
+					} else {
+						r := u.cond.Eval(m.GR[u.s1&127], m.GR[u.s2&127])
+						if u.p1 != 0 {
+							m.PR[u.p1&63] = r
+						}
+						if u.p2 != 0 {
+							m.PR[u.p2&63] = !r
+						}
+					}
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uCmpi:
+					if m.NaT[u.s1&127] {
+						if u.p1 != 0 {
+							m.PR[u.p1&63] = false
+						}
+						if u.p2 != 0 {
+							m.PR[u.p2&63] = false
+						}
+					} else {
+						r := u.cond.Eval(m.GR[u.s1&127], u.imm)
+						if u.p1 != 0 {
+							m.PR[u.p1&63] = r
+						}
+						if u.p2 != 0 {
+							m.PR[u.p2&63] = !r
+						}
+					}
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uCmpNa, uCmpiNa:
+					if !m.Feat.NaTAwareCmp {
+						return m.blockAbort(b, i, cycles, TrapIllegal, 0, 0,
+							fmt.Errorf("cmp.na requires the NaT-aware-compare enhancement"))
+					}
+					v := u.imm
+					if u.kind == uCmpNa {
+						v = m.GR[u.s2&127]
+					}
+					r := u.cond.Eval(m.GR[u.s1&127], v)
+					if u.p1 != 0 {
+						m.PR[u.p1&63] = r
+					}
+					if u.p2 != 0 {
+						m.PR[u.p2&63] = !r
+					}
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uTnat:
+					nat := m.NaT[u.s1&127]
+					if u.p1 != 0 {
+						m.PR[u.p1&63] = nat
+					}
+					if u.p2 != 0 {
+						m.PR[u.p2&63] = !nat
+					}
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uLd8:
+					if m.NaT[u.s1&127] {
+						return m.blockAbort(b, i, cycles, TrapNaTLoadAddr, uint64(m.GR[u.s1&127]), u.s1, nil)
+					}
+					addr := uint64(m.GR[u.s1&127])
+					v, missed, f := mm.Read8Miss(addr)
+					if f != nil {
+						return m.blockAbort(b, i, cycles, TrapMemFault, addr, 0, f)
+					}
+					// A plain load always clears the destination's NaT
+					// bit — the behaviour SHIFT exploits to strip a
+					// token (§4.1).
+					if u.d != 0 {
+						m.GR[u.d&127] = int64(v)
+						m.NaT[u.d&127] = false
+					}
+					c := cLd
+					if missed {
+						c += cLdMiss
+					}
+					cycles += c
+					byClass[u.class] += c
+				case uLd4:
+					if m.NaT[u.s1&127] {
+						return m.blockAbort(b, i, cycles, TrapNaTLoadAddr, uint64(m.GR[u.s1&127]), u.s1, nil)
+					}
+					addr := uint64(m.GR[u.s1&127])
+					v, missed, f := mm.Read4Miss(addr)
+					if f != nil {
+						return m.blockAbort(b, i, cycles, TrapMemFault, addr, 0, f)
+					}
+					if u.d != 0 {
+						m.GR[u.d&127] = int64(v)
+						m.NaT[u.d&127] = false
+					}
+					c := cLd
+					if missed {
+						c += cLdMiss
+					}
+					cycles += c
+					byClass[u.class] += c
+				case uLd2:
+					if m.NaT[u.s1&127] {
+						return m.blockAbort(b, i, cycles, TrapNaTLoadAddr, uint64(m.GR[u.s1&127]), u.s1, nil)
+					}
+					addr := uint64(m.GR[u.s1&127])
+					v, missed, f := mm.Read2Miss(addr)
+					if f != nil {
+						return m.blockAbort(b, i, cycles, TrapMemFault, addr, 0, f)
+					}
+					if u.d != 0 {
+						m.GR[u.d&127] = int64(v)
+						m.NaT[u.d&127] = false
+					}
+					c := cLd
+					if missed {
+						c += cLdMiss
+					}
+					cycles += c
+					byClass[u.class] += c
+				case uLd1:
+					if m.NaT[u.s1&127] {
+						return m.blockAbort(b, i, cycles, TrapNaTLoadAddr, uint64(m.GR[u.s1&127]), u.s1, nil)
+					}
+					addr := uint64(m.GR[u.s1&127])
+					v, missed, f := mm.Read1Miss(addr)
+					if f != nil {
+						return m.blockAbort(b, i, cycles, TrapMemFault, addr, 0, f)
+					}
+					if u.d != 0 {
+						m.GR[u.d&127] = int64(v)
+						m.NaT[u.d&127] = false
+					}
+					c := cLd
+					if missed {
+						c += cLdMiss
+					}
+					cycles += c
+					byClass[u.class] += c
+				case uLdS8, uLdS4, uLdS2, uLdS1:
+					// Control-speculative load: faults (including a
+					// NaT'd address) become a deferred-exception token
+					// instead of a trap. Deferral is not free: the
+					// failed access runs to completion first.
+					if m.NaT[u.s1&127] {
+						if u.d != 0 {
+							m.GR[u.d&127] = 0
+							m.NaT[u.d&127] = true
+						}
+						cycles += cLd + cDefer
+						byClass[u.class] += cLd + cDefer
+						break
+					}
+					addr := uint64(m.GR[u.s1&127])
+					var v uint64
+					var missed bool
+					var fault error
+					switch u.kind {
+					case uLdS8:
+						r, mi, f := mm.Read8Miss(addr)
+						v, missed = r, mi
+						if f != nil {
+							fault = f
+						}
+					case uLdS4:
+						r, mi, f := mm.Read4Miss(addr)
+						v, missed = r, mi
+						if f != nil {
+							fault = f
+						}
+					case uLdS2:
+						r, mi, f := mm.Read2Miss(addr)
+						v, missed = r, mi
+						if f != nil {
+							fault = f
+						}
+					default:
+						r, mi, f := mm.Read1Miss(addr)
+						v, missed = r, mi
+						if f != nil {
+							fault = f
+						}
+					}
+					if fault != nil {
+						if u.d != 0 {
+							m.GR[u.d&127] = 0
+							m.NaT[u.d&127] = true
+						}
+						cycles += cLd + cDefer
+						byClass[u.class] += cLd + cDefer
+						break
+					}
+					if u.d != 0 {
+						m.GR[u.d&127] = int64(v)
+						m.NaT[u.d&127] = false
+					}
+					c := cLd
+					if missed {
+						c += cLdMiss
+					}
+					cycles += c
+					byClass[u.class] += c
+				case uLdFill:
+					if m.NaT[u.s1&127] {
+						return m.blockAbort(b, i, cycles, TrapNaTLoadAddr, uint64(m.GR[u.s1&127]), u.s1, nil)
+					}
+					addr := uint64(m.GR[u.s1&127])
+					v, missed, f := mm.Read8Miss(addr)
+					if f != nil {
+						return m.blockAbort(b, i, cycles, TrapMemFault, addr, 0, f)
+					}
+					if u.d != 0 {
+						m.GR[u.d&127] = int64(v)
+						m.NaT[u.d&127] = m.UNAT>>uint(u.bit)&1 != 0
+					}
+					c := cLd + cSpillFill
+					if missed {
+						c += cLdMiss
+					}
+					cycles += c
+					byClass[u.class] += c
+				case uSt8:
+					if m.NaT[u.s1&127] {
+						return m.blockAbort(b, i, cycles, TrapNaTStoreAddr, uint64(m.GR[u.s1&127]), u.s1, nil)
+					}
+					if m.NaT[u.s2&127] {
+						// Plain stores may not consume a token (§2.2).
+						return m.blockAbort(b, i, cycles, TrapNaTStoreData, uint64(m.GR[u.s1&127]), u.s2, nil)
+					}
+					addr := uint64(m.GR[u.s1&127])
+					if f := mm.Write8(addr, uint64(m.GR[u.s2&127])); f != nil {
+						return m.blockAbort(b, i, cycles, TrapMemFault, addr, 0, f)
+					}
+					cycles += cSt
+					byClass[u.class] += cSt
+				case uSt4:
+					if m.NaT[u.s1&127] {
+						return m.blockAbort(b, i, cycles, TrapNaTStoreAddr, uint64(m.GR[u.s1&127]), u.s1, nil)
+					}
+					if m.NaT[u.s2&127] {
+						return m.blockAbort(b, i, cycles, TrapNaTStoreData, uint64(m.GR[u.s1&127]), u.s2, nil)
+					}
+					addr := uint64(m.GR[u.s1&127])
+					if f := mm.Write4(addr, uint64(m.GR[u.s2&127])); f != nil {
+						return m.blockAbort(b, i, cycles, TrapMemFault, addr, 0, f)
+					}
+					cycles += cSt
+					byClass[u.class] += cSt
+				case uSt2:
+					if m.NaT[u.s1&127] {
+						return m.blockAbort(b, i, cycles, TrapNaTStoreAddr, uint64(m.GR[u.s1&127]), u.s1, nil)
+					}
+					if m.NaT[u.s2&127] {
+						return m.blockAbort(b, i, cycles, TrapNaTStoreData, uint64(m.GR[u.s1&127]), u.s2, nil)
+					}
+					addr := uint64(m.GR[u.s1&127])
+					if f := mm.Write2(addr, uint64(m.GR[u.s2&127])); f != nil {
+						return m.blockAbort(b, i, cycles, TrapMemFault, addr, 0, f)
+					}
+					cycles += cSt
+					byClass[u.class] += cSt
+				case uSt1:
+					if m.NaT[u.s1&127] {
+						return m.blockAbort(b, i, cycles, TrapNaTStoreAddr, uint64(m.GR[u.s1&127]), u.s1, nil)
+					}
+					if m.NaT[u.s2&127] {
+						return m.blockAbort(b, i, cycles, TrapNaTStoreData, uint64(m.GR[u.s1&127]), u.s2, nil)
+					}
+					addr := uint64(m.GR[u.s1&127])
+					if f := mm.Write1(addr, uint64(m.GR[u.s2&127])); f != nil {
+						return m.blockAbort(b, i, cycles, TrapMemFault, addr, 0, f)
+					}
+					cycles += cSt
+					byClass[u.class] += cSt
+				case uStSpill:
+					// st8.spill tolerates NaT'd *data* (the bit goes to
+					// UNAT), but the address must still be clean.
+					if m.NaT[u.s1&127] {
+						return m.blockAbort(b, i, cycles, TrapNaTStoreAddr, uint64(m.GR[u.s1&127]), u.s1, nil)
+					}
+					addr := uint64(m.GR[u.s1&127])
+					if f := mm.Write8(addr, uint64(m.GR[u.s2&127])); f != nil {
+						return m.blockAbort(b, i, cycles, TrapMemFault, addr, 0, f)
+					}
+					if m.NaT[u.s2&127] {
+						m.UNAT |= 1 << uint(u.bit)
+					} else {
+						m.UNAT &^= 1 << uint(u.bit)
+					}
+					cycles += cSt + cSpillFill
+					byClass[u.class] += cSt + cSpillFill
+				case uMovToBr:
+					if m.NaT[u.s1&127] {
+						// The L3 hardware event: tainted data may not
+						// reach the registers that control transfer of
+						// control.
+						return m.blockAbort(b, i, cycles, TrapNaTBranch, 0, u.s1, nil)
+					}
+					m.BR[u.b&7] = m.GR[u.s1&127]
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uMovFromBr:
+					if u.d != 0 {
+						m.GR[u.d&127] = m.BR[u.b&7]
+						m.NaT[u.d&127] = false
+					}
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uMovToUnat:
+					if m.NaT[u.s1&127] {
+						return m.blockAbort(b, i, cycles, TrapNaTBranch, 0, u.s1, nil)
+					}
+					m.UNAT = uint64(m.GR[u.s1&127])
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uMovFromUnat:
+					if u.d != 0 {
+						m.GR[u.d&127] = int64(m.UNAT)
+						m.NaT[u.d&127] = false
+					}
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uMovToCcv:
+					if m.NaT[u.s1&127] {
+						return m.blockAbort(b, i, cycles, TrapNaTBranch, 0, u.s1, nil)
+					}
+					m.CCV = uint64(m.GR[u.s1&127])
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uMovFromCcv:
+					if u.d != 0 {
+						m.GR[u.d&127] = int64(m.CCV)
+						m.NaT[u.d&127] = false
+					}
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uCmpxchg:
+					if m.NaT[u.s1&127] {
+						return m.blockAbort(b, i, cycles, TrapNaTStoreAddr, uint64(m.GR[u.s1&127]), u.s1, nil)
+					}
+					if m.NaT[u.s2&127] {
+						return m.blockAbort(b, i, cycles, TrapNaTStoreData, uint64(m.GR[u.s1&127]), u.s2, nil)
+					}
+					addr := uint64(m.GR[u.s1&127])
+					old, missed, f := mm.ReadMiss(addr, int(u.bit))
+					if f != nil {
+						return m.blockAbort(b, i, cycles, TrapMemFault, addr, 0, f)
+					}
+					if old == m.CCV {
+						if f := mm.Write(addr, int(u.bit), uint64(m.GR[u.s2&127])); f != nil {
+							return m.blockAbort(b, i, cycles, TrapMemFault, addr, 0, f)
+						}
+					}
+					if u.d != 0 {
+						m.GR[u.d&127] = int64(old)
+						m.NaT[u.d&127] = false
+					}
+					c := cLd + cSt // semaphore ops pay both halves
+					if missed {
+						c += cLdMiss
+					}
+					cycles += c
+					byClass[u.class] += c
+				case uSetNat:
+					if !m.Feat.SetClrNaT {
+						return m.blockAbort(b, i, cycles, TrapIllegal, 0, 0,
+							fmt.Errorf("setnat requires the set/clear-NaT enhancement"))
+					}
+					m.NaT[u.d&127] = u.d != isa.RegZero
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uClrNat:
+					if !m.Feat.SetClrNaT {
+						return m.blockAbort(b, i, cycles, TrapIllegal, 0, 0,
+							fmt.Errorf("clrnat requires the set/clear-NaT enhancement"))
+					}
+					m.NaT[u.d&127] = false
+					cycles += cALU
+					byClass[u.class] += cALU
+				case uNop:
+					cycles += cNop
+					byClass[u.class] += cNop
+				default:
+					return m.blockAbort(b, i, cycles, TrapIllegal, 0, 0,
+						fmt.Errorf("undefined opcode"))
+				}
+			}
+			if cycles >= sliceEnd && (b.preempt[i] || unsafePre) {
+				// Tag-coherent quantum expiry, at exactly the boundary
+				// the interpreter's bottom-of-loop test would pick.
+				m.PC = entry + i + 1
+				m.Retired += uint64(i + 1)
+				m.Cycles = cycles
+				return nil
+			}
+		}
+
+		// Straight-line ops done; materialize state at the terminator
+		// (the OS model reads PC, Retired and Cycles, and a trapping
+		// terminator must leave interpreter-identical state).
+		m.PC = entry + steps
+		m.Retired += uint64(b.n)
+		if !b.term {
+			// Fell off the end of the text mid-chain; the top-of-loop
+			// check classifies the out-of-range PC. The slice check for
+			// the final op already ran inside the loop.
+			continue
+		}
+		u := &uops[steps]
+		npc := entry + steps + 1
+		if u.qp != 0 && !m.PR[u.qp&63] {
+			cycles += cPredOff
+			byClass[u.class] += cPredOff
+		} else {
+			switch u.kind {
+			case uBr:
+				npc = int(u.tgt)
+				cycles += cBr
+				byClass[u.class] += cBr
+			case uBrCall:
+				m.BR[u.b&7] = int64(entry + steps + 1)
+				npc = int(u.tgt)
+				cycles += cBr
+				byClass[u.class] += cBr
+			case uBrRet, uBrInd:
+				npc = int(m.BR[u.b&7])
+				cycles += cBr
+				byClass[u.class] += cBr
+			case uChkS:
+				if m.NaT[u.s1&127] {
+					npc = int(u.tgt)
+					cycles += cBr
+					byClass[u.class] += cBr
+				} else {
+					cycles += cChk
+					byClass[u.class] += cChk
+				}
+			case uSyscall:
+				if m.OS == nil {
+					m.Cycles = cycles
+					return &Trap{Kind: TrapHostError, PC: m.PC, Ins: b.ins[steps].String(),
+						Err: fmt.Errorf("no syscall handler installed")}
+				}
+				// The handler observes fully materialized state, cycles
+				// included (trace timestamps, world time).
+				m.Cycles = cycles + cSyscall
+				byClass[u.class] += cSyscall
+				extra, trap := m.OS.Syscall(m, u.imm)
+				m.Cycles += extra
+				byClass[u.class] += extra
+				cycles = m.Cycles
+				if trap != nil {
+					return trap
+				}
+			}
+		}
+		m.PC = npc
+		if m.Halted || m.YieldReq {
+			m.Cycles = cycles
+			return nil
+		}
+		if cycles >= sliceEnd && (unsafePre || uint(npc) >= textLen || text[npc].Class == isa.ClassOrig) {
+			m.Cycles = cycles
+			return nil
+		}
+	}
+}
+
+// execBlocksCareful is the block engine's slice loop when a StepHook or
+// Stats collector is attached: same compiled blocks, walked one
+// micro-op at a time with eager PC/Retired/Cycles and PreStep/PostStep
+// exactly where the interpreter fires them. Compile once, don't
+// reinterpret — the hooked flavor shares the translation cache with the
+// fast path.
+func (m *Machine) execBlocksCareful(text []isa.Instruction, budget, sliceEnd uint64) *Trap {
+	tc := m.translations(text)
+	for {
+		if uint(m.PC) >= uint(len(text)) {
+			if m.PC == HaltPC {
+				m.Halt(m.GR[isa.RegRet])
+				return nil
+			}
+			return &Trap{Kind: TrapBadPC, PC: m.PC, Ins: "<none>"}
+		}
+		b := tc.lookup(m, m.PC)
+		if m.Retired+uint64(b.n) > budget {
+			return m.exec(text, budget, sliceEnd, false)
+		}
+		trap, done := m.runBlockCareful(b, text, sliceEnd)
+		if trap != nil || done {
+			return trap
+		}
+	}
+}
+
+// runBlockCareful executes one compiled block with full per-instruction
+// fidelity. done reports a slice exit (halt, yield, quantum expiry);
+// (nil, false) means fall through to the next block.
+func (m *Machine) runBlockCareful(b *block, text []isa.Instruction, sliceEnd uint64) (trap *Trap, done bool) {
+	for i := 0; i < b.n; i++ {
+		ins := b.ins[i]
+		pc := b.entry + i
+		m.PC = pc
+		m.Retired++
+		if st := m.Stats; st != nil {
+			st.RetiredByOp[ins.Op]++
+			if st.Profile != nil {
+				st.Profile[pc]++
+			}
+		}
+		h := m.Hook
+		if h != nil {
+			h.PreStep(m, ins)
+		}
+		// Straight-line ops fall through; terminator micro-ops overwrite.
+		m.nextPC = pc + 1
+		if t := m.stepUop(b, i); t != nil {
+			return t, true
+		}
+		if h != nil {
+			// PostStep observes the instruction with PC still on it, as
+			// in the interpreter (the advance happens after).
+			if err := h.PostStep(m, ins); err != nil {
+				return m.trap(TrapOracle, ins, 0, 0, err), true
+			}
+		}
+		m.PC = m.nextPC
+		if m.Halted || m.YieldReq || (m.Cycles >= sliceEnd && m.sliceBoundary(text)) {
+			return nil, true
+		}
+	}
+	return nil, false
+}
+
+// stepUop executes one micro-op with eager accounting — the careful
+// driver's per-instruction block flavor. m.PC must already be at the
+// op's pc and m.nextPC preset to the fall-through successor. Every arm
+// mirrors the interpreter's switch in exec exactly; the differential
+// engine suite enforces agreement.
+func (m *Machine) stepUop(b *block, i int) *Trap {
+	u := &b.uops[i]
+	ins := b.ins[i]
+	c := &m.Costs
+	if u.qp != 0 && !m.PR[u.qp&63] {
+		m.charge(ins, c.PredOff)
+		return nil
+	}
+	switch u.kind {
+	case uAdd:
+		m.setGR(u.d, m.GR[u.s1&127]+m.GR[u.s2&127], m.NaT[u.s1&127] || m.NaT[u.s2&127])
+		m.charge(ins, c.ALU)
+	case uSub:
+		m.setGR(u.d, m.GR[u.s1&127]-m.GR[u.s2&127], m.NaT[u.s1&127] || m.NaT[u.s2&127])
+		m.charge(ins, c.ALU)
+	case uClear:
+		m.setGR(u.d, 0, false)
+		m.charge(ins, c.ALU)
+	case uAnd:
+		m.setGR(u.d, m.GR[u.s1&127]&m.GR[u.s2&127], m.NaT[u.s1&127] || m.NaT[u.s2&127])
+		m.charge(ins, c.ALU)
+	case uAndcm:
+		m.setGR(u.d, m.GR[u.s1&127]&^m.GR[u.s2&127], m.NaT[u.s1&127] || m.NaT[u.s2&127])
+		m.charge(ins, c.ALU)
+	case uOr:
+		m.setGR(u.d, m.GR[u.s1&127]|m.GR[u.s2&127], m.NaT[u.s1&127] || m.NaT[u.s2&127])
+		m.charge(ins, c.ALU)
+	case uXor:
+		m.setGR(u.d, m.GR[u.s1&127]^m.GR[u.s2&127], m.NaT[u.s1&127] || m.NaT[u.s2&127])
+		m.charge(ins, c.ALU)
+	case uShl:
+		m.setGR(u.d, m.GR[u.s1&127]<<(uint64(m.GR[u.s2&127])&63), m.NaT[u.s1&127] || m.NaT[u.s2&127])
+		m.charge(ins, c.ALU)
+	case uShr:
+		m.setGR(u.d, int64(uint64(m.GR[u.s1&127])>>(uint64(m.GR[u.s2&127])&63)), m.NaT[u.s1&127] || m.NaT[u.s2&127])
+		m.charge(ins, c.ALU)
+	case uSar:
+		m.setGR(u.d, m.GR[u.s1&127]>>(uint64(m.GR[u.s2&127])&63), m.NaT[u.s1&127] || m.NaT[u.s2&127])
+		m.charge(ins, c.ALU)
+	case uMul:
+		m.setGR(u.d, m.GR[u.s1&127]*m.GR[u.s2&127], m.NaT[u.s1&127] || m.NaT[u.s2&127])
+		m.charge(ins, c.MulDiv)
+	case uDiv:
+		v := m.GR[u.s2&127]
+		if v == 0 {
+			return m.trap(TrapDivZero, ins, 0, 0, nil)
+		}
+		m.setGR(u.d, m.GR[u.s1&127]/v, m.NaT[u.s1&127] || m.NaT[u.s2&127])
+		m.charge(ins, c.MulDiv)
+	case uRem:
+		v := m.GR[u.s2&127]
+		if v == 0 {
+			return m.trap(TrapDivZero, ins, 0, 0, nil)
+		}
+		m.setGR(u.d, m.GR[u.s1&127]%v, m.NaT[u.s1&127] || m.NaT[u.s2&127])
+		m.charge(ins, c.MulDiv)
+	case uAddi:
+		m.setGR(u.d, m.GR[u.s1&127]+u.imm, m.NaT[u.s1&127])
+		m.charge(ins, c.ALU)
+	case uAndi:
+		m.setGR(u.d, m.GR[u.s1&127]&u.imm, m.NaT[u.s1&127])
+		m.charge(ins, c.ALU)
+	case uOri:
+		m.setGR(u.d, m.GR[u.s1&127]|u.imm, m.NaT[u.s1&127])
+		m.charge(ins, c.ALU)
+	case uXori:
+		m.setGR(u.d, m.GR[u.s1&127]^u.imm, m.NaT[u.s1&127])
+		m.charge(ins, c.ALU)
+	case uShli:
+		m.setGR(u.d, m.GR[u.s1&127]<<(uint64(u.imm)&63), m.NaT[u.s1&127])
+		m.charge(ins, c.ALU)
+	case uShri:
+		m.setGR(u.d, int64(uint64(m.GR[u.s1&127])>>(uint64(u.imm)&63)), m.NaT[u.s1&127])
+		m.charge(ins, c.ALU)
+	case uSari:
+		m.setGR(u.d, m.GR[u.s1&127]>>(uint64(u.imm)&63), m.NaT[u.s1&127])
+		m.charge(ins, c.ALU)
+	case uMov:
+		m.setGR(u.d, m.GR[u.s1&127], m.NaT[u.s1&127])
+		m.charge(ins, c.ALU)
+	case uMovl:
+		m.setGR(u.d, u.imm, false)
+		m.charge(ins, c.Movl)
+	case uCmp:
+		if m.NaT[u.s1&127] || m.NaT[u.s2&127] {
+			m.setPR(u.p1, false)
+			m.setPR(u.p2, false)
+		} else {
+			r := u.cond.Eval(m.GR[u.s1&127], m.GR[u.s2&127])
+			m.setPR(u.p1, r)
+			m.setPR(u.p2, !r)
+		}
+		m.charge(ins, c.ALU)
+	case uCmpi:
+		if m.NaT[u.s1&127] {
+			m.setPR(u.p1, false)
+			m.setPR(u.p2, false)
+		} else {
+			r := u.cond.Eval(m.GR[u.s1&127], u.imm)
+			m.setPR(u.p1, r)
+			m.setPR(u.p2, !r)
+		}
+		m.charge(ins, c.ALU)
+	case uCmpNa, uCmpiNa:
+		if !m.Feat.NaTAwareCmp {
+			return m.trap(TrapIllegal, ins, 0, 0, fmt.Errorf("cmp.na requires the NaT-aware-compare enhancement"))
+		}
+		v := u.imm
+		if u.kind == uCmpNa {
+			v = m.GR[u.s2&127]
+		}
+		r := u.cond.Eval(m.GR[u.s1&127], v)
+		m.setPR(u.p1, r)
+		m.setPR(u.p2, !r)
+		m.charge(ins, c.ALU)
+	case uTnat:
+		m.setPR(u.p1, m.NaT[u.s1&127])
+		m.setPR(u.p2, !m.NaT[u.s1&127])
+		m.charge(ins, c.ALU)
+	case uLd8, uLd4, uLd2, uLd1:
+		if m.NaT[u.s1&127] {
+			return m.trap(TrapNaTLoadAddr, ins, uint64(m.GR[u.s1&127]), u.s1, nil)
+		}
+		addr := uint64(m.GR[u.s1&127])
+		v, missed, fault := m.read(addr, int(ins.Size))
+		if fault != nil {
+			return m.trap(TrapMemFault, ins, addr, 0, fault)
+		}
+		m.setGR(u.d, int64(v), false)
+		m.chargeLoad(ins, missed)
+	case uLdS8, uLdS4, uLdS2, uLdS1:
+		if m.NaT[u.s1&127] {
+			m.setGR(u.d, 0, true)
+			m.charge(ins, c.Ld+c.Defer)
+			break
+		}
+		addr := uint64(m.GR[u.s1&127])
+		v, missed, fault := m.read(addr, int(ins.Size))
+		if fault != nil {
+			m.setGR(u.d, 0, true)
+			m.charge(ins, c.Ld+c.Defer)
+			break
+		}
+		m.setGR(u.d, int64(v), false)
+		m.chargeLoad(ins, missed)
+	case uLdFill:
+		if m.NaT[u.s1&127] {
+			return m.trap(TrapNaTLoadAddr, ins, uint64(m.GR[u.s1&127]), u.s1, nil)
+		}
+		addr := uint64(m.GR[u.s1&127])
+		v, missed, fault := m.read(addr, 8)
+		if fault != nil {
+			return m.trap(TrapMemFault, ins, addr, 0, fault)
+		}
+		m.setGR(u.d, int64(v), m.UNAT>>uint(u.bit)&1 != 0)
+		m.chargeLoad(ins, missed)
+		m.charge(ins, c.SpillFill)
+	case uSt8, uSt4, uSt2, uSt1:
+		if m.NaT[u.s1&127] {
+			return m.trap(TrapNaTStoreAddr, ins, uint64(m.GR[u.s1&127]), u.s1, nil)
+		}
+		if m.NaT[u.s2&127] {
+			return m.trap(TrapNaTStoreData, ins, uint64(m.GR[u.s1&127]), u.s2, nil)
+		}
+		addr := uint64(m.GR[u.s1&127])
+		if fault := m.Mem.Write(addr, int(ins.Size), uint64(m.GR[u.s2&127])); fault != nil {
+			return m.trap(TrapMemFault, ins, addr, 0, fault)
+		}
+		m.charge(ins, c.St)
+	case uStSpill:
+		if m.NaT[u.s1&127] {
+			return m.trap(TrapNaTStoreAddr, ins, uint64(m.GR[u.s1&127]), u.s1, nil)
+		}
+		addr := uint64(m.GR[u.s1&127])
+		if fault := m.Mem.Write(addr, 8, uint64(m.GR[u.s2&127])); fault != nil {
+			return m.trap(TrapMemFault, ins, addr, 0, fault)
+		}
+		if m.NaT[u.s2&127] {
+			m.UNAT |= 1 << uint(u.bit)
+		} else {
+			m.UNAT &^= 1 << uint(u.bit)
+		}
+		m.charge(ins, c.St+c.SpillFill)
+	case uChkS:
+		if m.NaT[u.s1&127] {
+			m.nextPC = int(u.tgt)
+			m.charge(ins, c.Br)
+		} else {
+			m.charge(ins, c.Chk)
+		}
+	case uBr:
+		m.nextPC = int(u.tgt)
+		m.charge(ins, c.Br)
+	case uBrCall:
+		m.BR[u.b&7] = int64(m.PC + 1)
+		m.nextPC = int(u.tgt)
+		m.charge(ins, c.Br)
+	case uBrRet, uBrInd:
+		m.nextPC = int(m.BR[u.b&7])
+		m.charge(ins, c.Br)
+	case uMovToBr:
+		if m.NaT[u.s1&127] {
+			return m.trap(TrapNaTBranch, ins, 0, u.s1, nil)
+		}
+		m.BR[u.b&7] = m.GR[u.s1&127]
+		m.charge(ins, c.ALU)
+	case uMovFromBr:
+		m.setGR(u.d, m.BR[u.b&7], false)
+		m.charge(ins, c.ALU)
+	case uMovToUnat:
+		if m.NaT[u.s1&127] {
+			return m.trap(TrapNaTBranch, ins, 0, u.s1, nil)
+		}
+		m.UNAT = uint64(m.GR[u.s1&127])
+		m.charge(ins, c.ALU)
+	case uMovFromUnat:
+		m.setGR(u.d, int64(m.UNAT), false)
+		m.charge(ins, c.ALU)
+	case uMovToCcv:
+		if m.NaT[u.s1&127] {
+			return m.trap(TrapNaTBranch, ins, 0, u.s1, nil)
+		}
+		m.CCV = uint64(m.GR[u.s1&127])
+		m.charge(ins, c.ALU)
+	case uMovFromCcv:
+		m.setGR(u.d, int64(m.CCV), false)
+		m.charge(ins, c.ALU)
+	case uCmpxchg:
+		if m.NaT[u.s1&127] {
+			return m.trap(TrapNaTStoreAddr, ins, uint64(m.GR[u.s1&127]), u.s1, nil)
+		}
+		if m.NaT[u.s2&127] {
+			return m.trap(TrapNaTStoreData, ins, uint64(m.GR[u.s1&127]), u.s2, nil)
+		}
+		addr := uint64(m.GR[u.s1&127])
+		old, missed, fault := m.read(addr, int(ins.Size))
+		if fault != nil {
+			return m.trap(TrapMemFault, ins, addr, 0, fault)
+		}
+		if old == m.CCV {
+			if fault := m.Mem.Write(addr, int(ins.Size), uint64(m.GR[u.s2&127])); fault != nil {
+				return m.trap(TrapMemFault, ins, addr, 0, fault)
+			}
+		}
+		m.setGR(u.d, int64(old), false)
+		m.chargeLoad(ins, missed)
+		m.charge(ins, c.St) // semaphore ops pay both halves
+	case uSetNat:
+		if !m.Feat.SetClrNaT {
+			return m.trap(TrapIllegal, ins, 0, 0, fmt.Errorf("setnat requires the set/clear-NaT enhancement"))
+		}
+		m.NaT[u.d&127] = u.d != isa.RegZero
+		m.charge(ins, c.ALU)
+	case uClrNat:
+		if !m.Feat.SetClrNaT {
+			return m.trap(TrapIllegal, ins, 0, 0, fmt.Errorf("clrnat requires the set/clear-NaT enhancement"))
+		}
+		m.NaT[u.d&127] = false
+		m.charge(ins, c.ALU)
+	case uSyscall:
+		if m.OS == nil {
+			return m.trap(TrapHostError, ins, 0, 0, fmt.Errorf("no syscall handler installed"))
+		}
+		m.charge(ins, c.Syscall)
+		extra, trap := m.OS.Syscall(m, u.imm)
+		m.charge(ins, extra)
+		if trap != nil {
+			return trap
+		}
+	case uNop:
+		m.charge(ins, c.Nop)
+	default:
+		return m.trap(TrapIllegal, ins, 0, 0, fmt.Errorf("undefined opcode"))
+	}
+	return nil
+}

@@ -256,6 +256,29 @@ type Machine struct {
 	// load + register taint) retires without an interleaved sibling
 	// thread. The unsafe mode exists to reproduce the hazard on demand.
 	UnsafePreempt bool
+
+	// Engine selects the execution engine for Run and scheduler slices
+	// (see block.go). The zero value is the block engine; Step always
+	// uses the interpreter.
+	Engine Engine
+
+	// BlockStats counts this machine's translation-cache traffic under
+	// the block engine. Reset zeroes the counters (like Cycles/Retired);
+	// the cache itself survives.
+	BlockStats BlockStats
+
+	// nextPC is the block engine's successor-PC scratch slot: terminator
+	// micro-ops publish where control goes next, and the driver commits
+	// it to PC only after the PostStep hook has observed the instruction
+	// (matching the interpreter's PostStep-before-advance ordering).
+	nextPC int
+
+	// tc is the attached translation cache; tcText is the text slice it
+	// was last validated against (the per-slice identity fast path).
+	// Both survive Reset: compiled blocks are a property of the program
+	// text, not of one run.
+	tc     *TransCache
+	tcText []isa.Instruction
 }
 
 // Stats holds the optional accounting a Machine only pays for when a
@@ -297,10 +320,13 @@ func New(p *isa.Program, m *mem.Memory) *Machine {
 // Reset rewinds execution state (registers, accounting) but not memory.
 // The Stats collector survives with its counters zeroed: EnableStats and
 // EnableProfile express a standing request for accounting, not a
-// per-run one, so a Reset must not silently turn them off.
+// per-run one, so a Reset must not silently turn them off. The engine
+// selection and translation cache survive for the same reason — the
+// cache holds compiled program text, which a Reset does not change, so
+// dropping it would force a full recompile on every rerun.
 func (m *Machine) Reset() {
 	st := m.Stats
-	*m = Machine{Prog: m.Prog, Mem: m.Mem, OS: m.OS, Feat: m.Feat, Costs: m.Costs, Budget: m.Budget, TID: m.TID, Hook: m.Hook, UnsafePreempt: m.UnsafePreempt, Stats: st}
+	*m = Machine{Prog: m.Prog, Mem: m.Mem, OS: m.OS, Feat: m.Feat, Costs: m.Costs, Budget: m.Budget, TID: m.TID, Hook: m.Hook, UnsafePreempt: m.UnsafePreempt, Stats: st, Engine: m.Engine, tc: m.tc, tcText: m.tcText}
 	if st != nil {
 		prof := st.Profile
 		*st = Stats{}
@@ -359,10 +385,20 @@ func (m *Machine) Step() *Trap {
 // the instruction disassembly carried in Trap.Ins — happens only on paths
 // where a trap actually escapes, so the common path allocates nothing.
 func (m *Machine) exec(text []isa.Instruction, budget, sliceEnd uint64, single bool) *Trap {
+	// Loop-invariant state is hoisted once per slice instead of re-read
+	// per retirement: the hook, stats collector, preemption mode and cost
+	// table are all fixed before a run starts (budget resolution is
+	// likewise per-slice — the callers pass it in). The slice-boundary
+	// test at the bottom uses the hoisted copies inline.
+	n := uint(len(text))
+	st := m.Stats
+	h := m.Hook
+	unsafePre := m.UnsafePreempt
+	c := &m.Costs
 	for {
 		// One unsigned compare covers both out-of-range directions (HaltPC
 		// is negative, so it lands here too).
-		if uint(m.PC) >= uint(len(text)) {
+		if uint(m.PC) >= n {
 			if m.PC == HaltPC {
 				m.Halt(m.GR[isa.RegRet])
 				return nil
@@ -374,33 +410,32 @@ func (m *Machine) exec(text []isa.Instruction, budget, sliceEnd uint64, single b
 		}
 		ins := &text[m.PC]
 		m.Retired++
-		if st := m.Stats; st != nil {
+		if st != nil {
 			st.RetiredByOp[ins.Op]++
 			if st.Profile != nil {
 				st.Profile[m.PC]++
 			}
 		}
-		if h := m.Hook; h != nil {
+		if h != nil {
 			h.PreStep(m, ins)
 		}
 
 		// Qualifying predicate: a predicated-off instruction consumes its
 		// fetch slot but performs no architectural work.
 		if ins.Qp != 0 && !m.PR[ins.Qp] {
-			m.charge(ins, m.Costs.PredOff)
-			if h := m.Hook; h != nil {
+			m.charge(ins, c.PredOff)
+			if h != nil {
 				if err := h.PostStep(m, ins); err != nil {
 					return m.trap(TrapOracle, ins, 0, 0, err)
 				}
 			}
 			m.PC++
-			if single || m.YieldReq || (m.Cycles >= sliceEnd && m.sliceBoundary(text)) {
+			if single || m.YieldReq || (m.Cycles >= sliceEnd && (unsafePre || uint(m.PC) >= n || text[m.PC].Class == isa.ClassOrig)) {
 				return nil
 			}
 			continue
 		}
 
-		c := &m.Costs
 		next := m.PC + 1
 
 		// ALU operations are individual case arms with the operator applied
@@ -742,13 +777,13 @@ func (m *Machine) exec(text []isa.Instruction, budget, sliceEnd uint64, single b
 			return m.trap(TrapIllegal, ins, 0, 0, fmt.Errorf("undefined opcode"))
 		}
 
-		if h := m.Hook; h != nil {
+		if h != nil {
 			if err := h.PostStep(m, ins); err != nil {
 				return m.trap(TrapOracle, ins, 0, 0, err)
 			}
 		}
 		m.PC = next
-		if single || m.Halted || m.YieldReq || (m.Cycles >= sliceEnd && m.sliceBoundary(text)) {
+		if single || m.Halted || m.YieldReq || (m.Cycles >= sliceEnd && (unsafePre || uint(m.PC) >= n || text[m.PC].Class == isa.ClassOrig)) {
 			return nil
 		}
 	}
@@ -797,15 +832,16 @@ func (m *Machine) Halt(status int64) {
 	m.ExitStatus = status
 }
 
-// Run executes until halt or trap. The budget resolution and text bounds
-// are hoisted out of the per-instruction path (Budget and Prog are fixed
-// before a run starts). Yield requests are meaningless without a
-// scheduler and do not stop the run.
+// Run executes until halt or trap on the machine's selected engine. The
+// budget resolution and text bounds are hoisted out of the
+// per-instruction path (Budget and Prog are fixed before a run starts).
+// Yield requests are meaningless without a scheduler and do not stop the
+// run.
 func (m *Machine) Run() *Trap {
 	text := m.Prog.Text
 	budget := m.resolveBudget()
 	for !m.Halted {
-		if trap := m.exec(text, budget, ^uint64(0), false); trap != nil {
+		if trap := m.slice(text, budget, ^uint64(0)); trap != nil {
 			return trap
 		}
 	}

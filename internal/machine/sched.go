@@ -47,6 +47,11 @@ func (s *Scheduler) Spawn(entry int, arg int64, sp uint64) int {
 	m.Budget = src.Budget
 	m.Hook = src.Hook
 	m.UnsafePreempt = src.UnsafePreempt
+	m.Engine = src.Engine
+	// Share the main thread's translation cache: all threads execute the
+	// same program text, so blocks compiled by any thread serve them all.
+	m.tc = src.tc
+	m.tcText = src.tcText
 	m.PC = entry
 	m.BR[0] = HaltPC // returning from the entry function halts the thread
 	m.GR[isa.RegSP] = int64(sp)
@@ -110,9 +115,9 @@ func (s *Scheduler) Run() *Trap {
 		text := m.Prog.Text
 		budget := m.resolveBudget()
 		for len(s.Threads) == 1 && !m.Halted {
-			// A spawn mid-slice ends exec only at the slice boundary, so
+			// A spawn mid-slice ends the slice only at its boundary, so
 			// the spawned thread's first slice lands where it always did.
-			if trap := m.exec(text, budget, m.Cycles+quantum, false); trap != nil {
+			if trap := m.slice(text, budget, m.Cycles+quantum); trap != nil {
 				return trap
 			}
 			m.YieldReq = false
@@ -143,7 +148,7 @@ func (s *Scheduler) Run() *Trap {
 			budget := m.resolveBudget()
 			// A spawn during this slice may have appended threads; they
 			// get their first slice on the next sweep.
-			if trap := m.exec(text, budget, sliceEnd, false); trap != nil {
+			if trap := m.slice(text, budget, sliceEnd); trap != nil {
 				return trap
 			}
 			m.YieldReq = false

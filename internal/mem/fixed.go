@@ -1,0 +1,165 @@
+// Fixed-width load/store fast paths. These are the ReadMiss/Write bodies
+// with the access size a compile-time constant: the size-validity switch
+// disappears, the alignment mask folds into the unimplemented-bits test,
+// and the width dispatch is resolved at the call site. The translated-
+// block engine binds one of these per decoded memory instruction, so the
+// per-access validation work is exactly one compare-and-branch on the
+// common path. Fault classification, cache accounting and TLB behaviour
+// are identical to the generic paths.
+package mem
+
+import "encoding/binary"
+
+// Read8Miss is ReadMiss specialized to an 8-byte access.
+func (m *Memory) Read8Miss(addr uint64) (uint64, bool, *Fault) {
+	off := addr & OffsetMask
+	b := m.bound[addr>>RegionShift]
+	if addr&(unimplMask|7) != 0 || off >= b || 8 > b-off {
+		if f := m.check(addr, 8); f != nil {
+			return 0, false, f
+		}
+	}
+	missed := false
+	if m.Cache != nil {
+		missed = !m.Cache.Access(addr)
+	}
+	p := m.frame(addr, false)
+	if p == nil {
+		return 0, missed, nil
+	}
+	base := addr & (pageSize - 1)
+	return binary.LittleEndian.Uint64(p[base : base+8]), missed, nil
+}
+
+// Read4Miss is ReadMiss specialized to a 4-byte access.
+func (m *Memory) Read4Miss(addr uint64) (uint64, bool, *Fault) {
+	off := addr & OffsetMask
+	b := m.bound[addr>>RegionShift]
+	if addr&(unimplMask|3) != 0 || off >= b || 4 > b-off {
+		if f := m.check(addr, 4); f != nil {
+			return 0, false, f
+		}
+	}
+	missed := false
+	if m.Cache != nil {
+		missed = !m.Cache.Access(addr)
+	}
+	p := m.frame(addr, false)
+	if p == nil {
+		return 0, missed, nil
+	}
+	base := addr & (pageSize - 1)
+	return uint64(binary.LittleEndian.Uint32(p[base : base+4])), missed, nil
+}
+
+// Read2Miss is ReadMiss specialized to a 2-byte access.
+func (m *Memory) Read2Miss(addr uint64) (uint64, bool, *Fault) {
+	off := addr & OffsetMask
+	b := m.bound[addr>>RegionShift]
+	if addr&(unimplMask|1) != 0 || off >= b || 2 > b-off {
+		if f := m.check(addr, 2); f != nil {
+			return 0, false, f
+		}
+	}
+	missed := false
+	if m.Cache != nil {
+		missed = !m.Cache.Access(addr)
+	}
+	p := m.frame(addr, false)
+	if p == nil {
+		return 0, missed, nil
+	}
+	base := addr & (pageSize - 1)
+	return uint64(binary.LittleEndian.Uint16(p[base : base+2])), missed, nil
+}
+
+// Read1Miss is ReadMiss specialized to a 1-byte access.
+func (m *Memory) Read1Miss(addr uint64) (uint64, bool, *Fault) {
+	off := addr & OffsetMask
+	b := m.bound[addr>>RegionShift]
+	if addr&unimplMask != 0 || off >= b {
+		if f := m.check(addr, 1); f != nil {
+			return 0, false, f
+		}
+	}
+	missed := false
+	if m.Cache != nil {
+		missed = !m.Cache.Access(addr)
+	}
+	p := m.frame(addr, false)
+	if p == nil {
+		return 0, missed, nil
+	}
+	return uint64(p[addr&(pageSize-1)]), missed, nil
+}
+
+// Write8 is Write specialized to an 8-byte access.
+func (m *Memory) Write8(addr uint64, v uint64) *Fault {
+	off := addr & OffsetMask
+	b := m.bound[addr>>RegionShift]
+	if addr&(unimplMask|7) != 0 || off >= b || 8 > b-off {
+		if f := m.check(addr, 8); f != nil {
+			return f
+		}
+	}
+	if m.Cache != nil {
+		m.Cache.Access(addr)
+	}
+	p := m.frame(addr, true)
+	base := addr & (pageSize - 1)
+	binary.LittleEndian.PutUint64(p[base:base+8], v)
+	return nil
+}
+
+// Write4 is Write specialized to a 4-byte access.
+func (m *Memory) Write4(addr uint64, v uint64) *Fault {
+	off := addr & OffsetMask
+	b := m.bound[addr>>RegionShift]
+	if addr&(unimplMask|3) != 0 || off >= b || 4 > b-off {
+		if f := m.check(addr, 4); f != nil {
+			return f
+		}
+	}
+	if m.Cache != nil {
+		m.Cache.Access(addr)
+	}
+	p := m.frame(addr, true)
+	base := addr & (pageSize - 1)
+	binary.LittleEndian.PutUint32(p[base:base+4], uint32(v))
+	return nil
+}
+
+// Write2 is Write specialized to a 2-byte access.
+func (m *Memory) Write2(addr uint64, v uint64) *Fault {
+	off := addr & OffsetMask
+	b := m.bound[addr>>RegionShift]
+	if addr&(unimplMask|1) != 0 || off >= b || 2 > b-off {
+		if f := m.check(addr, 2); f != nil {
+			return f
+		}
+	}
+	if m.Cache != nil {
+		m.Cache.Access(addr)
+	}
+	p := m.frame(addr, true)
+	base := addr & (pageSize - 1)
+	binary.LittleEndian.PutUint16(p[base:base+2], uint16(v))
+	return nil
+}
+
+// Write1 is Write specialized to a 1-byte access.
+func (m *Memory) Write1(addr uint64, v uint64) *Fault {
+	off := addr & OffsetMask
+	b := m.bound[addr>>RegionShift]
+	if addr&unimplMask != 0 || off >= b {
+		if f := m.check(addr, 1); f != nil {
+			return f
+		}
+	}
+	if m.Cache != nil {
+		m.Cache.Access(addr)
+	}
+	p := m.frame(addr, true)
+	p[addr&(pageSize-1)] = byte(v)
+	return nil
+}
