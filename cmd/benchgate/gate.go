@@ -1,0 +1,87 @@
+package main
+
+import (
+	"fmt"
+	"math"
+)
+
+// finitePositive reports whether v is a usable measurement: a real,
+// positive duration or ratio. Zero is not usable — an ns-per-op of 0
+// means the benchmark never ran (or a baseline key was missing and
+// decoded to Go's zero value), and a ratio built from it is garbage.
+func finitePositive(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0
+}
+
+// gateFailures evaluates every gate property against the measured
+// report and the checked-in baseline, returning one message per failed
+// property (empty means PASS). It is deliberately paranoid about
+// degenerate inputs: a missing baseline key decodes to 0, a division
+// blowup yields NaN or Inf, and a comparison against either silently
+// passes (NaN > x is always false) — all of those must be loud
+// failures, never a green gate.
+//
+// cores is the host's CPU count: the decoupled-pipeline speedup floor
+// only applies on hosts with at least four cores, since the pipeline
+// needs spare cores to beat inline checking at all.
+func gateFailures(rep, baseline *Report, ratioSlack, overheadMax, tagpipeFloor float64, cores int) []string {
+	var fails []string
+	bad := func(format string, args ...any) {
+		fails = append(fails, fmt.Sprintf(format, args...))
+	}
+
+	// Measurement sanity: every duration this gate divides by or
+	// compares with must be a real positive number.
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"block_ns_per_op", rep.BlockNsPerOp},
+		{"interp_ns_per_op", rep.InterpNsPerOp},
+		{"untraced_ns_per_op", rep.UntracedNsPerOp},
+	} {
+		if !finitePositive(f.v) {
+			bad("degenerate measurement: %s = %v", f.name, f.v)
+		}
+	}
+	if !finitePositive(baseline.BlockSpeedup) {
+		bad("baseline block_speedup = %v (missing key or corrupt baseline file)", baseline.BlockSpeedup)
+	}
+
+	// Property 1: block/interp speedup holds its baseline ratio.
+	if finitePositive(rep.BlockSpeedup) && finitePositive(baseline.BlockSpeedup) {
+		floor := baseline.BlockSpeedup * (1 - ratioSlack)
+		if rep.BlockSpeedup < floor {
+			bad("block/interp speedup %.3fx below floor %.3fx (baseline %.3fx - %.0f%% slack)",
+				rep.BlockSpeedup, floor, baseline.BlockSpeedup, 100*ratioSlack)
+		}
+	} else if !finitePositive(rep.BlockSpeedup) {
+		bad("degenerate ratio: block_speedup = %v", rep.BlockSpeedup)
+	}
+
+	// Property 2: the untraced path is free. NaN would compare false
+	// against any threshold, so reject it explicitly.
+	if math.IsNaN(rep.UntracedOverhead) || math.IsInf(rep.UntracedOverhead, 0) {
+		bad("degenerate ratio: untraced_overhead = %v", rep.UntracedOverhead)
+	} else if rep.UntracedOverhead > overheadMax {
+		bad("untraced overhead %.2f%% exceeds %.2f%%", 100*rep.UntracedOverhead, 100*overheadMax)
+	}
+
+	// Property 3: on a multi-core host, decoupled checking beats the
+	// inline oracle by an absolute floor. This floor is not baseline-
+	// relative — the point of the pipeline is a fixed win over inline
+	// checking, not parity with an older self.
+	if cores >= 4 && tagpipeFloor > 0 {
+		switch {
+		case !finitePositive(rep.CheckedInlineNsPerOp) || !finitePositive(rep.CheckedTagpipeNsPerOp):
+			bad("degenerate checked-run measurement: inline %v ns/op, tagpipe %v ns/op",
+				rep.CheckedInlineNsPerOp, rep.CheckedTagpipeNsPerOp)
+		case !finitePositive(rep.TagpipeSpeedup):
+			bad("degenerate ratio: tagpipe_speedup = %v", rep.TagpipeSpeedup)
+		case rep.TagpipeSpeedup < tagpipeFloor:
+			bad("decoupled checking speedup %.3fx below the %.2fx floor (inline %.0f ns/op, tagpipe %.0f ns/op)",
+				rep.TagpipeSpeedup, tagpipeFloor, rep.CheckedInlineNsPerOp, rep.CheckedTagpipeNsPerOp)
+		}
+	}
+	return fails
+}

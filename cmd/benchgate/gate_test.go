@@ -1,0 +1,119 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// goodReport is a measurement that should pass every gate.
+func goodReport() *Report {
+	return &Report{
+		BlockNsPerOp:          100,
+		InterpNsPerOp:         300,
+		UntracedNsPerOp:       101,
+		BlockSpeedup:          3.0,
+		UntracedOverhead:      0.01,
+		CheckedInlineNsPerOp:  10000,
+		CheckedTagpipeNsPerOp: 4000,
+		TagpipeSpeedup:        2.5,
+	}
+}
+
+func goodBaseline() *Report {
+	return &Report{BlockSpeedup: 3.0}
+}
+
+func gate(rep, base *Report, cores int) []string {
+	return gateFailures(rep, base, 0.05, 0.02, 1.5, cores)
+}
+
+func TestGatePassesCleanReport(t *testing.T) {
+	if fails := gate(goodReport(), goodBaseline(), 8); len(fails) != 0 {
+		t.Errorf("clean report failed the gate: %v", fails)
+	}
+}
+
+// A baseline file missing block_speedup decodes to 0, which used to
+// make the floor 0 and pass any regression. It must fail loudly now.
+func TestGateMissingBaselineKey(t *testing.T) {
+	fails := gate(goodReport(), &Report{}, 8)
+	if len(fails) == 0 {
+		t.Fatal("zero-value baseline passed the gate")
+	}
+	if !strings.Contains(strings.Join(fails, "\n"), "baseline") {
+		t.Errorf("failure does not name the baseline: %v", fails)
+	}
+}
+
+// Zero and negative ns-per-op are measurement bugs, not fast code.
+func TestGateDegenerateDurations(t *testing.T) {
+	for _, mutate := range []func(*Report){
+		func(r *Report) { r.BlockNsPerOp = 0 },
+		func(r *Report) { r.InterpNsPerOp = -5 },
+		func(r *Report) { r.UntracedNsPerOp = math.Inf(1) },
+		func(r *Report) { r.CheckedInlineNsPerOp = 0 },
+		func(r *Report) { r.CheckedTagpipeNsPerOp = -1 },
+	} {
+		rep := goodReport()
+		mutate(rep)
+		if fails := gate(rep, goodBaseline(), 8); len(fails) == 0 {
+			t.Errorf("degenerate report %+v passed the gate", rep)
+		}
+	}
+}
+
+// NaN compares false against every threshold; the gate must reject NaN
+// ratios explicitly rather than inherit a silent pass.
+func TestGateNaNRatios(t *testing.T) {
+	for _, mutate := range []func(*Report){
+		func(r *Report) { r.BlockSpeedup = math.NaN() },
+		func(r *Report) { r.UntracedOverhead = math.NaN() },
+		func(r *Report) { r.TagpipeSpeedup = math.NaN() },
+	} {
+		rep := goodReport()
+		mutate(rep)
+		fails := gate(rep, goodBaseline(), 8)
+		if len(fails) == 0 {
+			t.Errorf("NaN report %+v passed the gate", rep)
+		}
+		if !strings.Contains(strings.Join(fails, "\n"), "degenerate") {
+			t.Errorf("NaN not reported as degenerate: %v", fails)
+		}
+	}
+}
+
+func TestGateSpeedupRegression(t *testing.T) {
+	rep := goodReport()
+	rep.BlockSpeedup = 2.0 // baseline 3.0, slack 5% -> floor 2.85
+	if fails := gate(rep, goodBaseline(), 8); len(fails) != 1 {
+		t.Errorf("speedup regression: %v", fails)
+	}
+}
+
+func TestGateUntracedOverhead(t *testing.T) {
+	rep := goodReport()
+	rep.UntracedOverhead = 0.05
+	fails := gate(rep, goodBaseline(), 8)
+	if len(fails) != 1 || !strings.Contains(fails[0], "untraced") {
+		t.Errorf("overhead breach: %v", fails)
+	}
+}
+
+// The decoupled-checking floor binds on multi-core hosts only, and is
+// absolute: an old baseline without the checked fields cannot mask it.
+func TestGateTagpipeFloor(t *testing.T) {
+	rep := goodReport()
+	rep.TagpipeSpeedup = 1.2
+	fails := gate(rep, goodBaseline(), 8)
+	if len(fails) != 1 || !strings.Contains(fails[0], "floor") {
+		t.Errorf("tagpipe floor breach on 8 cores: %v", fails)
+	}
+	if fails := gate(rep, goodBaseline(), 2); len(fails) != 0 {
+		t.Errorf("tagpipe floor applied on a 2-core host: %v", fails)
+	}
+	// Disabled floor (0) never binds.
+	if fails := gateFailures(rep, goodBaseline(), 0.05, 0.02, 0, 8); len(fails) != 0 {
+		t.Errorf("disabled tagpipe floor still binds: %v", fails)
+	}
+}

@@ -8,11 +8,12 @@
 // Usage:
 //
 //	benchgate [-o BENCH_engines.json] [-baseline BENCH_engines.baseline.json]
-//	          [-best N] [-ratio-slack F] [-overhead-max F] [-check]
+//	          [-best N] [-ratio-slack F] [-overhead-max F]
+//	          [-tagpipe-floor F] [-check]
 //
 // Each configuration runs N times and the fastest run is kept (CI
 // machines are noisy; the minimum is the most stable estimator of the
-// code's actual cost). The gate checks two properties:
+// code's actual cost). The gate checks three properties:
 //
 //   - the block/interp speedup ratio must be at least (1 - ratio-slack)
 //     of the baseline ratio: the block engine must not lose ground
@@ -20,7 +21,11 @@
 //     cancels out host speed differences;
 //   - the untraced overhead — the hook-capable driver with no hook
 //     attached versus the raw block engine — must stay under
-//     overhead-max (default 2%), the observability-is-free invariant.
+//     overhead-max (default 2%), the observability-is-free invariant;
+//   - on hosts with at least four cores, a checked (instrumented,
+//     tainted) run with the decoupled tag pipeline must beat the same
+//     run with the inline lockstep oracle by tagpipe-floor (default
+//     1.5x) — an absolute floor, independent of the baseline file.
 //
 // Without -check the report is written and the gate always passes
 // (useful for refreshing the baseline: copy the output over it).
@@ -31,12 +36,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"shift/internal/asm"
 	"shift/internal/isa"
 	"shift/internal/machine"
 	"shift/internal/mem"
+	"shift/internal/shift"
 )
 
 // Report is the JSON schema of BENCH_engines.json.
@@ -52,6 +59,15 @@ type Report struct {
 	// hook-capable entry point when no hook is attached.
 	UntracedOverhead float64 `json:"untraced_overhead"`
 	GuestInstrPerRun uint64  `json:"guest_instr_per_run"`
+	// Checked-run pair: the same tainted guest workload with shadow
+	// checking inline (lockstep oracle) versus decoupled onto pipeline
+	// workers. TagpipeSpeedup is inline/tagpipe: >1 means decoupling
+	// pays. These fields are absent from older baseline files — the gate
+	// on them is an absolute floor, not baseline-relative.
+	CheckedInlineNsPerOp  float64 `json:"checked_inline_ns_per_op"`
+	CheckedTagpipeNsPerOp float64 `json:"checked_tagpipe_ns_per_op"`
+	TagpipeSpeedup        float64 `json:"tagpipe_speedup"`
+	TagpipeWorkers        int     `json:"tagpipe_workers"`
 }
 
 // benchSource is the same ALU/load/store/branch mix as the repository's
@@ -117,6 +133,53 @@ func measure(engine machine.Engine, hook machine.StepHook) (nsPerOp float64, ret
 	return float64(res.NsPerOp()), retired
 }
 
+// checkedSource is the tainted-loop workload for the checked-run pair:
+// network input (a taint source) churned through an inner loop, so the
+// instrumented binary carries real tag traffic and the checker — inline
+// oracle or decoupled pipeline — has live taint to shadow.
+const checkedSource = `
+char buf[64];
+int out[1];
+void main() {
+	int n = recv(buf, 64);
+	int i;
+	int j;
+	int acc = 0;
+	for (j = 0; j < 60; j++) {
+		for (i = 0; i < n; i++) {
+			acc += buf[i] ^ j;
+		}
+	}
+	out[0] = acc & 0xff;
+	exit(0);
+}
+`
+
+// measureChecked times one full run of the instrumented tainted-loop
+// workload per iteration. Building is hoisted out of the timed region —
+// the gate compares checking regimes, not the compiler.
+func measureChecked(opt shift.Options, input []byte) float64 {
+	prog, err := shift.Build([]shift.Source{{Name: "checked.mc", Text: checkedSource}}, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: build:", err)
+		os.Exit(1)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			world := shift.NewWorld()
+			world.NetIn = input
+			r, err := shift.Run(prog, world, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r.Trap != nil || r.Alert != nil || r.ExitStatus != 0 {
+				b.Fatalf("checked run not clean: trap=%v alert=%v exit=%d", r.Trap, r.Alert, r.ExitStatus)
+			}
+		}
+	})
+	return float64(res.NsPerOp())
+}
+
 // bestOfRounds interleaves the configurations round-robin for n rounds
 // and keeps each one's fastest observation. Interleaving matters: host
 // noise (frequency scaling, background load) comes in stretches, and
@@ -145,19 +208,34 @@ func main() {
 	bestOf := flag.Int("best", 5, "runs per configuration; the fastest is kept")
 	ratioSlack := flag.Float64("ratio-slack", 0.05, "allowed fractional loss of block/interp speedup vs the baseline")
 	overheadMax := flag.Float64("overhead-max", 0.02, "maximum untraced overhead fraction")
+	tagpipeFloor := flag.Float64("tagpipe-floor", 1.5, "minimum checked-inline/checked-decoupled speedup on hosts with >= 4 cores (0 disables)")
 	check := flag.Bool("check", false, "enforce the gate (exit 1 on regression)")
 	flag.Parse()
 
 	rep := &Report{}
+	workers := runtime.NumCPU() - 1
+	if workers < 1 {
+		workers = 1
+	} else if workers > 8 {
+		workers = 8
+	}
+	rep.TagpipeWorkers = workers
+	input := []byte("benchgate tainted network input: 0123456789abcdef0123456789abcdef")
+	inlineOpt := shift.Options{Instrument: true, Oracle: true}
+	pipedOpt := shift.Options{Instrument: true, Decoupled: workers}
 	mins, instr := bestOfRounds(*bestOf, []func() (float64, uint64){
 		func() (float64, uint64) { return measure(machine.EngineBlock, nil) },
 		func() (float64, uint64) { return measure(machine.EngineInterp, nil) },
 		func() (float64, uint64) { return measure(machine.EngineBlock, machine.StepHook(nil)) },
+		func() (float64, uint64) { return measureChecked(inlineOpt, input), 0 },
+		func() (float64, uint64) { return measureChecked(pipedOpt, input), 0 },
 	})
 	rep.BlockNsPerOp, rep.InterpNsPerOp, rep.UntracedNsPerOp = mins[0], mins[1], mins[2]
+	rep.CheckedInlineNsPerOp, rep.CheckedTagpipeNsPerOp = mins[3], mins[4]
 	rep.GuestInstrPerRun = instr
 	rep.BlockSpeedup = rep.InterpNsPerOp / rep.BlockNsPerOp
 	rep.UntracedOverhead = rep.UntracedNsPerOp/rep.BlockNsPerOp - 1
+	rep.TagpipeSpeedup = rep.CheckedInlineNsPerOp / rep.CheckedTagpipeNsPerOp
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -174,11 +252,12 @@ func main() {
 
 	fmt.Printf("benchgate: block %.0f ns/op, interp %.0f ns/op (speedup %.3fx), untraced overhead %+.2f%%\n",
 		rep.BlockNsPerOp, rep.InterpNsPerOp, rep.BlockSpeedup, 100*rep.UntracedOverhead)
+	fmt.Printf("benchgate: checked inline %.0f ns/op, decoupled (%d workers) %.0f ns/op (speedup %.3fx)\n",
+		rep.CheckedInlineNsPerOp, workers, rep.CheckedTagpipeNsPerOp, rep.TagpipeSpeedup)
 
 	if !*check {
 		return
 	}
-	failed := false
 	base, err := os.ReadFile(*baselinePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
@@ -189,18 +268,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate: baseline:", err)
 		os.Exit(1)
 	}
-	floor := baseline.BlockSpeedup * (1 - *ratioSlack)
-	if rep.BlockSpeedup < floor {
-		fmt.Fprintf(os.Stderr, "benchgate: FAIL: block/interp speedup %.3fx below floor %.3fx (baseline %.3fx - %.0f%% slack)\n",
-			rep.BlockSpeedup, floor, baseline.BlockSpeedup, 100**ratioSlack)
-		failed = true
+	fails := gateFailures(rep, &baseline, *ratioSlack, *overheadMax, *tagpipeFloor, runtime.NumCPU())
+	for _, f := range fails {
+		fmt.Fprintln(os.Stderr, "benchgate: FAIL:", f)
 	}
-	if rep.UntracedOverhead > *overheadMax {
-		fmt.Fprintf(os.Stderr, "benchgate: FAIL: untraced overhead %.2f%% exceeds %.2f%%\n",
-			100*rep.UntracedOverhead, 100**overheadMax)
-		failed = true
-	}
-	if failed {
+	if len(fails) > 0 {
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: PASS")

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	shiftbench [-experiment all|table1|table2|table3|fig6|fig7|fig8|fig9|ablation]
-//	           [-scale-div N] [-requests N] [-workers N]
+//	           [-scale-div N] [-requests N] [-workers N] [-tagpipe N]
 //	           [-engine block|interp] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -scale-div divides the benchmarks' reference input sizes (1 = the full
@@ -13,9 +13,11 @@
 // experiment cells run concurrently (0 = one per CPU; the results are
 // identical at any setting). -engine selects the execution engine (the
 // default block engine and the reference interpreter produce identical
-// results; the flag exists for performance comparison). -cpuprofile and
-// -memprofile write pprof profiles for the performance workflow in
-// docs/PERFORMANCE.md.
+// results; the flag exists for performance comparison). -tagpipe moves
+// the instrumented runs' shadow checking onto N decoupled pipeline
+// workers (0 = inline; verdicts are unchanged, throughput is not).
+// -cpuprofile and -memprofile write pprof profiles for the performance
+// workflow in docs/PERFORMANCE.md.
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 
 	"shift/internal/bench"
 	"shift/internal/machine"
+	"shift/internal/tagpipe"
 )
 
 func main() {
@@ -34,6 +37,7 @@ func main() {
 	scaleDiv := flag.Int("scale-div", 1, "divide reference input scales by this factor")
 	requests := flag.Int("requests", 1000, "Figure 6 request count")
 	workers := flag.Int("workers", 0, "max concurrent experiment cells (0 = NumCPU, 1 = serial)")
+	tagpipeN := flag.Int("tagpipe", 0, "decoupled tag-pipeline worker count for instrumented runs (0 = inline checking)")
 	engineName := flag.String("engine", "block", "execution engine: block or interp")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -43,7 +47,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "shiftbench: -scale-div must be >= 1")
 		os.Exit(2)
 	}
+	if err := tagpipe.ValidateWorkers(*tagpipeN); err != nil {
+		fmt.Fprintln(os.Stderr, "shiftbench:", err)
+		os.Exit(2)
+	}
 	bench.Workers = *workers
+	bench.Tagpipe = *tagpipeN
 	engine, ok := machine.EngineFromString(*engineName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "shiftbench: unknown engine %q (want block or interp)\n", *engineName)

@@ -22,6 +22,13 @@ import (
 // knob exists for performance comparison and differential testing.
 var Engine machine.Engine
 
+// Tagpipe sets the decoupled tag-pipeline worker count for instrumented
+// benchmark runs (cmd/shiftbench's -tagpipe flag). Zero — the default —
+// keeps checking inline; N > 0 moves shadow propagation onto N
+// asynchronous workers draining at sinks, which changes throughput but
+// not verdicts (see DESIGN.md "Decoupled tag pipeline").
+var Tagpipe int
+
 // Config is one measurement configuration of the SHIFT system.
 type Config struct {
 	Key  string
@@ -86,6 +93,9 @@ func RunBenchmark(b *workload.Benchmark, scale int, cfg *Config) (*Measurement, 
 		opt = cfg.options(b)
 	}
 	opt.Engine = Engine
+	if opt.Instrument {
+		opt.Decoupled = Tagpipe
+	}
 	res, err := shift.BuildAndRun(
 		[]shift.Source{{Name: b.Name + ".mc", Text: b.Source}}, b.World(scale), opt)
 	if err != nil {

@@ -28,6 +28,7 @@
 package machine
 
 import (
+	"container/list"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -205,6 +206,8 @@ type TransCache struct {
 	text     []isa.Instruction
 	blocks   []atomic.Pointer[block]
 	compiled atomic.Uint64 // blocks ever stored (duplicates included)
+	hash     uint64        // registry bucket key (for O(1) eviction)
+	elem     *list.Element // registry LRU slot; nil once evicted
 }
 
 // Blocks returns how many block compilations this cache has absorbed.
@@ -250,9 +253,79 @@ func (tc *TransCache) lookup(m *Machine, pc int) *block {
 // identical program (every bench cell, every reset) share one cache.
 // The mutex guards only attach — once a machine holds its *TransCache,
 // block lookups never touch the registry.
+//
+// Retention is bounded: caches sit in an LRU list (most recently
+// attached first) capped at limit distinct texts. A long-lived process
+// that keeps compiling fresh programs — the fuzz harness, a pooled
+// server — evicts cold texts instead of holding every program it ever
+// saw. Eviction only forgets the compilation: machines still holding an
+// evicted cache keep executing through it (the identity fast path never
+// consults the registry), and a re-attach simply recompiles.
 var transRegistry struct {
-	mu     sync.Mutex
-	byHash map[uint64][]*TransCache
+	mu        sync.Mutex
+	byHash    map[uint64][]*TransCache
+	lru       list.List // *TransCache, front = most recently attached
+	limit     int
+	evictions uint64
+}
+
+// DefaultTranslationCacheLimit is the registry's default cap on
+// retained program texts.
+const DefaultTranslationCacheLimit = 64
+
+// SetTranslationCacheLimit caps the registry at n retained texts
+// (minimum 1), evicting immediately if it is over, and returns the
+// previous limit. Process-wide; tests use it to shrink and restore.
+func SetTranslationCacheLimit(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	transRegistry.mu.Lock()
+	defer transRegistry.mu.Unlock()
+	prev := registryLimit()
+	transRegistry.limit = n
+	evictOverLimit()
+	return prev
+}
+
+// TranslationEvictions reports how many caches the registry has evicted.
+func TranslationEvictions() uint64 {
+	transRegistry.mu.Lock()
+	defer transRegistry.mu.Unlock()
+	return transRegistry.evictions
+}
+
+// registryLimit returns the effective cap (callers hold the mutex).
+func registryLimit() int {
+	if transRegistry.limit < 1 {
+		return DefaultTranslationCacheLimit
+	}
+	return transRegistry.limit
+}
+
+// evictOverLimit drops least-recently-attached caches until the registry
+// is within its cap (callers hold the mutex).
+func evictOverLimit() {
+	limit := registryLimit()
+	for transRegistry.lru.Len() > limit {
+		back := transRegistry.lru.Back()
+		tc := back.Value.(*TransCache)
+		transRegistry.lru.Remove(back)
+		tc.elem = nil
+		bucket := transRegistry.byHash[tc.hash]
+		for i, c := range bucket {
+			if c == tc {
+				bucket = append(bucket[:i], bucket[i+1:]...)
+				break
+			}
+		}
+		if len(bucket) == 0 {
+			delete(transRegistry.byHash, tc.hash)
+		} else {
+			transRegistry.byHash[tc.hash] = bucket
+		}
+		transRegistry.evictions++
+	}
 }
 
 // hashText hashes the semantic fields of every instruction (FNV-1a).
@@ -291,11 +364,14 @@ func translationsFor(text []isa.Instruction) *TransCache {
 	}
 	for _, tc := range transRegistry.byHash[h] {
 		if tc.matches(text) {
+			transRegistry.lru.MoveToFront(tc.elem)
 			return tc
 		}
 	}
-	tc := &TransCache{text: text, blocks: make([]atomic.Pointer[block], len(text))}
+	tc := &TransCache{text: text, blocks: make([]atomic.Pointer[block], len(text)), hash: h}
+	tc.elem = transRegistry.lru.PushFront(tc)
 	transRegistry.byHash[h] = append(transRegistry.byHash[h], tc)
+	evictOverLimit()
 	return tc
 }
 

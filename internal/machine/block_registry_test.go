@@ -1,0 +1,98 @@
+package machine
+
+import (
+	"testing"
+
+	"shift/internal/isa"
+	"shift/internal/mem"
+)
+
+// registryCaches counts the caches currently retained, via the public
+// aggregate.
+func registryCaches() uint64 {
+	caches, _ := TranslationTotals()
+	return caches
+}
+
+// distinctText builds a unique one-instruction program text per i.
+func distinctText(i int) []isa.Instruction {
+	return []isa.Instruction{{Op: isa.OpMovl, Dest: 1, Imm: int64(i)}, {Op: isa.OpNop}}
+}
+
+// The process-wide translation registry must not grow without bound: a
+// process that keeps compiling fresh program texts (the fuzz harness, a
+// pooled server) must evict cold entries at the cap. Before eviction
+// existed this test failed — every distinct text was retained forever.
+func TestTranslationRegistryBounded(t *testing.T) {
+	prev := SetTranslationCacheLimit(8)
+	defer SetTranslationCacheLimit(prev)
+
+	before := TranslationEvictions()
+	for i := 0; i < 40; i++ {
+		tc := translationsFor(distinctText(1000 + i))
+		if tc == nil {
+			t.Fatal("nil cache")
+		}
+	}
+	if n := registryCaches(); n > 8 {
+		t.Fatalf("registry retains %d caches, cap is 8", n)
+	}
+	if got := TranslationEvictions() - before; got < 32 {
+		t.Fatalf("evictions = %d, want >= 32 for 40 inserts at cap 8", got)
+	}
+}
+
+// Attaching an existing text refreshes its LRU position: the reattached
+// text must survive churn that evicts everything colder.
+func TestTranslationRegistryLRUOrder(t *testing.T) {
+	prev := SetTranslationCacheLimit(4)
+	defer SetTranslationCacheLimit(prev)
+
+	hot := distinctText(2000)
+	hotTC := translationsFor(hot)
+	for i := 0; i < 3; i++ {
+		translationsFor(distinctText(2100 + i))
+	}
+	// Touch the hot text, then churn past the cap.
+	if translationsFor(hot) != hotTC {
+		t.Fatal("reattach did not hit the existing cache")
+	}
+	for i := 0; i < 3; i++ {
+		translationsFor(distinctText(2200 + i))
+	}
+	if translationsFor(hot) != hotTC {
+		t.Error("most-recently-used text was evicted before colder ones")
+	}
+}
+
+// An evicted cache is forgotten, not poisoned: a machine already
+// attached to it keeps using it through the identity fast path, while a
+// fresh registry attach recompiles from scratch.
+func TestTranslationRegistryEvictedStillUsable(t *testing.T) {
+	prev := SetTranslationCacheLimit(1)
+	defer SetTranslationCacheLimit(prev)
+
+	text := []isa.Instruction{
+		{Op: isa.OpMovl, Dest: 1, Imm: 7},
+		{Op: isa.OpAddi, Dest: 2, Src1: 1, Imm: 1},
+	}
+	p := &isa.Program{Text: text}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := New(p, mem.New())
+	old := m.translations(text)
+
+	// Evict it by attaching a different text at cap 1.
+	translationsFor(distinctText(3000))
+
+	if got := m.translations(text); got != old {
+		t.Error("attached machine lost its cache to eviction")
+	}
+	// A machine attaching anew builds a fresh cache rather than
+	// resurrecting the evicted one.
+	other := New(p, mem.New())
+	if other.translations(text) == old {
+		t.Error("evicted cache came back through the registry")
+	}
+}

@@ -8,10 +8,12 @@ import (
 	"shift/internal/taint"
 )
 
+// FirstReservedReg is the first instrumentation-reserved register.
 // Original-program registers are r1..r118: r119..r127 are reserved by the
 // instrumentation pass (scratch, kept mask, NaT source) and are routinely
-// NaT'd or laundered, so they carry no reference-taint meaning.
-const firstReservedReg = 119
+// NaT'd or laundered, so they carry no reference-taint meaning. Exported
+// for the decoupled tag pipeline, which runs the same boundary sweeps.
+const FirstReservedReg = 119
 
 // Config selects what the oracle checks.
 type Config struct {
@@ -190,7 +192,7 @@ func (o *Oracle) flush(m *machine.Machine, ins *isa.Instruction, skip int) error
 	}
 	o.pending = o.pending[:0]
 	rs := o.regs(m.TID)
-	for r := 1; r < firstReservedReg; r++ {
+	for r := 1; r < FirstReservedReg; r++ {
 		if r == skip {
 			continue
 		}

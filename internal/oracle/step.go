@@ -205,7 +205,7 @@ func (o *Oracle) PostStep(m *machine.Machine, ins *isa.Instruction) error {
 	// cannot account for. This is the per-instruction direction of the
 	// register cross-check; full equality holds only at boundaries.
 	if o.checking() {
-		if d, ok := destGR(ins); ok && d >= 1 && d < firstReservedReg && m.NaT[d] && !rs.taint[d] {
+		if d, ok := destGR(ins); ok && d >= 1 && d < FirstReservedReg && m.NaT[d] && !rs.taint[d] {
 			return o.fail(m, ins, Divergence{Kind: DivRegister, Reg: d, Machine: true, Shadow: false})
 		}
 	}

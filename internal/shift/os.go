@@ -43,6 +43,68 @@ type HostEffects interface {
 	OnSpawn(parentTID, childTID int)
 }
 
+// SinkSyncer is the optional extension an asynchronous checker (the
+// decoupled tag pipeline) implements: a policy sink is about to render a
+// verdict, so any in-flight shadow propagation must be drained first and
+// any divergence it exposed must preempt the verdict. The inline oracle
+// doesn't need it — it is never behind.
+type SinkSyncer interface {
+	SyncSink(m *machine.Machine, sink string) error
+}
+
+// multiEffects fans host-effect notifications out to several observers
+// (oracle and pipeline together, for differential runs). SyncSink
+// delegates to every member that implements it.
+type multiEffects []HostEffects
+
+func (me multiEffects) HostWrite(addr uint64, n int) {
+	for _, e := range me {
+		e.HostWrite(addr, n)
+	}
+}
+
+func (me multiEffects) HostTaint(addr, n uint64) {
+	for _, e := range me {
+		e.HostTaint(addr, n)
+	}
+}
+
+func (me multiEffects) HostUntaint(addr, n uint64) {
+	for _, e := range me {
+		e.HostUntaint(addr, n)
+	}
+}
+
+func (me multiEffects) OnSpawn(parentTID, childTID int) {
+	for _, e := range me {
+		e.OnSpawn(parentTID, childTID)
+	}
+}
+
+func (me multiEffects) SyncSink(m *machine.Machine, sink string) error {
+	for _, e := range me {
+		if s, ok := e.(SinkSyncer); ok {
+			if err := s.SyncSink(m, sink); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// syncSink drains asynchronous checkers before a sink verdict; a
+// divergence surfaced by the drain preempts the verdict as a TrapOracle.
+func (w *World) syncSink(m *machine.Machine, sink string) *machine.Trap {
+	s, ok := w.Effects.(SinkSyncer)
+	if !ok {
+		return nil
+	}
+	if err := s.SyncSink(m, sink); err != nil {
+		return &machine.Trap{Kind: machine.TrapOracle, PC: m.PC, Ins: "syscall", Err: err}
+	}
+	return nil
+}
+
 // World is the OS model: files, the network, program arguments, output
 // channels, the heap break — and, when tracking is on, the taint sources
 // (§3.3.1) and policy sinks (Table 1).
@@ -158,6 +220,12 @@ func (w *World) notifyWrite(m *machine.Machine, addr uint64, n int) {
 // invoke it only when an Engine is installed — a recorded policy-check
 // event means a check actually ran.
 func (w *World) checkSink(m *machine.Machine, sink string, v *policy.Violation) *machine.Trap {
+	// A sink verdict is a synchronization point for asynchronous shadow
+	// propagation: drain before rendering, and let a divergence the drain
+	// exposes preempt the verdict.
+	if t := w.syncSink(m, sink); t != nil {
+		return t
+	}
 	w.emit(m, trace.Event{Kind: trace.KindPolicyCheck, Name: sink})
 	if v == nil {
 		return nil
@@ -301,6 +369,9 @@ func (w *World) Syscall(m *machine.Machine, num int64) (uint64, *machine.Trap) {
 		// A §3.3.3 user-level guard (chk.s before a critical use)
 		// caught a taint token and transferred control here instead of
 		// taking a hardware fault.
+		if t := w.syncSink(m, "user_alert"); t != nil {
+			return 0, t
+		}
 		v := &policy.Violation{
 			Policy: "L3",
 			Detail: fmt.Sprintf("user-level chk.s handler caught tainted critical data (pc=%d)", m.PC),

@@ -23,6 +23,7 @@ import (
 	"shift/internal/oracle"
 	"shift/internal/policy"
 	"shift/internal/rtlib"
+	"shift/internal/tagpipe"
 	"shift/internal/taint"
 	"shift/internal/trace"
 )
@@ -84,6 +85,18 @@ type Options struct {
 	// shadow-taint interpretation. A disagreement stops the run with a
 	// TrapOracle carrying a full divergence report (Result.Trap).
 	Oracle bool
+	// Decoupled, when > 0, runs the decoupled tag pipeline with that many
+	// shadow-propagation workers: tag state is maintained asynchronously
+	// over a retirement log and every policy sink drains the log before
+	// its verdict. Verdicts are equivalent to the inline oracle's; the
+	// strong cross-checks run at sink granularity instead of at every
+	// original-instruction boundary (see DESIGN.md "Decoupled tag
+	// pipeline"). Composable with Oracle for differential testing.
+	Decoupled int
+	// DecoupledWindow overrides the pipeline's per-segment record count
+	// (the lag window is 64 segments × this; 0 = default 256). Exposed
+	// for the fuzz harness, which shrinks it to force stalls and drains.
+	DecoupledWindow int
 	// Costs overrides the cycle cost model (nil = machine defaults).
 	Costs *machine.Costs
 	// Engine selects the execution engine: the translated-block engine
@@ -180,6 +193,9 @@ type Result struct {
 	// Oracle is the lockstep checker when Options.Oracle was set; its
 	// Divergence() and Stats report what was cross-checked.
 	Oracle *oracle.Oracle
+	// Pipe is the decoupled tag pipeline when Options.Decoupled was set;
+	// its Divergence() and Stats report what was propagated and checked.
+	Pipe *tagpipe.Pipeline
 	// Trace is the flight recorder when Options.Trace was set.
 	Trace *trace.Tracer
 }
@@ -247,6 +263,33 @@ func Run(prog *isa.Program, world *World, opt Options) (*Result, error) {
 		world.Effects = orc
 	}
 
+	// The decoupled tag pipeline rides the same seams as the oracle: the
+	// StepHook retirement stream feeds its ring, and the host-effect
+	// notifications become its synchronous sink drains. With both engines
+	// requested the oracle hooks first, keeping its at-the-instruction
+	// abort semantics; the pipeline then sees exactly the same stream.
+	var pipe *tagpipe.Pipeline
+	if opt.Decoupled > 0 {
+		pipe = tagpipe.New(tagpipe.Config{
+			Tags:          world.Tags,
+			Instrumented:  opt.Instrument,
+			UnsafePreempt: opt.UnsafePreempt,
+			Workers:       opt.Decoupled,
+			SegRecords:    opt.DecoupledWindow,
+		})
+		defer pipe.Close()
+		if mach.Hook != nil {
+			mach.Hook = machine.MultiHook{mach.Hook, pipe}
+		} else {
+			pipe.Attach(mach)
+		}
+		if world.Effects != nil {
+			world.Effects = multiEffects{world.Effects, pipe}
+		} else {
+			world.Effects = pipe
+		}
+	}
+
 	// Observability rides the same StepHook seam as the oracle; with both
 	// requested, MultiHook fans the retirement stream out (oracle first,
 	// so its abort-on-divergence semantics are unchanged).
@@ -259,6 +302,14 @@ func Run(prog *isa.Program, world *World, opt Options) (*Result, error) {
 			mach.Hook = obs
 		}
 		world.Trace = opt.Trace
+	}
+	if opt.Metrics != nil && pipe != nil {
+		s := &pipe.Stats
+		opt.Metrics.GaugeFunc("shift_tagpipe_records_total", func() uint64 { return s.Records.Load() })
+		opt.Metrics.GaugeFunc("shift_tagpipe_segments_total", func() uint64 { return s.Segments.Load() })
+		opt.Metrics.GaugeFunc("shift_tagpipe_stalls_total", func() uint64 { return s.Stalls.Load() })
+		opt.Metrics.GaugeFunc("shift_tagpipe_drains_total", func() uint64 { return s.Drains.Load() })
+		opt.Metrics.GaugeFunc("shift_tagpipe_lag_records", pipe.Lag)
 	}
 	if opt.Metrics != nil {
 		m := mach.Mem
@@ -290,6 +341,7 @@ func Run(prog *isa.Program, world *World, opt Options) (*Result, error) {
 		opt.Metrics.GaugeFunc("shift_block_cache_hits", sumBlocks(func(s *machine.BlockStats) uint64 { return s.Hits }))
 		opt.Metrics.GaugeFunc("shift_block_cache_misses", sumBlocks(func(s *machine.BlockStats) uint64 { return s.Misses }))
 		opt.Metrics.GaugeFunc("shift_block_invalidations", sumBlocks(func(s *machine.BlockStats) uint64 { return s.Invalidations }))
+		opt.Metrics.GaugeFunc("shift_block_cache_evictions", machine.TranslationEvictions)
 	}
 	world.StackTop = img.StackTop
 
@@ -303,6 +355,13 @@ func Run(prog *isa.Program, world *World, opt Options) (*Result, error) {
 			trap = &machine.Trap{Kind: machine.TrapOracle, PC: mach.PC, Ins: "<finish>", Err: err}
 		}
 	}
+	if trap == nil && pipe != nil {
+		// Same final agreement for the decoupled engine: drain the ring
+		// and run the closing register/bitmap sweeps.
+		if err := pipe.Finish(mach); err != nil {
+			trap = &machine.Trap{Kind: machine.TrapOracle, PC: mach.PC, Ins: "<finish>", Err: err}
+		}
+	}
 	res := &Result{
 		ExitStatus: mach.ExitStatus,
 		Cycles:     sched.TotalCycles(),
@@ -310,6 +369,7 @@ func Run(prog *isa.Program, world *World, opt Options) (*Result, error) {
 		World:      world,
 		Machine:    mach,
 		Oracle:     orc,
+		Pipe:       pipe,
 		Trace:      opt.Trace,
 	}
 	for _, th := range sched.Threads {

@@ -45,8 +45,11 @@ type MachineHook struct {
 	preAddr     uint64
 	preCycles   uint64
 
-	// Slice tracking: the last thread observed retiring, where its
-	// current slice started, and its clock at the latest retirement.
+	// Slice tracking: the last machine observed retiring (identity, not
+	// just TID — TIDs are reused when a hook outlives a run or serves
+	// several machines), where its current slice started, and its clock
+	// at the latest retirement.
+	lastMach   *machine.Machine
 	lastTID    int
 	lastPC     int
 	lastCycles uint64
@@ -78,7 +81,7 @@ func (h *MachineHook) Tracer() *Tracer { return h.tr }
 // PreStep implements machine.StepHook: capture the pre-state PostStep
 // will compare against, and detect slice boundaries by TID change.
 func (h *MachineHook) PreStep(m *machine.Machine, ins *isa.Instruction) {
-	if m.TID != h.lastTID {
+	if m != h.lastMach || m.TID != h.lastTID {
 		h.sliceSwitch(m)
 	}
 	h.preSquashed = ins.Qp != 0 && !m.PR[ins.Qp]
@@ -107,6 +110,7 @@ func (h *MachineHook) sliceSwitch(m *machine.Machine) {
 	}
 	h.tr.Emit(Event{Cycle: m.Cycles, TID: m.TID, PC: m.PC, Kind: KindSliceBegin})
 	h.slices.Inc()
+	h.lastMach = m
 	h.lastTID = m.TID
 	h.sliceStart = m.Cycles
 	h.lastCycles = m.Cycles
@@ -120,6 +124,7 @@ func (h *MachineHook) Flush() {
 		occ := h.lastCycles - h.sliceStart
 		h.tr.Emit(Event{Cycle: h.lastCycles, TID: h.lastTID, PC: h.lastPC, Kind: KindSliceEnd, N: occ})
 		h.sliceCycleCounter(h.lastTID).Add(occ)
+		h.lastMach = nil
 		h.lastTID = -1
 	}
 }

@@ -243,3 +243,110 @@ main:
 		t.Errorf("exposition missing the labeled histogram:\n%s", sb.String())
 	}
 }
+
+// driveHook builds a bare machine suitable for feeding the hook's
+// PreStep/PostStep seam directly, without running the interpreter.
+func bareHookMachine(t *testing.T, p *isa.Program) *machine.Machine {
+	t.Helper()
+	m := mem.New()
+	m.MapRegion(1, 0)
+	m.MapRegion(2, 0)
+	return machine.New(p, m)
+}
+
+// Two machines sharing one hook and one TID — a tracer reused across
+// runs, or two guests feeding one observer — must still get a slice
+// boundary at the handoff. The hook used to key boundaries on TID
+// alone, so when the second machine reused TID 0 its retirements were
+// silently merged into the first machine's slice: one begin/end pair
+// and a slice count of 1 instead of 2.
+func TestHookSliceBoundaryOnMachineChange(t *testing.T) {
+	p, err := asm.Assemble("main:\n\tmov r1 = r0\n", asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := bareHookMachine(t, p)
+	m2 := bareHookMachine(t, p)
+	if m1.TID != m2.TID {
+		t.Fatalf("fixture: TIDs differ (%d vs %d); the test needs reuse", m1.TID, m2.TID)
+	}
+
+	tr := New(0)
+	reg := metrics.NewRegistry()
+	h := NewMachineHook(tr, reg)
+	ins := &p.Text[0]
+	h.PreStep(m1, ins)
+	if err := h.PostStep(m1, ins); err != nil {
+		t.Fatal(err)
+	}
+	h.PreStep(m2, ins)
+	if err := h.PostStep(m2, ins); err != nil {
+		t.Fatal(err)
+	}
+	h.Flush()
+
+	evs := tr.Events()
+	if b, e := countKind(evs, KindSliceBegin), countKind(evs, KindSliceEnd); b != 2 || e != 2 {
+		t.Errorf("machine change inside one TID: %d begins / %d ends, want 2/2 (events: %v)", b, e, kinds(evs))
+	}
+	if got := reg.Counter("shift_slices_total").Value(); got != 2 {
+		t.Errorf("shift_slices_total = %d, want 2", got)
+	}
+}
+
+// The boundary must fire even when the new machine's first retirement
+// is predicated off: boundary detection precedes the squash check, and
+// a squashed retirement is still evidence the thread is running.
+func TestHookSliceBoundarySquashedFirstRetirement(t *testing.T) {
+	p, err := asm.Assemble("main:\n\tmov r1 = r0\n", asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := bareHookMachine(t, p)
+	m2 := bareHookMachine(t, p)
+
+	tr := New(0)
+	h := NewMachineHook(tr, metrics.NewRegistry())
+	ins := &p.Text[0]
+	h.PreStep(m1, ins)
+	if err := h.PostStep(m1, ins); err != nil {
+		t.Fatal(err)
+	}
+	// m2's first retirement is squashed: qp=6 and PR[6] is false.
+	squashed := isa.Instruction{Op: isa.OpMov, Dest: 1, Qp: 6}
+	h.PreStep(m2, &squashed)
+	if err := h.PostStep(m2, &squashed); err != nil {
+		t.Fatal(err)
+	}
+	h.Flush()
+
+	if b := countKind(tr.Events(), KindSliceBegin); b != 2 {
+		t.Errorf("%d slice begins, want 2 (squashed handoff must still switch slices)", b)
+	}
+}
+
+// Flush resets machine identity: the same machine retiring again after
+// a Flush opens a fresh slice rather than resurrecting the closed one.
+func TestHookFlushResetsMachineIdentity(t *testing.T) {
+	p, err := asm.Assemble("main:\n\tmov r1 = r0\n", asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := bareHookMachine(t, p)
+	tr := New(0)
+	h := NewMachineHook(tr, metrics.NewRegistry())
+	ins := &p.Text[0]
+	h.PreStep(m, ins)
+	if err := h.PostStep(m, ins); err != nil {
+		t.Fatal(err)
+	}
+	h.Flush()
+	h.PreStep(m, ins)
+	if err := h.PostStep(m, ins); err != nil {
+		t.Fatal(err)
+	}
+	h.Flush()
+	if b, e := countKind(tr.Events(), KindSliceBegin), countKind(tr.Events(), KindSliceEnd); b != 2 || e != 2 {
+		t.Errorf("flush/reuse: %d begins / %d ends, want 2/2", b, e)
+	}
+}
