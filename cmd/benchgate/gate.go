@@ -24,7 +24,7 @@ func finitePositive(v float64) bool {
 // cores is the host's CPU count: the decoupled-pipeline speedup floor
 // only applies on hosts with at least four cores, since the pipeline
 // needs spare cores to beat inline checking at all.
-func gateFailures(rep, baseline *Report, ratioSlack, overheadMax, tagpipeFloor float64, cores int) []string {
+func gateFailures(rep, baseline *Report, ratioSlack, overheadMax, tagpipeFloor, pooledSlack float64, cores int) []string {
 	var fails []string
 	bad := func(format string, args ...any) {
 		fails = append(fails, fmt.Sprintf(format, args...))
@@ -81,6 +81,26 @@ func gateFailures(rep, baseline *Report, ratioSlack, overheadMax, tagpipeFloor f
 		case rep.TagpipeSpeedup < tagpipeFloor:
 			bad("decoupled checking speedup %.3fx below the %.2fx floor (inline %.0f ns/op, tagpipe %.0f ns/op)",
 				rep.TagpipeSpeedup, tagpipeFloor, rep.CheckedInlineNsPerOp, rep.CheckedTagpipeNsPerOp)
+		}
+	}
+
+	// Property 4: the pooled server holds its baseline throughput and
+	// tail latency, with generous slack (serve-path numbers swing more
+	// than single-engine ns/op on shared CI hosts). Skipped only when
+	// the baseline predates the pooled measurement entirely; a
+	// degenerate *measurement* is always a failure.
+	if pooledSlack > 0 {
+		if !finitePositive(rep.PooledReqPerSec) || !finitePositive(rep.PooledP99Ns) {
+			bad("degenerate pooled measurement: %v req/s, p99 %v ns", rep.PooledReqPerSec, rep.PooledP99Ns)
+		} else if finitePositive(baseline.PooledReqPerSec) && finitePositive(baseline.PooledP99Ns) {
+			if floor := baseline.PooledReqPerSec * (1 - pooledSlack); rep.PooledReqPerSec < floor {
+				bad("pooled throughput %.0f req/s below floor %.0f (baseline %.0f - %.0f%% slack)",
+					rep.PooledReqPerSec, floor, baseline.PooledReqPerSec, 100*pooledSlack)
+			}
+			if ceil := baseline.PooledP99Ns * (1 + pooledSlack); rep.PooledP99Ns > ceil {
+				bad("pooled p99 %.2f ms above ceiling %.2f ms (baseline %.2f ms + %.0f%% slack)",
+					rep.PooledP99Ns/1e6, ceil/1e6, baseline.PooledP99Ns/1e6, 100*pooledSlack)
+			}
 		}
 	}
 	return fails

@@ -17,15 +17,18 @@ func goodReport() *Report {
 		CheckedInlineNsPerOp:  10000,
 		CheckedTagpipeNsPerOp: 4000,
 		TagpipeSpeedup:        2.5,
+		PooledReqPerSec:       1400,
+		PooledP99Ns:           20e6,
+		PoolSize:              4,
 	}
 }
 
 func goodBaseline() *Report {
-	return &Report{BlockSpeedup: 3.0}
+	return &Report{BlockSpeedup: 3.0, PooledReqPerSec: 1400, PooledP99Ns: 20e6}
 }
 
 func gate(rep, base *Report, cores int) []string {
-	return gateFailures(rep, base, 0.05, 0.02, 1.5, cores)
+	return gateFailures(rep, base, 0.05, 0.02, 1.5, 0.40, cores)
 }
 
 func TestGatePassesCleanReport(t *testing.T) {
@@ -113,7 +116,47 @@ func TestGateTagpipeFloor(t *testing.T) {
 		t.Errorf("tagpipe floor applied on a 2-core host: %v", fails)
 	}
 	// Disabled floor (0) never binds.
-	if fails := gateFailures(rep, goodBaseline(), 0.05, 0.02, 0, 8); len(fails) != 0 {
+	if fails := gateFailures(rep, goodBaseline(), 0.05, 0.02, 0, 0.40, 8); len(fails) != 0 {
 		t.Errorf("disabled tagpipe floor still binds: %v", fails)
+	}
+}
+
+// The pooled-server gate: baseline-relative throughput floor and p99
+// ceiling, skipped for pre-pooled baselines, loud on degenerate
+// measurements even then.
+func TestGatePooledServer(t *testing.T) {
+	rep := goodReport()
+	rep.PooledReqPerSec = 700 // baseline 1400, slack 40% -> floor 840
+	fails := gate(rep, goodBaseline(), 8)
+	if len(fails) != 1 || !strings.Contains(fails[0], "pooled throughput") {
+		t.Errorf("throughput collapse: %v", fails)
+	}
+
+	rep = goodReport()
+	rep.PooledP99Ns = 100e6 // baseline 20ms, slack 40% -> ceiling 28ms
+	fails = gate(rep, goodBaseline(), 8)
+	if len(fails) != 1 || !strings.Contains(fails[0], "pooled p99") {
+		t.Errorf("p99 blowup: %v", fails)
+	}
+
+	// A baseline from before the pooled measurement existed (both pooled
+	// keys decode to 0) skips the relative properties...
+	rep = goodReport()
+	rep.PooledReqPerSec = 1 // would fail any floor
+	if fails := gate(rep, &Report{BlockSpeedup: 3.0}, 8); len(fails) != 0 {
+		t.Errorf("pre-pooled baseline should skip the relative gate: %v", fails)
+	}
+
+	// ...but a degenerate measurement fails regardless of the baseline.
+	for _, mutate := range []func(*Report){
+		func(r *Report) { r.PooledReqPerSec = 0 },
+		func(r *Report) { r.PooledP99Ns = math.NaN() },
+	} {
+		rep := goodReport()
+		mutate(rep)
+		fails := gate(rep, &Report{BlockSpeedup: 3.0}, 8)
+		if len(fails) != 1 || !strings.Contains(fails[0], "degenerate pooled") {
+			t.Errorf("degenerate pooled measurement: %v", fails)
+		}
 	}
 }

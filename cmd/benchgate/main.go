@@ -68,6 +68,15 @@ type Report struct {
 	CheckedTagpipeNsPerOp float64 `json:"checked_tagpipe_ns_per_op"`
 	TagpipeSpeedup        float64 `json:"tagpipe_speedup"`
 	TagpipeWorkers        int     `json:"tagpipe_workers"`
+	// Pooled-server pair: benign request throughput and tail latency of
+	// warm pooled guests on the serve path (cmd/shiftd's core without
+	// HTTP transport). Gated baseline-relative with generous slack —
+	// req/s must not collapse, p99 must not balloon. Absent from older
+	// baseline files; the gate skips the pooled properties when the
+	// baseline carries no pooled numbers.
+	PooledReqPerSec float64 `json:"requests_per_sec"`
+	PooledP99Ns     float64 `json:"p99_ns"`
+	PoolSize        int     `json:"pool_size"`
 }
 
 // benchSource is the same ALU/load/store/branch mix as the repository's
@@ -209,6 +218,7 @@ func main() {
 	ratioSlack := flag.Float64("ratio-slack", 0.05, "allowed fractional loss of block/interp speedup vs the baseline")
 	overheadMax := flag.Float64("overhead-max", 0.02, "maximum untraced overhead fraction")
 	tagpipeFloor := flag.Float64("tagpipe-floor", 1.5, "minimum checked-inline/checked-decoupled speedup on hosts with >= 4 cores (0 disables)")
+	pooledSlack := flag.Float64("pooled-slack", 0.40, "allowed fractional loss of pooled req/s (and growth of pooled p99) vs the baseline")
 	check := flag.Bool("check", false, "enforce the gate (exit 1 on regression)")
 	flag.Parse()
 
@@ -236,6 +246,13 @@ func main() {
 	rep.BlockSpeedup = rep.InterpNsPerOp / rep.BlockNsPerOp
 	rep.UntracedOverhead = rep.UntracedNsPerOp/rep.BlockNsPerOp - 1
 	rep.TagpipeSpeedup = rep.CheckedInlineNsPerOp / rep.CheckedTagpipeNsPerOp
+	rep.PoolSize = pooledPoolSize
+	pooledRPS, pooledP99, err := measurePooledBest(*bestOf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: pooled:", err)
+		os.Exit(1)
+	}
+	rep.PooledReqPerSec, rep.PooledP99Ns = pooledRPS, pooledP99
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -254,6 +271,8 @@ func main() {
 		rep.BlockNsPerOp, rep.InterpNsPerOp, rep.BlockSpeedup, 100*rep.UntracedOverhead)
 	fmt.Printf("benchgate: checked inline %.0f ns/op, decoupled (%d workers) %.0f ns/op (speedup %.3fx)\n",
 		rep.CheckedInlineNsPerOp, workers, rep.CheckedTagpipeNsPerOp, rep.TagpipeSpeedup)
+	fmt.Printf("benchgate: pooled server (%d guests) %.0f req/s, p99 %.2f ms\n",
+		rep.PoolSize, rep.PooledReqPerSec, rep.PooledP99Ns/1e6)
 
 	if !*check {
 		return
@@ -268,7 +287,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate: baseline:", err)
 		os.Exit(1)
 	}
-	fails := gateFailures(rep, &baseline, *ratioSlack, *overheadMax, *tagpipeFloor, runtime.NumCPU())
+	fails := gateFailures(rep, &baseline, *ratioSlack, *overheadMax, *tagpipeFloor, *pooledSlack, runtime.NumCPU())
 	for _, f := range fails {
 		fmt.Fprintln(os.Stderr, "benchgate: FAIL:", f)
 	}

@@ -1,0 +1,165 @@
+package attacks
+
+import (
+	"strings"
+	"testing"
+
+	"shift/internal/loader"
+	"shift/internal/policy"
+	"shift/internal/pool"
+	"shift/internal/shift"
+	"shift/internal/taint"
+)
+
+// poolBleedSource is a worker process the kind a prefork server keeps
+// warm: request A arrives over the network (tainted) and is merely
+// buffered; on an empty connection the worker instead services a local
+// job — it reads a query from its trusted control channel (stdin is not
+// a taint source) into the *same* scratch buffer and executes it.
+const poolBleedSource = `
+char buf[64];
+
+void main() {
+	int n = recv(buf, 64);
+	if (n > 0) {
+		exit(0);
+	}
+	n = read(0, buf, 64);
+	sql_exec(buf);
+	exit(0);
+}
+`
+
+func bleedOptions() shift.Options {
+	return shift.Options{Instrument: true, Policy: policy.DefaultConfig()}
+}
+
+// attackerWorld plants 64 tainted network bytes in the worker's buffer.
+func attackerWorld() *shift.World {
+	w := shift.NewWorld()
+	rec := make([]byte, 64)
+	copy(rec, "payload: anything tainted will do")
+	w.NetIn = rec
+	return w
+}
+
+// victimWorld runs the trusted-channel job: a well-formed query from
+// stdin. Nothing in it is a taint source, so it must never alert.
+func victimWorld() *shift.World {
+	w := shift.NewWorld()
+	w.Stdin = []byte("SELECT 'ok'")
+	return w
+}
+
+// TestPoolRecycleTagBleed is the pool-recycle taint-bleed attack: a
+// guest recycled by resetting registers and rewriting the data segment
+// — but not the tag bitmap — carries request A's taint into request B.
+// Request B's query bytes are written by a trusted host channel, which
+// does not touch existing tags, so the stale tags land exactly under
+// B's quote characters and H3 fires on a benign request. The bleed is a
+// detection-integrity break an attacker triggers at will: spray taint,
+// let recycling smuggle it, and every later tenant of the guest
+// false-positives (alert denial of service, with forensics pointing at
+// channels that never held the token).
+//
+// taint.Space.Clear is the fix; the third phase shows it, and
+// TestPoolRunIsBleedFree shows internal/pool applying it.
+func TestPoolRecycleTagBleed(t *testing.T) {
+	prog, err := shift.Build([]shift.Source{{Name: "worker.mc", Text: poolBleedSource}}, bleedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline: the victim job on a fresh guest is clean.
+	fresh, err := shift.Run(prog, victimWorld(), bleedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Alert != nil || fresh.Trap != nil {
+		t.Fatalf("victim job alerts on a fresh guest (alert=%v trap=%v) — test premise broken", fresh.Alert, fresh.Trap)
+	}
+
+	// One long-lived guest, reused across requests.
+	img, err := loader.Load(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := img.NewMachine()
+	regs := mach.SnapshotRegs()
+	tags := taint.NewSpace(img.Mem, taint.Byte)
+	runOn := func(w *shift.World) *shift.Result {
+		t.Helper()
+		w.HeapBase, w.StackTop = img.HeapBase, img.StackTop
+		w.Tags = tags
+		res, err := shift.RunOn(mach, w, bleedOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	// naiveRecycle is the pre-fix lifecycle: architectural registers
+	// back to entry state, globals rewritten from the program image —
+	// and the tag bitmap forgotten, because the loader's view of the
+	// image does not include region 0.
+	naiveRecycle := func() {
+		t.Helper()
+		mach.RestoreRegs(regs)
+		if len(prog.Data) > 0 {
+			if f := img.Mem.WriteBytes(prog.DataBase, prog.Data); f != nil {
+				t.Fatal(f)
+			}
+		}
+	}
+
+	if res := runOn(attackerWorld()); res.Alert != nil || res.Trap != nil {
+		t.Fatalf("attacker request should complete silently: alert=%v trap=%v", res.Alert, res.Trap)
+	}
+
+	naiveRecycle()
+	res := runOn(victimWorld())
+	if res.Alert == nil {
+		t.Fatal("no bleed: victim ran clean on a naively recycled guest — the stale-tag hazard this test documents has silently disappeared")
+	}
+	if !strings.Contains(res.Alert.String(), "H3") {
+		t.Fatalf("bleed surfaced as %v, want the smuggled tag to trip H3 on the victim's quotes", res.Alert)
+	}
+
+	// The fix: clear the tag space during recycle. Same guest, same
+	// victim job, no alert.
+	naiveRecycle()
+	if n := tags.Clear(); n == 0 {
+		t.Fatal("Clear found no tag pages; the attacker's taint never landed")
+	}
+	if res := runOn(victimWorld()); res.Alert != nil {
+		t.Fatalf("victim still alerts after Space.Clear: %v", res.Alert)
+	}
+}
+
+// TestPoolRunIsBleedFree drives the same attacker/victim pair through
+// internal/pool, whose recycle path clears tags: the victim must stay
+// clean on the guest the attacker just used.
+func TestPoolRunIsBleedFree(t *testing.T) {
+	prog, err := shift.Build([]shift.Source{{Name: "worker.mc", Text: poolBleedSource}}, bleedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pool.New(prog, 1, bleedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		if res, err := p.Run(attackerWorld()); err != nil || res.Alert != nil || res.Trap != nil {
+			t.Fatalf("round %d attacker: err=%v alert=%v", round, err, res.Alert)
+		}
+		res, err := p.Run(victimWorld())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Alert != nil {
+			t.Fatalf("round %d: stale tag bled through the pool recycle: %v", round, res.Alert)
+		}
+	}
+	if st := p.Stats(); st.ClearedPages == 0 {
+		t.Fatalf("pool recycles cleared no tag pages (stats %+v); Clear is not wired into the recycle path", st)
+	}
+}

@@ -86,19 +86,64 @@ func TestStepHookErrorTrapsOracle(t *testing.T) {
 	}
 }
 
-// Reset and Spawn must both carry the hook over.
-func TestHookSurvivesResetAndSpawn(t *testing.T) {
+// Spawn carries the hook over (threads of one run share its observer);
+// Reset does not (a reset machine is a new run with a new identity) —
+// ResetKeepIdentity is the explicit opt-in for the legacy carry-over.
+func TestHookSurvivesSpawnNotReset(t *testing.T) {
 	p := hookProg(t)
 	m := New(p, mem.New())
 	h := &countingHook{}
 	m.Hook = h
-	m.Reset()
-	if m.Hook != StepHook(h) {
-		t.Error("Reset dropped the hook")
-	}
 	s := NewScheduler(m)
 	tid := s.Spawn(0, 0, 0x1000)
 	if s.Threads[tid].Hook != StepHook(h) {
 		t.Error("Spawn did not inherit the hook")
+	}
+
+	m.Reset()
+	if m.Hook != nil {
+		t.Error("Reset carried the previous run's hook into the next run")
+	}
+	m.Hook = h
+	m.ResetKeepIdentity()
+	if m.Hook != StepHook(h) {
+		t.Error("ResetKeepIdentity dropped the hook")
+	}
+}
+
+// The machine-reuse lifecycle bug: a pooled guest Reset between two
+// sequential runs kept the first run's TID and Hook, so the second
+// run's retirements were delivered to the first run's observer and
+// stamped with its thread id. Reset must hand the next run a clean
+// identity. (This test failed before the fix: run2's retirements
+// landed in run1's hook and the TID stayed 3.)
+func TestResetClearsPerRunIdentity(t *testing.T) {
+	p := hookProg(t)
+	m := New(p, mem.New())
+	m.TID = 3 // as a scheduler of run 1 would have set
+	h1 := &countingHook{}
+	m.Hook = h1
+
+	// Run 1, observed by h1.
+	for i := 0; i < len(p.Text); i++ {
+		if trap := m.Step(); trap != nil {
+			t.Fatalf("run 1 step %d: %v", i, trap)
+		}
+	}
+	run1 := h1.post
+
+	// Recycle. Run 2 belongs to a different request: its retirements
+	// must not reach h1, and its thread identity must start clean.
+	m.Reset()
+	if m.TID != 0 {
+		t.Errorf("Reset kept run 1's TID %d", m.TID)
+	}
+	for i := 0; i < len(p.Text); i++ {
+		if trap := m.Step(); trap != nil {
+			t.Fatalf("run 2 step %d: %v", i, trap)
+		}
+	}
+	if h1.post != run1 {
+		t.Errorf("run 2 retirements misattributed to run 1's hook: %d -> %d", run1, h1.post)
 	}
 }

@@ -324,9 +324,30 @@ func New(p *isa.Program, m *mem.Memory) *Machine {
 // selection and translation cache survive for the same reason — the
 // cache holds compiled program text, which a Reset does not change, so
 // dropping it would force a full recompile on every rerun.
+//
+// Per-run identity does NOT survive: TID and Hook are cleared. Both
+// belong to one run — the TID is assigned by that run's scheduler, and
+// the hook (oracle, tracer, tag pipeline) holds that run's shadow
+// state — so carrying them into a reused machine misattributes the next
+// run's trace slices to the previous thread and feeds a live checker a
+// machine it no longer models. A pooled guest recycled with a stale
+// hook would hand request N's oracle request N+1's retirement stream.
+// Callers that genuinely re-run the same configuration (bench reruns
+// with one standing observer) opt back in with ResetKeepIdentity.
 func (m *Machine) Reset() {
+	m.reset(0, nil)
+}
+
+// ResetKeepIdentity is Reset preserving the machine's TID and Hook —
+// the legacy behavior, for reruns where the caller guarantees the
+// observer and thread identity really do span runs.
+func (m *Machine) ResetKeepIdentity() {
+	m.reset(m.TID, m.Hook)
+}
+
+func (m *Machine) reset(tid int, hook StepHook) {
 	st := m.Stats
-	*m = Machine{Prog: m.Prog, Mem: m.Mem, OS: m.OS, Feat: m.Feat, Costs: m.Costs, Budget: m.Budget, TID: m.TID, Hook: m.Hook, UnsafePreempt: m.UnsafePreempt, Stats: st, Engine: m.Engine, tc: m.tc, tcText: m.tcText}
+	*m = Machine{Prog: m.Prog, Mem: m.Mem, OS: m.OS, Feat: m.Feat, Costs: m.Costs, Budget: m.Budget, TID: tid, Hook: hook, UnsafePreempt: m.UnsafePreempt, Stats: st, Engine: m.Engine, tc: m.tc, tcText: m.tcText}
 	if st != nil {
 		prof := st.Profile
 		*st = Stats{}

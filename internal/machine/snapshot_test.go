@@ -1,0 +1,48 @@
+package machine
+
+import (
+	"testing"
+
+	"shift/internal/isa"
+	"shift/internal/mem"
+)
+
+// RestoreRegs must return a run machine to its captured post-load
+// state — registers, predicates, PC — with zeroed accounting and a
+// clean identity, and a restored rerun must be cycle-identical.
+func TestSnapshotRestoreRegs(t *testing.T) {
+	p := hookProg(t)
+	m := New(p, mem.New())
+	m.GR[isa.RegSP] = int64(mem.Addr(2, 0x1000))
+	m.TID = 0
+	snap := m.SnapshotRegs()
+
+	run := func() uint64 {
+		for i := 0; i < len(p.Text); i++ {
+			if trap := m.Step(); trap != nil {
+				t.Fatalf("step %d: %v", i, trap)
+			}
+		}
+		return m.Cycles
+	}
+	c1 := run()
+	m.TID = 9
+	m.Hook = &countingHook{}
+
+	m.RestoreRegs(snap)
+	if m.PC != snap.PC || m.GR[isa.RegSP] != snap.GR[isa.RegSP] {
+		t.Fatalf("arch state not restored: pc=%d sp=%#x", m.PC, m.GR[isa.RegSP])
+	}
+	if m.GR[1] != 0 || m.GR[3] != 0 {
+		t.Fatalf("run 1 register values survived restore: r1=%d r3=%d", m.GR[1], m.GR[3])
+	}
+	if m.Cycles != 0 || m.Retired != 0 || m.Halted {
+		t.Fatal("accounting not zeroed by restore")
+	}
+	if m.TID != 0 || m.Hook != nil {
+		t.Fatal("restore kept per-run identity")
+	}
+	if c2 := run(); c2 != c1 {
+		t.Fatalf("restored rerun not cycle-identical: %d vs %d", c2, c1)
+	}
+}

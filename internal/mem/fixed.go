@@ -4,8 +4,10 @@
 // and the width dispatch is resolved at the call site. The translated-
 // block engine binds one of these per decoded memory instruction, so the
 // per-access validation work is exactly one compare-and-branch on the
-// common path. Fault classification, cache accounting and TLB behaviour
-// are identical to the generic paths.
+// common path. Fault classification, cache accounting, TLB behaviour and
+// dirty-page tracking are identical to the generic paths — the sized
+// writers MUST mark dirty pages exactly as Write does, or a pooled
+// guest's Restore silently skips everything the block engine stored.
 package mem
 
 import "encoding/binary"
@@ -105,6 +107,9 @@ func (m *Memory) Write8(addr uint64, v uint64) *Fault {
 	if m.Cache != nil {
 		m.Cache.Access(addr)
 	}
+	if m.track {
+		m.markDirty(addr >> pageBits)
+	}
 	p := m.frame(addr, true)
 	base := addr & (pageSize - 1)
 	binary.LittleEndian.PutUint64(p[base:base+8], v)
@@ -122,6 +127,9 @@ func (m *Memory) Write4(addr uint64, v uint64) *Fault {
 	}
 	if m.Cache != nil {
 		m.Cache.Access(addr)
+	}
+	if m.track {
+		m.markDirty(addr >> pageBits)
 	}
 	p := m.frame(addr, true)
 	base := addr & (pageSize - 1)
@@ -141,6 +149,9 @@ func (m *Memory) Write2(addr uint64, v uint64) *Fault {
 	if m.Cache != nil {
 		m.Cache.Access(addr)
 	}
+	if m.track {
+		m.markDirty(addr >> pageBits)
+	}
 	p := m.frame(addr, true)
 	base := addr & (pageSize - 1)
 	binary.LittleEndian.PutUint16(p[base:base+2], uint16(v))
@@ -158,6 +169,9 @@ func (m *Memory) Write1(addr uint64, v uint64) *Fault {
 	}
 	if m.Cache != nil {
 		m.Cache.Access(addr)
+	}
+	if m.track {
+		m.markDirty(addr >> pageBits)
 	}
 	p := m.frame(addr, true)
 	p[addr&(pageSize-1)] = byte(v)

@@ -114,6 +114,28 @@ type Memory struct {
 	Cache   *Cache // optional L1 model; nil disables cache accounting
 	touched uint64 // pages allocated, for footprint reporting
 
+	// base, when non-nil, is a read-only copy-on-write layer under the
+	// private page table (see snapshot.go): reads of a page absent from
+	// pages serve from base directly, and the first write copies the
+	// frame up. Base frames are shared across memories and never
+	// mutated, so the TLB must never cache one — only private frames
+	// enter it. baseKeys is the snapshot's per-region key index.
+	base     map[uint64]*[pageSize]byte
+	baseKeys [8][]uint64
+
+	// Dirty-page tracking for Restore (see snapshot.go). track gates
+	// the bookkeeping so untracked memories pay one branch per write;
+	// lastDirty is a one-entry cache absorbing consecutive writes to
+	// one page.
+	track     bool
+	dirty     map[uint64]struct{}
+	lastDirty uint64
+
+	// regionKeys indexes private page keys by region, appended once at
+	// allocation, so region-scoped sweeps (ZeroRegionPages — the taint
+	// space's O(tagged-bytes) Clear) never walk the whole page table.
+	regionKeys [8][]uint64
+
 	// Software-TLB accounting. Plain (non-atomic) counters: frame runs on
 	// the simulator's hottest path, and the single-goroutine scheduler is
 	// the only writer; readers (metrics exposition) sample after or
@@ -219,15 +241,32 @@ func (m *Memory) frame(addr uint64, alloc bool) *[pageSize]byte {
 	m.tlbMisses++
 	p := m.pages[key]
 	if p == nil {
-		if !alloc {
+		if b := m.base[key]; b != nil {
+			if !alloc {
+				// Serve the shared base frame directly — but never cache
+				// it in the TLB, or a later write hitting the cached
+				// entry would mutate the shared snapshot.
+				return b
+			}
+			p = new([pageSize]byte)
+			*p = *b
+		} else if alloc {
+			p = new([pageSize]byte)
+		} else {
 			return nil
 		}
-		p = new([pageSize]byte)
-		m.pages[key] = p
-		m.touched++
+		m.addPage(key, p)
 	}
 	e.key, e.frame = key, p
 	return p
+}
+
+// addPage installs a freshly allocated private frame and indexes it.
+func (m *Memory) addPage(key uint64, p *[pageSize]byte) {
+	m.pages[key] = p
+	m.touched++
+	r := pageRegion(key) & 7
+	m.regionKeys[r] = append(m.regionKeys[r], key)
 }
 
 // Read reads size bytes (1, 2, 4 or 8) little-endian.
@@ -277,6 +316,9 @@ func (m *Memory) Write(addr uint64, size int, v uint64) *Fault {
 	}
 	if m.Cache != nil {
 		m.Cache.Access(addr)
+	}
+	if m.track {
+		m.markDirty(addr >> pageBits)
 	}
 	p := m.frame(addr, true)
 	base := addr & (pageSize - 1)
@@ -367,6 +409,9 @@ func (m *Memory) WriteBytes(addr uint64, b []byte) *Fault {
 			if chunk > len(b) {
 				chunk = len(b)
 			}
+			if m.track {
+				m.markDirty(addr >> pageBits)
+			}
 			copy(m.frame(addr, true)[base:base+chunk], b[:chunk])
 			b = b[chunk:]
 			addr += uint64(chunk)
@@ -377,6 +422,9 @@ func (m *Memory) WriteBytes(addr uint64, b []byte) *Fault {
 		a := addr + uint64(i)
 		if f := m.check(a, 1); f != nil {
 			return f
+		}
+		if m.track {
+			m.markDirty(a >> pageBits)
 		}
 		m.frame(a, true)[a&(pageSize-1)] = c
 	}
@@ -446,6 +494,9 @@ func (m *Memory) SharedPeek1(addr uint64) (byte, *Fault) {
 	p := m.pages[key]
 	m.shmu.RUnlock()
 	if p == nil {
+		if b := m.base[key]; b != nil {
+			return b[addr&(pageSize-1)], nil
+		}
 		return 0, nil
 	}
 	return p[addr&(pageSize-1)], nil
@@ -469,10 +520,15 @@ func (m *Memory) SharedWrite1(addr uint64, v byte) *Fault {
 		m.shmu.Lock()
 		if p = m.pages[key]; p == nil {
 			p = new([pageSize]byte)
-			m.pages[key] = p
-			m.touched++
+			if b := m.base[key]; b != nil {
+				*p = *b
+			}
+			m.addPage(key, p)
 		}
 		m.shmu.Unlock()
+	}
+	if m.track {
+		m.markDirtyShared(key)
 	}
 	p[addr&(pageSize-1)] = v
 	return nil

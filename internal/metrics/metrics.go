@@ -22,6 +22,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing uint64.
@@ -275,10 +276,38 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
+// Default timeouts for NewServer. A metrics exposition is a small,
+// fast response; anything still reading or writing after these bounds
+// is a stuck or malicious client holding a connection (and eventually a
+// file descriptor) hostage.
+const (
+	DefaultReadHeaderTimeout = 5 * time.Second
+	DefaultReadTimeout       = 10 * time.Second
+	DefaultWriteTimeout      = 30 * time.Second
+	DefaultIdleTimeout       = 60 * time.Second
+)
+
+// NewServer wraps a handler in an http.Server with every slow-client
+// timeout set. The zero-value http.Server has none, so one client that
+// connects and never finishes its request headers pins a goroutine and
+// a connection forever — with enough of them, the process runs out of
+// descriptors. Both the metrics endpoint and cmd/shiftd build their
+// front ends through this constructor.
+func NewServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: DefaultReadHeaderTimeout,
+		ReadTimeout:       DefaultReadTimeout,
+		WriteTimeout:      DefaultWriteTimeout,
+		IdleTimeout:       DefaultIdleTimeout,
+	}
+}
+
 // Serve starts an HTTP listener on addr (e.g. ":9090", "127.0.0.1:0")
 // with the exposition at /metrics and at /. It returns the bound
 // listener so callers can learn the port and close it; the serve loop
-// runs in a background goroutine until the listener closes.
+// runs in a background goroutine until the listener closes. The server
+// carries the NewServer slow-client timeouts.
 func (r *Registry) Serve(addr string) (net.Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -287,7 +316,7 @@ func (r *Registry) Serve(addr string) (net.Listener, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.Handler())
 	mux.Handle("/", r.Handler())
-	srv := &http.Server{Handler: mux}
+	srv := NewServer(mux)
 	go func() { _ = srv.Serve(ln) }()
 	return ln, nil
 }

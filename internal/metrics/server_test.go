@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// Every slow-client timeout must be set: a zero value on any of them
+// lets one stuck client pin a connection (and its goroutine) forever.
+func TestNewServerSetsAllTimeouts(t *testing.T) {
+	srv := NewServer(http.NotFoundHandler())
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout unset")
+	}
+	if srv.ReadTimeout <= 0 {
+		t.Error("ReadTimeout unset")
+	}
+	if srv.WriteTimeout <= 0 {
+		t.Error("WriteTimeout unset")
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout unset")
+	}
+}
+
+// A client that connects, dribbles half a request line and then stalls
+// must be disconnected once the read timeouts expire — before the fix,
+// the default http.Server waited on it indefinitely.
+func TestSlowClientIsDisconnected(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	reg.Counter("x_total").Inc()
+	srv := NewServer(reg.Handler())
+	srv.ReadHeaderTimeout = 100 * time.Millisecond
+	srv.ReadTimeout = 100 * time.Millisecond
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, "GET /metr"); err != nil {
+		t.Fatal(err)
+	}
+	// The server must close the connection on its own; the deadline here
+	// is only a backstop so a regression fails instead of hanging.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	_, err = io.ReadAll(conn)
+	if err != nil {
+		t.Fatalf("server did not close the stalled connection: %v", err)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("disconnect took %v, want ~ReadTimeout", d)
+	}
+
+	// A well-behaved client must still be served.
+	resp, err := http.Get(fmt.Sprintf("http://%s/", ln.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "# TYPE x_total counter\nx_total 1\n"; string(body) != want {
+		t.Fatalf("exposition = %q, want %q", body, want)
+	}
+}

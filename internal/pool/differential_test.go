@@ -1,0 +1,178 @@
+package pool
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"shift/internal/attacks"
+	"shift/internal/isa"
+	"shift/internal/loader"
+	"shift/internal/machine"
+	"shift/internal/mem"
+	"shift/internal/policy"
+	"shift/internal/shift"
+	"shift/internal/taint"
+	"shift/internal/workload"
+)
+
+// runState is everything observable about one run: guest outputs, exit
+// and stop condition, cycle accounting, final architectural register
+// state, and the tag bitmap (as a content digest of region 0). Reuse is
+// transparent exactly when all of it matches a fresh machine's.
+type runState struct {
+	Stdout  string
+	NetOut  string
+	HTMLOut string
+	SQLLog  []string
+	SysLog  []string
+	Opened  []string
+	Exit    int64
+	Alert   string
+	Trap    string
+	Cycles  uint64
+	Retired uint64
+	GR      [isa.NumGR]int64
+	NaT     [isa.NumGR]bool
+	PR      [isa.NumPR]bool
+	PC      int
+	TagDig  uint64
+}
+
+func capture(res *shift.Result) *runState {
+	s := &runState{
+		Stdout:  string(res.World.Stdout),
+		NetOut:  string(res.World.NetOut),
+		HTMLOut: string(res.World.HTMLOut),
+		SQLLog:  res.World.SQLLog,
+		SysLog:  res.World.SysLog,
+		Opened:  res.World.Opened,
+		Exit:    res.ExitStatus,
+		Cycles:  res.Cycles,
+		Retired: res.Retired,
+		GR:      res.Machine.GR,
+		NaT:     res.Machine.NaT,
+		PR:      res.Machine.PR,
+		PC:      res.Machine.PC,
+		TagDig:  res.Machine.Mem.RegionDigest(0),
+	}
+	if res.Alert != nil {
+		s.Alert = res.Alert.String()
+	}
+	if res.Trap != nil {
+		s.Trap = res.Trap.Error()
+	}
+	return s
+}
+
+// diffReuse is the core assertion: a program run on a snapshot/restored
+// guest — twice, with the guest recycled in between and the lockstep
+// oracle attached on the second run — must be indistinguishable from a
+// fresh machine in every captured observable.
+func diffReuse(t *testing.T, prog *isa.Program, opt shift.Options, world func() *shift.World) {
+	t.Helper()
+	ref, err := shift.Run(prog, world(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := capture(ref)
+
+	img, err := loader.Load(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := img.Mem.Snapshot()
+	regs := img.NewMachine().SnapshotRegs()
+	m := mem.NewFromSnapshot(snap)
+	m.Cache = mem.NewCache(16*1024, 64)
+	mach := machine.New(prog, m)
+	mach.RestoreRegs(regs)
+
+	conf := opt.Policy
+	if conf == nil {
+		conf = policy.DefaultConfig()
+	}
+	gran := opt.Granularity
+	if opt.Policy != nil {
+		gran = conf.Granularity
+	}
+	tags := taint.NewSpace(m, gran)
+	engine := policy.NewEngine(conf)
+
+	run := func(o shift.Options) *runState {
+		t.Helper()
+		w := world()
+		w.HeapBase, w.StackTop = img.HeapBase, img.StackTop
+		w.Tags, w.Engine = tags, engine
+		res, err := shift.RunOn(mach, w, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return capture(res)
+	}
+
+	assertSame := func(label string, got *runState) {
+		t.Helper()
+		if reflect.DeepEqual(want, got) {
+			return
+		}
+		wv, gv := reflect.ValueOf(*want), reflect.ValueOf(*got)
+		for i := 0; i < wv.NumField(); i++ {
+			if !reflect.DeepEqual(wv.Field(i).Interface(), gv.Field(i).Interface()) {
+				t.Errorf("%s: %s diverged from fresh machine:\n fresh: %.200v\nreused: %.200v",
+					label, wv.Type().Field(i).Name, wv.Field(i).Interface(), gv.Field(i).Interface())
+			}
+		}
+	}
+
+	assertSame("first reused run", run(opt))
+
+	tags.Clear()
+	m.Restore(snap)
+	mach.RestoreRegs(regs)
+
+	withOracle := opt
+	withOracle.Oracle = true
+	assertSame("second reused run (oracle lockstep)", run(withOracle))
+}
+
+// Every Figure-7 workload, reused-guest vs fresh.
+func TestDifferentialReuseWorkloads(t *testing.T) {
+	for _, b := range workload.All() {
+		t.Run(b.Name, func(t *testing.T) {
+			conf := b.Config()
+			opt := shift.Options{Instrument: true, Policy: conf}
+			prog, err := shift.Build([]shift.Source{{Name: b.Name + ".mc", Text: b.Source}}, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := b.RefScale / 16
+			if sc < 512 {
+				sc = 512
+			}
+			diffReuse(t, prog, opt, func() *shift.World { return b.World(sc) })
+		})
+	}
+}
+
+// Every Table-2 attack — benign and exploit inputs — reused-guest vs
+// fresh: detection verdicts, traps and forensics inputs must not shift
+// by a cycle when the guest has a history.
+func TestDifferentialReuseAttacks(t *testing.T) {
+	for _, a := range attacks.All() {
+		conf := a.Config()
+		opt := shift.Options{Instrument: true, Policy: conf}
+		prog, err := shift.Build([]shift.Source{{Name: a.Program, Text: a.Source}}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range []struct {
+			label string
+			world func() *shift.World
+		}{{"benign", a.Benign}, {"exploit", a.Exploit}} {
+			t.Run(fmt.Sprintf("%s/%s", a.Program, c.label), func(t *testing.T) {
+				diffReuse(t, prog, opt, c.world)
+			})
+		}
+	}
+}

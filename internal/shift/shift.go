@@ -229,7 +229,25 @@ func Run(prog *isa.Program, world *World, opt Options) (*Result, error) {
 		world = NewWorld()
 	}
 	world.HeapBase = img.HeapBase
+	world.StackTop = img.StackTop
+	return RunOn(img.NewMachine(), world, opt)
+}
 
+// RunOn executes world on an already-constructed machine: the full Run
+// wiring — tag space, policy engine, oracle, decoupled tag pipeline,
+// observability hooks, scheduler — applied to a machine the caller
+// built. This is the reuse seam for pooled guests (internal/pool):
+// a recycled machine restored from a snapshot re-enters here for each
+// request instead of paying loader.Load again. The caller owns the
+// pieces Run normally derives from the loader image: world.HeapBase
+// and world.StackTop must be set, and a pre-created world.Tags /
+// world.Engine are kept (so a pool can Clear one tag space across
+// runs); when nil and opt.Instrument is set, fresh ones are created
+// over mach.Mem.
+func RunOn(mach *machine.Machine, world *World, opt Options) (*Result, error) {
+	if world == nil {
+		world = NewWorld()
+	}
 	conf := opt.Policy
 	if conf == nil {
 		conf = policy.DefaultConfig()
@@ -239,11 +257,14 @@ func Run(prog *isa.Program, world *World, opt Options) (*Result, error) {
 		if opt.Policy != nil {
 			gran = conf.Granularity
 		}
-		world.Tags = taint.NewSpace(img.Mem, gran)
-		world.Engine = policy.NewEngine(conf)
+		if world.Tags == nil {
+			world.Tags = taint.NewSpace(mach.Mem, gran)
+		}
+		if world.Engine == nil {
+			world.Engine = policy.NewEngine(conf)
+		}
 	}
 
-	mach := img.NewMachine()
 	mach.OS = world
 	mach.Engine = opt.Engine
 	mach.Feat = opt.Features
@@ -343,7 +364,6 @@ func Run(prog *isa.Program, world *World, opt Options) (*Result, error) {
 		opt.Metrics.GaugeFunc("shift_block_invalidations", sumBlocks(func(s *machine.BlockStats) uint64 { return s.Invalidations }))
 		opt.Metrics.GaugeFunc("shift_block_cache_evictions", machine.TranslationEvictions)
 	}
-	world.StackTop = img.StackTop
 
 	trap := sched.Run()
 	if obs != nil {

@@ -163,6 +163,30 @@ func (s *Space) writeTag(tb uint64, v byte) *mem.Fault {
 	return s.Mem.Write(tb, 1, uint64(v))
 }
 
+// Clear unmarks every tag in the space: after it, no address is tainted.
+// Cost is O(tagged bytes), not O(memory): the tag bitmap packs 8 tracked
+// units per byte into region 0, and the clear zeroes only the region-0
+// pages actually resident (found through the memory's per-region page
+// index), skipping already-zero ones. This is the pool-recycle reset —
+// a taint.Space reused across requests without it leaks request N's tag
+// bits into request N+1 (the cross-request bleed attack class; see
+// internal/attacks' pool-recycle test). It returns the number of pages
+// that held tags. In shared mode every shard lock is taken for the
+// sweep, so a concurrent read-modify-write cannot interleave mid-clear.
+func (s *Space) Clear() int {
+	if s.shards != nil {
+		for i := range s.shards {
+			s.shards[i].Lock()
+		}
+		defer func() {
+			for i := range s.shards {
+				s.shards[i].Unlock()
+			}
+		}()
+	}
+	return s.Mem.ZeroRegionPages(0)
+}
+
 // SetRange marks [addr, addr+n) tainted. Host-side (taint sources).
 func (s *Space) SetRange(addr uint64, n uint64) error {
 	return s.setRange(addr, n, true)
