@@ -24,7 +24,7 @@ func finitePositive(v float64) bool {
 // cores is the host's CPU count: the decoupled-pipeline speedup floor
 // only applies on hosts with at least four cores, since the pipeline
 // needs spare cores to beat inline checking at all.
-func gateFailures(rep, baseline *Report, ratioSlack, overheadMax, tagpipeFloor, pooledSlack float64, cores int) []string {
+func gateFailures(rep, baseline *Report, ratioSlack, overheadMax, tagpipeFloor, pooledSlack, selectiveSlack float64, cores int) []string {
 	var fails []string
 	bad := func(format string, args ...any) {
 		fails = append(fails, fmt.Sprintf(format, args...))
@@ -100,6 +100,32 @@ func gateFailures(rep, baseline *Report, ratioSlack, overheadMax, tagpipeFloor, 
 			if ceil := baseline.PooledP99Ns * (1 + pooledSlack); rep.PooledP99Ns > ceil {
 				bad("pooled p99 %.2f ms above ceiling %.2f ms (baseline %.2f ms + %.0f%% slack)",
 					rep.PooledP99Ns/1e6, ceil/1e6, baseline.PooledP99Ns/1e6, 100*pooledSlack)
+			}
+		}
+	}
+	// Property 5: selective instrumentation keeps paying on the
+	// taint-sparse workload. Baseline-relative like the block/interp
+	// ratio (same-machine comparison cancels host speed), skipped only
+	// when the baseline predates the selective measurement; a
+	// degenerate measurement is always a failure. The analysis must
+	// also actually skip sites — a selective build that keeps
+	// everything silently degrades to full instrumentation and the
+	// speedup gate would pass at 1.0x against a stale baseline.
+	if selectiveSlack > 0 {
+		switch {
+		case !finitePositive(rep.SelectiveFullNsPerOp) || !finitePositive(rep.SelectiveNsPerOp):
+			bad("degenerate selective measurement: full %v ns/op, selective %v ns/op",
+				rep.SelectiveFullNsPerOp, rep.SelectiveNsPerOp)
+		case !finitePositive(rep.SelectiveSpeedup):
+			bad("degenerate ratio: selective_speedup = %v", rep.SelectiveSpeedup)
+		case rep.SelectiveSitesSkip <= 0:
+			bad("selective build skipped no sites (kept %d): reachability pruning is inert",
+				rep.SelectiveSitesKept)
+		case finitePositive(baseline.SelectiveSpeedup):
+			floor := baseline.SelectiveSpeedup * (1 - selectiveSlack)
+			if rep.SelectiveSpeedup < floor {
+				bad("selective speedup %.3fx below floor %.3fx (baseline %.3fx - %.0f%% slack)",
+					rep.SelectiveSpeedup, floor, baseline.SelectiveSpeedup, 100*selectiveSlack)
 			}
 		}
 	}

@@ -20,15 +20,20 @@ func goodReport() *Report {
 		PooledReqPerSec:       1400,
 		PooledP99Ns:           20e6,
 		PoolSize:              4,
+		SelectiveFullNsPerOp:  9000,
+		SelectiveNsPerOp:      3000,
+		SelectiveSpeedup:      3.0,
+		SelectiveSitesKept:    5,
+		SelectiveSitesSkip:    120,
 	}
 }
 
 func goodBaseline() *Report {
-	return &Report{BlockSpeedup: 3.0, PooledReqPerSec: 1400, PooledP99Ns: 20e6}
+	return &Report{BlockSpeedup: 3.0, PooledReqPerSec: 1400, PooledP99Ns: 20e6, SelectiveSpeedup: 3.0}
 }
 
 func gate(rep, base *Report, cores int) []string {
-	return gateFailures(rep, base, 0.05, 0.02, 1.5, 0.40, cores)
+	return gateFailures(rep, base, 0.05, 0.02, 1.5, 0.40, 0.25, cores)
 }
 
 func TestGatePassesCleanReport(t *testing.T) {
@@ -116,7 +121,7 @@ func TestGateTagpipeFloor(t *testing.T) {
 		t.Errorf("tagpipe floor applied on a 2-core host: %v", fails)
 	}
 	// Disabled floor (0) never binds.
-	if fails := gateFailures(rep, goodBaseline(), 0.05, 0.02, 0, 0.40, 8); len(fails) != 0 {
+	if fails := gateFailures(rep, goodBaseline(), 0.05, 0.02, 0, 0.40, 0.25, 8); len(fails) != 0 {
 		t.Errorf("disabled tagpipe floor still binds: %v", fails)
 	}
 }
@@ -158,5 +163,47 @@ func TestGatePooledServer(t *testing.T) {
 		if len(fails) != 1 || !strings.Contains(fails[0], "degenerate pooled") {
 			t.Errorf("degenerate pooled measurement: %v", fails)
 		}
+	}
+}
+
+// The selective gate: degenerate measurements fail, an inert analysis
+// (no skipped sites) fails, a regressed speedup against the baseline
+// fails, and a baseline without the selective key skips the ratio check
+// but still demands a sane measurement.
+func TestGateSelectiveProperty(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Report)
+		want   string
+	}{
+		{"degenerate full", func(r *Report) { r.SelectiveFullNsPerOp = 0 }, "degenerate selective"},
+		{"degenerate selective", func(r *Report) { r.SelectiveNsPerOp = math.Inf(1) }, "degenerate selective"},
+		{"nan ratio", func(r *Report) { r.SelectiveSpeedup = math.NaN() }, "selective_speedup"},
+		{"inert pruning", func(r *Report) { r.SelectiveSitesSkip = 0 }, "skipped no sites"},
+		{"regressed", func(r *Report) { r.SelectiveSpeedup = 1.1 }, "below floor"},
+	} {
+		rep := goodReport()
+		tc.mutate(rep)
+		fails := gate(rep, goodBaseline(), 8)
+		if len(fails) == 0 {
+			t.Errorf("%s: passed the gate", tc.name)
+			continue
+		}
+		if !strings.Contains(strings.Join(fails, "\n"), tc.want) {
+			t.Errorf("%s: failures %v do not mention %q", tc.name, fails, tc.want)
+		}
+	}
+
+	// Pre-selective baseline: ratio check skipped, measurement checks kept.
+	old := goodBaseline()
+	old.SelectiveSpeedup = 0
+	rep := goodReport()
+	rep.SelectiveSpeedup = 1.1 // would fail against the refreshed baseline
+	if fails := gate(rep, old, 8); len(fails) != 0 {
+		t.Errorf("old baseline should skip the selective ratio: %v", fails)
+	}
+	rep.SelectiveNsPerOp = 0
+	if fails := gate(rep, old, 8); len(fails) == 0 {
+		t.Error("degenerate measurement passed with an old baseline")
 	}
 }

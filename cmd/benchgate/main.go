@@ -9,7 +9,7 @@
 //
 //	benchgate [-o BENCH_engines.json] [-baseline BENCH_engines.baseline.json]
 //	          [-best N] [-ratio-slack F] [-overhead-max F]
-//	          [-tagpipe-floor F] [-check]
+//	          [-tagpipe-floor F] [-selective-slack F] [-check]
 //
 // Each configuration runs N times and the fastest run is kept (CI
 // machines are noisy; the minimum is the most stable estimator of the
@@ -40,6 +40,7 @@ import (
 	"testing"
 
 	"shift/internal/asm"
+	"shift/internal/instrument"
 	"shift/internal/isa"
 	"shift/internal/machine"
 	"shift/internal/mem"
@@ -77,6 +78,16 @@ type Report struct {
 	PooledReqPerSec float64 `json:"requests_per_sec"`
 	PooledP99Ns     float64 `json:"p99_ns"`
 	PoolSize        int     `json:"pool_size"`
+	// Selective-instrumentation pair: the taint-sparse workload fully
+	// instrumented versus instrumented selectively (whole-program taint
+	// reachability keeps only sites that may touch taint).
+	// SelectiveSpeedup is full/selective: >1 means pruning pays. The
+	// site counts record how much of the program the analysis skipped.
+	SelectiveFullNsPerOp float64 `json:"selective_full_ns_per_op"`
+	SelectiveNsPerOp     float64 `json:"selective_ns_per_op"`
+	SelectiveSpeedup     float64 `json:"selective_speedup"`
+	SelectiveSitesKept   int     `json:"selective_sites_kept"`
+	SelectiveSitesSkip   int     `json:"selective_sites_skipped"`
 }
 
 // benchSource is the same ALU/load/store/branch mix as the repository's
@@ -164,11 +175,43 @@ void main() {
 }
 `
 
-// measureChecked times one full run of the instrumented tainted-loop
-// workload per iteration. Building is hoisted out of the timed region —
-// the gate compares checking regimes, not the compiler.
-func measureChecked(opt shift.Options, input []byte) float64 {
-	prog, err := shift.Build([]shift.Source{{Name: "checked.mc", Text: checkedSource}}, opt)
+// sparseSource is the taint-sparse workload for the selective pair: a
+// small tainted receive followed by a large clean compute loop over
+// untainted globals. Full instrumentation pays tag maintenance on every
+// access in the hot loop; the reachability analysis proves the loop
+// never touches taint and selective instrumentation skips it.
+const sparseSource = `
+char buf[16];
+int work[64];
+int out[1];
+void main() {
+	int n = recv(buf, 16);
+	int i;
+	int round;
+	int acc = 0;
+	for (i = 0; i < 64; i++) {
+		work[i] = i * 3;
+	}
+	for (round = 0; round < 40; round++) {
+		for (i = 0; i < 64; i++) {
+			acc += work[i] ^ round;
+			work[i] = acc & 0xffff;
+		}
+	}
+	int folded = 0;
+	for (i = 0; i < n; i++) {
+		folded += buf[i];
+	}
+	out[0] = folded & 0xff;
+	exit(0);
+}
+`
+
+// measureChecked times one full run of the given instrumented workload
+// per iteration. Building is hoisted out of the timed region — the gate
+// compares checking regimes, not the compiler.
+func measureChecked(src string, opt shift.Options, input []byte) float64 {
+	prog, err := shift.Build([]shift.Source{{Name: "checked.mc", Text: src}}, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate: build:", err)
 		os.Exit(1)
@@ -219,6 +262,7 @@ func main() {
 	overheadMax := flag.Float64("overhead-max", 0.02, "maximum untraced overhead fraction")
 	tagpipeFloor := flag.Float64("tagpipe-floor", 1.5, "minimum checked-inline/checked-decoupled speedup on hosts with >= 4 cores (0 disables)")
 	pooledSlack := flag.Float64("pooled-slack", 0.40, "allowed fractional loss of pooled req/s (and growth of pooled p99) vs the baseline")
+	selectiveSlack := flag.Float64("selective-slack", 0.25, "allowed fractional loss of selective-instrumentation speedup vs the baseline")
 	check := flag.Bool("check", false, "enforce the gate (exit 1 on regression)")
 	flag.Parse()
 
@@ -233,19 +277,27 @@ func main() {
 	input := []byte("benchgate tainted network input: 0123456789abcdef0123456789abcdef")
 	inlineOpt := shift.Options{Instrument: true, Oracle: true}
 	pipedOpt := shift.Options{Instrument: true, Decoupled: workers}
+	fullOpt := shift.Options{Instrument: true}
+	selStats := new(instrument.Stats)
+	selOpt := shift.Options{Instrument: true, Selective: true, InstrStats: selStats}
 	mins, instr := bestOfRounds(*bestOf, []func() (float64, uint64){
 		func() (float64, uint64) { return measure(machine.EngineBlock, nil) },
 		func() (float64, uint64) { return measure(machine.EngineInterp, nil) },
 		func() (float64, uint64) { return measure(machine.EngineBlock, machine.StepHook(nil)) },
-		func() (float64, uint64) { return measureChecked(inlineOpt, input), 0 },
-		func() (float64, uint64) { return measureChecked(pipedOpt, input), 0 },
+		func() (float64, uint64) { return measureChecked(checkedSource, inlineOpt, input), 0 },
+		func() (float64, uint64) { return measureChecked(checkedSource, pipedOpt, input), 0 },
+		func() (float64, uint64) { return measureChecked(sparseSource, fullOpt, input), 0 },
+		func() (float64, uint64) { return measureChecked(sparseSource, selOpt, input), 0 },
 	})
 	rep.BlockNsPerOp, rep.InterpNsPerOp, rep.UntracedNsPerOp = mins[0], mins[1], mins[2]
 	rep.CheckedInlineNsPerOp, rep.CheckedTagpipeNsPerOp = mins[3], mins[4]
+	rep.SelectiveFullNsPerOp, rep.SelectiveNsPerOp = mins[5], mins[6]
 	rep.GuestInstrPerRun = instr
 	rep.BlockSpeedup = rep.InterpNsPerOp / rep.BlockNsPerOp
 	rep.UntracedOverhead = rep.UntracedNsPerOp/rep.BlockNsPerOp - 1
 	rep.TagpipeSpeedup = rep.CheckedInlineNsPerOp / rep.CheckedTagpipeNsPerOp
+	rep.SelectiveSpeedup = rep.SelectiveFullNsPerOp / rep.SelectiveNsPerOp
+	rep.SelectiveSitesKept, rep.SelectiveSitesSkip = selStats.Kept, selStats.Skipped
 	rep.PoolSize = pooledPoolSize
 	pooledRPS, pooledP99, err := measurePooledBest(*bestOf)
 	if err != nil {
@@ -273,6 +325,9 @@ func main() {
 		rep.CheckedInlineNsPerOp, workers, rep.CheckedTagpipeNsPerOp, rep.TagpipeSpeedup)
 	fmt.Printf("benchgate: pooled server (%d guests) %.0f req/s, p99 %.2f ms\n",
 		rep.PoolSize, rep.PooledReqPerSec, rep.PooledP99Ns/1e6)
+	fmt.Printf("benchgate: selective full %.0f ns/op, selective %.0f ns/op (speedup %.3fx, %d/%d sites skipped)\n",
+		rep.SelectiveFullNsPerOp, rep.SelectiveNsPerOp, rep.SelectiveSpeedup,
+		rep.SelectiveSitesSkip, rep.SelectiveSitesKept+rep.SelectiveSitesSkip)
 
 	if !*check {
 		return
@@ -287,7 +342,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate: baseline:", err)
 		os.Exit(1)
 	}
-	fails := gateFailures(rep, &baseline, *ratioSlack, *overheadMax, *tagpipeFloor, *pooledSlack, runtime.NumCPU())
+	fails := gateFailures(rep, &baseline, *ratioSlack, *overheadMax, *tagpipeFloor, *pooledSlack, *selectiveSlack, runtime.NumCPU())
 	for _, f := range fails {
 		fmt.Fprintln(os.Stderr, "benchgate: FAIL:", f)
 	}

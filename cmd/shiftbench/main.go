@@ -4,7 +4,7 @@
 // Usage:
 //
 //	shiftbench [-experiment all|table1|table2|table3|fig6|fig7|fig8|fig9|ablation]
-//	           [-scale-div N] [-requests N] [-workers N] [-tagpipe N]
+//	           [-scale-div N] [-requests N] [-workers N] [-tagpipe N] [-selective]
 //	           [-engine block|interp] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -scale-div divides the benchmarks' reference input sizes (1 = the full
@@ -16,6 +16,9 @@
 // results; the flag exists for performance comparison). -tagpipe moves
 // the instrumented runs' shadow checking onto N decoupled pipeline
 // workers (0 = inline; verdicts are unchanged, throughput is not).
+// -selective applies whole-program taint-reachability analysis before
+// instrumenting, leaving statically taint-unreachable sites in their
+// original encoding (verdict-equivalent; lowers checked-run overhead).
 // -cpuprofile and -memprofile write pprof profiles for the performance
 // workflow in docs/PERFORMANCE.md.
 package main
@@ -38,6 +41,7 @@ func main() {
 	requests := flag.Int("requests", 1000, "Figure 6 request count")
 	workers := flag.Int("workers", 0, "max concurrent experiment cells (0 = NumCPU, 1 = serial)")
 	tagpipeN := flag.Int("tagpipe", 0, "decoupled tag-pipeline worker count for instrumented runs (0 = inline checking)")
+	selective := flag.Bool("selective", false, "instrument only statically taint-reachable sites in instrumented runs")
 	engineName := flag.String("engine", "block", "execution engine: block or interp")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -53,6 +57,7 @@ func main() {
 	}
 	bench.Workers = *workers
 	bench.Tagpipe = *tagpipeN
+	bench.Selective = *selective
 	engine, ok := machine.EngineFromString(*engineName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "shiftbench: unknown engine %q (want block or interp)\n", *engineName)

@@ -12,8 +12,10 @@
 //	shiftd -sweep           run the load harness and print a throughput table
 //
 // Flags: -addr, -pool (guests), -tagpipe (decoupled shadow workers per
-// request; 0 = inline tag maintenance), -sweep-requests, -sweep-max
-// (highest in-flight level, direct mode).
+// request; 0 = inline tag maintenance), -selective (instrument only
+// statically taint-reachable guest sites; the kept/skipped site counts
+// are exported as shift_selective_sites_* gauges), -sweep-requests,
+// -sweep-max (highest in-flight level, direct mode).
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"shift/internal/instrument"
 	"shift/internal/isa"
 	"shift/internal/metrics"
 	"shift/internal/pool"
@@ -35,19 +38,22 @@ import (
 )
 
 // buildOptions is the server's run configuration: instrumented guest,
-// default H-policies with network+file sources, and the decoupled tag
-// pipeline as the checker when workers > 0.
-func buildOptions(tagpipe int) shift.Options {
+// default H-policies with network+file sources, the decoupled tag
+// pipeline as the checker when workers > 0, and — when selective is
+// set — taint-reachability-pruned instrumentation.
+func buildOptions(tagpipe int, selective bool) shift.Options {
 	return shift.Options{
 		Instrument: true,
 		Policy:     workload.HTTPDConfig(),
 		Decoupled:  tagpipe,
+		Selective:  selective,
+		InstrStats: new(instrument.Stats),
 	}
 }
 
 // buildPool compiles the guest program and fills the warm pool.
-func buildPool(size, tagpipe int) (*pool.Pool, error) {
-	opt := buildOptions(tagpipe)
+func buildPool(size, tagpipe int, selective bool) (*pool.Pool, error) {
+	opt := buildOptions(tagpipe, selective)
 	prog, err := shift.Build([]shift.Source{{Name: "httpd.mc", Text: workload.HTTPDSource}}, opt)
 	if err != nil {
 		return nil, fmt.Errorf("building guest: %w", err)
@@ -56,8 +62,8 @@ func buildPool(size, tagpipe int) (*pool.Pool, error) {
 }
 
 // progOnly compiles the guest program (for callers that pool themselves).
-func progOnly(tagpipe int) (*isa.Program, shift.Options, error) {
-	opt := buildOptions(tagpipe)
+func progOnly(tagpipe int, selective bool) (*isa.Program, shift.Options, error) {
+	opt := buildOptions(tagpipe, selective)
 	prog, err := shift.Build([]shift.Source{{Name: "httpd.mc", Text: workload.HTTPDSource}}, opt)
 	return prog, opt, err
 }
@@ -70,10 +76,11 @@ func main() {
 	sweep := flag.Bool("sweep", false, "run the load harness and exit")
 	sweepRequests := flag.Int("sweep-requests", 2000, "requests per sweep level")
 	sweepMax := flag.Int("sweep-max", 10000, "highest in-flight level (direct mode)")
+	selective := flag.Bool("selective", false, "instrument only statically taint-reachable guest sites")
 	flag.Parse()
 
 	if *smoke {
-		if err := runSmoke(*poolSize, *tagpipe); err != nil {
+		if err := runSmoke(*poolSize, *tagpipe, *selective); err != nil {
 			fmt.Fprintln(os.Stderr, "shiftd: smoke: FAIL:", err)
 			os.Exit(1)
 		}
@@ -81,19 +88,28 @@ func main() {
 		return
 	}
 	if *sweep {
-		if err := runSweep(os.Stdout, *poolSize, *tagpipe, *sweepRequests, *sweepMax); err != nil {
+		if err := runSweep(os.Stdout, *poolSize, *tagpipe, *sweepRequests, *sweepMax, *selective); err != nil {
 			fmt.Fprintln(os.Stderr, "shiftd: sweep:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	p, err := buildPool(*poolSize, *tagpipe)
+	opt := buildOptions(*tagpipe, *selective)
+	prog, err := shift.Build([]shift.Source{{Name: "httpd.mc", Text: workload.HTTPDSource}}, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shiftd:", err)
+		os.Exit(1)
+	}
+	p, err := pool.New(prog, *poolSize, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "shiftd:", err)
 		os.Exit(1)
 	}
 	reg := metrics.NewRegistry()
+	if *selective {
+		shift.RegisterSelectiveMetrics(reg, opt.InstrStats)
+	}
 	srv := metrics.NewServer(newServer(p, reg).handler())
 
 	ln, err := net.Listen("tcp", *addr)

@@ -10,12 +10,15 @@ import (
 	"testing"
 
 	"shift/internal/metrics"
+	"shift/internal/pool"
+	"shift/internal/shift"
+	"shift/internal/workload"
 )
 
 // testServer builds one pooled server per test binary: pool fill means
 // instrumenting the guest once per guest, which dominates test time.
 var testServer = sync.OnceValues(func() (*server, error) {
-	p, err := buildPool(2, 1)
+	p, err := buildPool(2, 1, false)
 	if err != nil {
 		return nil, err
 	}
@@ -164,5 +167,42 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 	}
 	if st := s.pool.Stats(); st.Busy != 0 {
 		t.Fatalf("pool busy=%d after drain", st.Busy)
+	}
+}
+
+// A selectively instrumented guest pool serves the same traffic with
+// the same verdicts, and the site accounting lands on the registry as
+// the shift_selective_sites_* gauges.
+func TestSelectivePoolEquivalentVerdicts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a second guest pool")
+	}
+	opt := buildOptions(1, true)
+	prog, err := shift.Build([]shift.Source{{Name: "httpd.mc", Text: workload.HTTPDSource}}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pool.New(prog, 1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.InstrStats.Sites == 0 || opt.InstrStats.Kept == 0 {
+		t.Fatalf("selective build stats empty: %+v", *opt.InstrStats)
+	}
+	reg := metrics.NewRegistry()
+	shift.RegisterSelectiveMetrics(reg, opt.InstrStats)
+	if got := reg.Gauge("shift_selective_sites_kept").Value(); got != uint64(opt.InstrStats.Kept) {
+		t.Errorf("kept gauge = %d, want %d", got, opt.InstrStats.Kept)
+	}
+	ts := httptest.NewServer(newServer(p, reg).handler())
+	defer ts.Close()
+
+	want := string(docRoot()["/www/htdocs/index.html"])
+	if status, body := get(t, ts.URL+"/index.html"); status != http.StatusOK || body != want {
+		t.Fatalf("benign page: status %d body %q", status, body)
+	}
+	status, body := get(t, ts.URL+"/?file=..%2F..%2Fetc%2Fpasswd")
+	if status != http.StatusForbidden || !strings.Contains(body, "H2") {
+		t.Fatalf("exploit: status %d body %.200q, want 403 with H2", status, body)
 	}
 }

@@ -35,8 +35,8 @@ func httpGet(client *http.Client, url string) (int, []byte, error) {
 // benign content served byte-exact, 404 classification, exploit
 // detected with a forensic bundle (both in the 403 body and at
 // /forensics), metrics exposed, and a clean shutdown.
-func runSmoke(poolSize, tagpipe int) error {
-	p, err := buildPool(poolSize, tagpipe)
+func runSmoke(poolSize, tagpipe int, selective bool) error {
+	p, err := buildPool(poolSize, tagpipe, selective)
 	if err != nil {
 		return err
 	}
@@ -239,8 +239,8 @@ func runLevel(s *server, base string, client *http.Client, lv level) (*levelResu
 // need 2×10k descriptors; the direct mode measures the same serve path
 // minus the socket). Every level asserts response integrity and full
 // exploit detection.
-func runSweep(w io.Writer, poolSize, tagpipe, requests, maxInflight int) error {
-	p, err := buildPool(poolSize, tagpipe)
+func runSweep(w io.Writer, poolSize, tagpipe, requests, maxInflight int, selective bool) error {
+	p, err := buildPool(poolSize, tagpipe, selective)
 	if err != nil {
 		return err
 	}

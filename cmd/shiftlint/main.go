@@ -6,12 +6,22 @@
 //
 //	shiftlint [-json] [-instrument] [-gran byte|word] [-enhancements]
 //	          [-serialized-tags] [-optimize] [-per-function] [-per-use]
-//	          [-guards] prog.s | prog.mc
+//	          [-guards] [-reach] [-summary] prog.s | prog.mc
 //
 // Assembly sources (.s) are assembled and linted as-is; minic sources
 // (.mc) are compiled with the runtime library first. With -instrument
 // the SHIFT pass runs before the lint — its internal verification gate
 // is bypassed so this tool, not the pass, is the reporter.
+//
+// With -reach the contract lint is replaced by the whole-program taint
+// reachability analysis (internal/staticcheck/reach): per-basic-block
+// may-touch-taint facts plus a program summary, in human or JSON form.
+// It answers "what would selective instrumentation keep", so an
+// uninstrumented program exits 0.
+//
+// -summary appends one line — blocks, edges, and finding counts by
+// invariant — after the findings (to stderr under -json, keeping
+// stdout machine-readable).
 //
 // Exit status: 0 clean, 1 findings, 2 usage or build error.
 package main
@@ -22,14 +32,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"shift/internal/asm"
 	"shift/internal/instrument"
 	"shift/internal/isa"
 	"shift/internal/machine"
+	"shift/internal/policy"
 	"shift/internal/shift"
 	"shift/internal/staticcheck"
+	"shift/internal/staticcheck/reach"
 	"shift/internal/taint"
 )
 
@@ -43,6 +56,8 @@ type config struct {
 	perFunction bool
 	perUse      bool
 	guards      bool
+	reachOut    bool
+	summary     bool
 	path        string
 }
 
@@ -59,6 +74,8 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.BoolVar(&c.perFunction, "per-function", false, "regenerate the NaT source per function")
 	fs.BoolVar(&c.perUse, "per-use", false, "regenerate the NaT source per tainting site")
 	fs.BoolVar(&c.guards, "guards", false, "insert user-level violation guards")
+	fs.BoolVar(&c.reachOut, "reach", false, "report taint-reachability facts instead of linting")
+	fs.BoolVar(&c.summary, "summary", false, "append a one-line summary (blocks, edges, findings by invariant)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -87,17 +104,19 @@ func run(c *config, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	var gran taint.Granularity
+	switch c.gran {
+	case "byte":
+		gran = taint.Byte
+	case "word":
+		gran = taint.Word
+	default:
+		fmt.Fprintf(stderr, "shiftlint: unknown granularity %q\n", c.gran)
+		return 2
+	}
+
 	if c.instr {
-		opt := instrument.Options{SkipVerify: true}
-		switch c.gran {
-		case "byte":
-			opt.Gran = taint.Byte
-		case "word":
-			opt.Gran = taint.Word
-		default:
-			fmt.Fprintf(stderr, "shiftlint: unknown granularity %q\n", c.gran)
-			return 2
-		}
+		opt := instrument.Options{SkipVerify: true, Gran: gran}
 		if c.enhance {
 			opt.Feat = machine.Features{SetClrNaT: true, NaTAwareCmp: true}
 		}
@@ -111,6 +130,10 @@ func run(c *config, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "shiftlint:", err)
 			return 2
 		}
+	}
+
+	if c.reachOut {
+		return runReach(c, prog, gran, stdout, stderr)
 	}
 
 	findings := staticcheck.Check(prog)
@@ -129,11 +152,83 @@ func run(c *config, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%s: %s\n", c.path, f.String())
 		}
 	}
+	if c.summary {
+		// Under -json the summary goes to stderr so stdout stays a
+		// parseable findings array.
+		dst := stdout
+		if c.jsonOut {
+			dst = stderr
+		}
+		fmt.Fprintln(dst, summaryLine(prog, gran, findings))
+	}
 	if len(findings) > 0 {
 		if !c.jsonOut {
 			fmt.Fprintf(stdout, "shiftlint: %d finding(s)\n", len(findings))
 		}
 		return 1
+	}
+	return 0
+}
+
+// summaryLine renders the -summary line: CFG size plus finding counts
+// grouped by invariant, invariants in sorted order.
+func summaryLine(prog *isa.Program, gran taint.Granularity, findings []staticcheck.Finding) string {
+	a := reach.Analyze(prog, reach.Config{Sources: policy.DefaultConfig().Sources, Gran: gran})
+	s := a.Stats()
+	line := fmt.Sprintf("summary: blocks=%d edges=%d findings=%d", s.Blocks, s.Edges, len(findings))
+	byInv := map[string]int{}
+	for _, f := range findings {
+		byInv[f.Invariant]++
+	}
+	invs := make([]string, 0, len(byInv))
+	for inv := range byInv {
+		invs = append(invs, inv)
+	}
+	sort.Strings(invs)
+	for _, inv := range invs {
+		line += fmt.Sprintf(" %s=%d", inv, byInv[inv])
+	}
+	return line
+}
+
+// runReach reports the taint-reachability facts for prog and always
+// exits 0 on success: the analysis describes what selective
+// instrumentation would keep, it does not judge the program.
+func runReach(c *config, prog *isa.Program, gran taint.Granularity, stdout, stderr io.Writer) int {
+	a := reach.Analyze(prog, reach.Config{Sources: policy.DefaultConfig().Sources, Gran: gran})
+	stats := a.Stats()
+	blocks := a.Blocks()
+	if c.jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "\t")
+		out := struct {
+			Stats  reach.Stats       `json:"stats"`
+			Blocks []reach.BlockFact `json:"blocks"`
+		}{stats, blocks}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "shiftlint:", err)
+			return 2
+		}
+	} else {
+		for _, b := range blocks {
+			live := "live"
+			if !b.Live {
+				live = "dead"
+			}
+			fmt.Fprintf(stdout, "block %d-%d (%s): %s sites=%d kept=%d seeds=%d\n",
+				b.Start, b.End, b.Sym, live, b.Sites, b.Kept, b.Seeds)
+		}
+		fmt.Fprintf(stdout, "reach: blocks=%d edges=%d objects=%d tainted=%d all-tainted=%v rounds=%d sites=%d kept=%d skipped=%d dead=%d\n",
+			stats.Blocks, stats.Edges, stats.Objects, stats.Tainted,
+			stats.AllTainted, stats.Rounds, stats.Sites, stats.Kept,
+			stats.Skipped, stats.DeadSites)
+	}
+	if c.summary {
+		dst := stdout
+		if c.jsonOut {
+			dst = stderr
+		}
+		fmt.Fprintln(dst, summaryLine(prog, gran, staticcheck.Check(prog)))
 	}
 	return 0
 }

@@ -128,3 +128,80 @@ func TestUsageErrors(t *testing.T) {
 		t.Errorf("bad granularity: exit %d, want 2", code)
 	}
 }
+
+// -reach reports facts, not violations: the same uninstrumented
+// program that fails the contract lint exits 0 under -reach, with a
+// parseable per-block report that accounts for every site.
+func TestReachExitCodes(t *testing.T) {
+	const prog = `
+.data
+buf: .space 64
+.text
+.entry main
+main:
+	movl r32 = buf
+	movl r33 = 8
+	syscall 5
+	movl r1 = buf
+	ld8 r2 = [r1]
+	st8 [r1] = r2
+	movl r32 = 0
+	syscall 1
+`
+	path := writeTemp(t, "p.s", prog)
+
+	// Baseline: the contract lint flags the raw memory traffic.
+	if code, out, _ := lint(t, path); code != 1 {
+		t.Fatalf("plain lint: exit %d, want 1\n%s", code, out)
+	}
+
+	code, out, errb := lint(t, "-reach", path)
+	if code != 0 {
+		t.Fatalf("-reach: exit %d, want 0\n%s%s", code, out, errb)
+	}
+	if !strings.Contains(out, "reach: ") || !strings.Contains(out, "block ") {
+		t.Errorf("-reach output missing report lines:\n%s", out)
+	}
+
+	code, out, _ = lint(t, "-reach", "-json", path)
+	if code != 0 {
+		t.Fatalf("-reach -json: exit %d, want 0", code)
+	}
+	var rep struct {
+		Stats struct {
+			Sites int `json:"sites"`
+			Kept  int `json:"kept"`
+		} `json:"stats"`
+		Blocks []struct {
+			Live bool `json:"live"`
+		} `json:"blocks"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("-reach -json output not JSON: %v\n%s", err, out)
+	}
+	if rep.Stats.Sites != 2 || rep.Stats.Kept != 2 || len(rep.Blocks) == 0 {
+		t.Errorf("reach stats = %+v, want 2 sites both kept", rep)
+	}
+}
+
+// -summary appends one line with block/edge counts and per-invariant
+// finding counts; under -json it lands on stderr.
+func TestSummaryLine(t *testing.T) {
+	path := writeTemp(t, "bad.s", badProg)
+	code, out, _ := lint(t, "-summary", path)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "summary: blocks=") ||
+		!strings.Contains(out, "store-tag-update=") {
+		t.Errorf("summary line missing or incomplete:\n%s", out)
+	}
+
+	_, out, errb := lint(t, "-summary", "-json", path)
+	if strings.Contains(out, "summary:") {
+		t.Error("-json stdout polluted by the summary line")
+	}
+	if !strings.Contains(errb, "summary: blocks=") {
+		t.Errorf("summary line not on stderr under -json:\n%s", errb)
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	shiftrun [-protect] [-gran byte|word] [-enhancements] [-policy file]
+//	shiftrun [-protect] [-selective] [-gran byte|word] [-enhancements] [-policy file]
 //	         [-serialized-tags] [-unsafe-preempt] [-quantum n]
 //	         [-net string] [-stdin string] [-file name=path ...]
 //	         [-arg value ...] [-counters] [-oracle] [-tagpipe n]
@@ -16,6 +16,13 @@
 // pre-decoded basic blocks, interp runs the reference interpreter. Both
 // produce bit-identical results; interp exists as the differential
 // baseline and for debugging.
+//
+// -selective (with -protect) runs the whole-program taint-reachability
+// analysis first and leaves statically taint-unreachable sites
+// uninstrumented — same verdicts, fewer instrumented instructions. The
+// site accounting is printed after the run and exported as the
+// shift_selective_sites_kept / shift_selective_sites_skipped gauges
+// when -metrics is set.
 //
 // -net supplies network input (a taint source), -file mounts a host file
 // into the simulated filesystem, -arg appends a program argument.
@@ -50,6 +57,7 @@ import (
 	"os/signal"
 	"strings"
 
+	"shift/internal/instrument"
 	"shift/internal/isa"
 	"shift/internal/machine"
 	"shift/internal/metrics"
@@ -68,6 +76,7 @@ func (l *listFlag) Set(v string) error { *l = append(*l, v); return nil }
 
 func main() {
 	protect := flag.Bool("protect", false, "run under SHIFT taint tracking and policies")
+	selective := flag.Bool("selective", false, "with -protect, instrument only statically taint-reachable sites")
 	gran := flag.String("gran", "byte", "tracking granularity: byte or word")
 	enhance := flag.Bool("enhancements", false, "enable the proposed enhancement instructions")
 	policyFile := flag.String("policy", "", "policy configuration file")
@@ -99,8 +108,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "shiftrun:", err)
 		os.Exit(2)
 	}
+	var instrStats instrument.Stats
 	opt := shift.Options{
 		Instrument:     *protect,
+		Selective:      *selective && *protect,
+		InstrStats:     &instrStats,
 		Profile:        *profile,
 		Oracle:         *oracleOn,
 		Decoupled:      *tagpipeN,
@@ -221,6 +233,10 @@ func main() {
 		fmt.Printf("tagpipe: %d records in %d segments (%d direct), %d stalls, %d drains, %d sweeps\n",
 			s.Records.Load(), s.Segments.Load(), s.DirectSegs.Load(),
 			s.Stalls.Load(), s.Drains.Load(), s.Sweeps.Load())
+	}
+	if *selective && *protect {
+		fmt.Printf("selective: %d sites, %d instrumented, %d skipped\n",
+			instrStats.Sites, instrStats.Kept, instrStats.Skipped)
 	}
 	if *counters {
 		fmt.Printf("cycles: %d  instructions: %d\n", res.Cycles, res.Retired)

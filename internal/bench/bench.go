@@ -29,6 +29,12 @@ var Engine machine.Engine
 // not verdicts (see DESIGN.md "Decoupled tag pipeline").
 var Tagpipe int
 
+// Selective makes every instrumented benchmark run use selective
+// instrumentation (cmd/shiftbench's -selective flag): the whole-program
+// taint-reachability analysis keeps only sites that may touch taint.
+// Verdict-equivalent to full instrumentation; changes cycle counts only.
+var Selective bool
+
 // Config is one measurement configuration of the SHIFT system.
 type Config struct {
 	Key  string
@@ -95,6 +101,7 @@ func RunBenchmark(b *workload.Benchmark, scale int, cfg *Config) (*Measurement, 
 	opt.Engine = Engine
 	if opt.Instrument {
 		opt.Decoupled = Tagpipe
+		opt.Selective = Selective
 	}
 	res, err := shift.BuildAndRun(
 		[]shift.Source{{Name: b.Name + ".mc", Text: b.Source}}, b.World(scale), opt)

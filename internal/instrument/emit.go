@@ -30,10 +30,25 @@ type inserter struct {
 	// checker flags as an unconsumed speculative load.
 	needNaT  bool
 	needMask bool
+
+	// exempt is the output-index set of sites the selective pass left
+	// uninstrumented on the reachability analysis' word; the
+	// reachability-refined contract check skips exactly these.
+	exempt map[int]bool
 }
 
 func (in *inserter) copy(src *isa.Instruction) {
 	in.out.Text = append(in.out.Text, *src)
+}
+
+// skipSite copies src unmodified and records its output index as
+// analysis-sanctioned for the reachability-refined contract check.
+func (in *inserter) skipSite(src *isa.Instruction) {
+	if in.exempt == nil {
+		in.exempt = make(map[int]bool)
+	}
+	in.exempt[len(in.out.Text)] = true
+	in.copy(src)
 }
 
 // add appends an instrumentation instruction with the given cost class.

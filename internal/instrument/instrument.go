@@ -30,6 +30,7 @@ import (
 	"shift/internal/machine"
 	"shift/internal/mem"
 	"shift/internal/staticcheck"
+	"shift/internal/staticcheck/reach"
 	"shift/internal/taint"
 )
 
@@ -112,6 +113,50 @@ type Options struct {
 	// not a program to run. Tools that want to inspect a broken output
 	// (cmd/shiftlint) opt out and run the checker themselves.
 	SkipVerify bool
+	// Selective runs the whole-program taint-reachability analysis
+	// (internal/staticcheck/reach) first and leaves every site it proves
+	// can never touch tainted data in its original encoding: no tag
+	// consult on loads, no tag update on stores, no relaxation on
+	// compares. The post-pass contract verification runs in its
+	// reachability-refined mode (staticcheck.CheckSelective) so the
+	// sanctioned skips lint clean while everything else is still held to
+	// the full contract.
+	Selective bool
+	// SelectiveSources gates the analysis' taint seeds by policy channel
+	// ("file", "stdin", "network", "args"), mirroring how
+	// policy.Config.Sources gates run-time taint marking. nil enables
+	// every channel (most conservative). Only read under Selective.
+	SelectiveSources map[string]bool
+	// Stats, when non-nil, receives the pass' per-site accounting.
+	Stats *Stats
+	// ForceSkip (tests only) forces the sites at these *input* indexes to
+	// keep their original encoding, modelling an unsound reachability
+	// analysis: the skips are still exempted from the contract lint, so
+	// the run-time oracle — not the static gate — must catch the
+	// divergence. The mutation suite in internal/shift relies on this.
+	ForceSkip map[int]bool
+
+	// exemptOut, when set, receives the output-index exempt set (see
+	// Exempt).
+	exemptOut func(map[int]bool)
+}
+
+// Stats is the pass' site accounting: how many instrumentable sites the
+// input had and what happened to each.
+type Stats struct {
+	// Sites is every non-ABI load, store, cmpxchg and compare.
+	Sites int
+	// Kept sites received the full tag/relaxation sequence.
+	Kept int
+	// Skipped sites kept their original encoding because the
+	// reachability analysis proved them taint-free (or ForceSkip said
+	// so).
+	Skipped int
+	// CleanCompares kept their original encoding because the local
+	// cleanliness analysis proved both operands NaT-free — the full
+	// (non-selective) pass skips these too, so they are not counted as
+	// selective wins.
+	CleanCompares int
 }
 
 // Apply rewrites prog into its instrumented form. The input program is
@@ -157,12 +202,42 @@ func Apply(prog *isa.Program, opt Options) (*isa.Program, error) {
 		}
 	}
 
+	// Selective mode: solve taint reachability over the input program and
+	// precompute which sites may keep their original encoding.
+	skip := make([]bool, len(prog.Text))
+	if opt.Selective {
+		ra := reach.Analyze(prog, reach.Config{
+			Sources:    opt.SelectiveSources,
+			Gran:       opt.Gran,
+			Permissive: opt.Permissive,
+		})
+		for idx := range prog.Text {
+			src := &prog.Text[idx]
+			if src.ABI {
+				continue
+			}
+			switch src.Op {
+			case isa.OpLd, isa.OpLdFill:
+				skip[idx] = !ra.InstrumentLoad(idx)
+			case isa.OpSt, isa.OpStSpill, isa.OpCmpxchg:
+				skip[idx] = !ra.InstrumentStore(idx)
+			case isa.OpCmp, isa.OpCmpi:
+				skip[idx] = !ra.RelaxCompare(idx)
+			}
+		}
+	}
+	for idx := range opt.ForceSkip {
+		if opt.ForceSkip[idx] && idx >= 0 && idx < len(skip) {
+			skip[idx] = true
+		}
+	}
+
 	// The NaT-source register and the kept OffsetMask register are only
 	// generated when something consumes them; an unconsumed keep-live
 	// sequence is dead weight the static checker (rightly) flags.
 	for idx := range prog.Text {
 		src := &prog.Text[idx]
-		if src.ABI {
+		if src.ABI || skip[idx] {
 			continue
 		}
 		switch src.Op {
@@ -180,6 +255,7 @@ func Apply(prog *isa.Program, opt Options) (*isa.Program, error) {
 	mapping := make([]int, len(prog.Text)+1)
 	clean := newCleanTracker()
 	permissive := false
+	var stats Stats
 
 	for idx := range prog.Text {
 		mapping[idx] = len(ins.out.Text)
@@ -220,13 +296,45 @@ func Apply(prog *isa.Program, opt Options) (*isa.Program, error) {
 		case src.ABI:
 			ins.copy(src)
 		case src.Op == isa.OpLd || src.Op == isa.OpLdFill:
-			ins.emitLoad(src, permissive)
+			stats.Sites++
+			if skip[idx] {
+				stats.Skipped++
+				ins.skipSite(src)
+			} else {
+				stats.Kept++
+				ins.emitLoad(src, permissive)
+			}
 		case src.Op == isa.OpSt || src.Op == isa.OpStSpill:
-			ins.emitStore(src, permissive)
+			stats.Sites++
+			if skip[idx] {
+				stats.Skipped++
+				ins.skipSite(src)
+			} else {
+				stats.Kept++
+				ins.emitStore(src, permissive)
+			}
 		case src.Op == isa.OpCmpxchg:
-			ins.emitCmpxchg(src, permissive)
-		case (src.Op == isa.OpCmp || src.Op == isa.OpCmpi) && !clean.compareClean(src):
-			ins.emitRelaxedCmp(src)
+			stats.Sites++
+			if skip[idx] {
+				stats.Skipped++
+				ins.skipSite(src)
+			} else {
+				stats.Kept++
+				ins.emitCmpxchg(src, permissive)
+			}
+		case src.Op == isa.OpCmp || src.Op == isa.OpCmpi:
+			stats.Sites++
+			switch {
+			case skip[idx]:
+				stats.Skipped++
+				ins.skipSite(src)
+			case clean.compareClean(src):
+				stats.CleanCompares++
+				ins.copy(src)
+			default:
+				stats.Kept++
+				ins.emitRelaxedCmp(src)
+			}
 		case src.Op == isa.OpSyscall && opt.UserGuards:
 			ins.emitGuardedSyscall(src)
 		case src.Op == isa.OpMovToBr && opt.UserGuards:
@@ -269,10 +377,31 @@ func Apply(prog *isa.Program, opt Options) (*isa.Program, error) {
 		return nil, fmt.Errorf("instrument: %w", err)
 	}
 	if !opt.SkipVerify {
-		if findings := staticcheck.Check(ins.out); len(findings) > 0 {
+		// Reachability-refined contract check: analysis-sanctioned skips
+		// are exempt, everything else is held to the full contract.
+		if findings := staticcheck.CheckSelective(ins.out, ins.exempt); len(findings) > 0 {
 			return nil, fmt.Errorf("instrument: output violates the instrumentation contract (pass bug): %s (%d finding(s) total)",
 				findings[0].String(), len(findings))
 		}
 	}
+	if opt.Stats != nil {
+		*opt.Stats = stats
+	}
+	if opt.exemptOut != nil {
+		opt.exemptOut(ins.exempt)
+	}
 	return ins.out, nil
+}
+
+// ApplyWithExempt runs Apply and additionally returns the output-index
+// set of analysis-sanctioned uninstrumented sites, for tools that rerun
+// the contract checker themselves (cmd/shiftlint, the mutation suite).
+func ApplyWithExempt(prog *isa.Program, opt Options) (*isa.Program, map[int]bool, error) {
+	var ex map[int]bool
+	opt.exemptOut = func(m map[int]bool) { ex = m }
+	out, err := Apply(prog, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, ex, nil
 }

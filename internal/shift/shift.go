@@ -114,6 +114,15 @@ type Options struct {
 	// (tag-op counts, TLB/cache hit rates, slice occupancy, syscall
 	// latency histograms). Independent of Trace; either may be set alone.
 	Metrics *metrics.Registry
+	// Selective makes the instrumentation pass run the whole-program
+	// taint-reachability analysis (internal/staticcheck/reach) and leave
+	// provably taint-unreachable sites uninstrumented. The analysis'
+	// taint seeds follow the policy's Sources channels, so a selective
+	// build is specific to its policy configuration.
+	Selective bool
+	// InstrStats, when non-nil, receives the instrumentation pass' site
+	// accounting (total / kept / skipped) from Build.
+	InstrStats *instrument.Stats
 }
 
 // Build parses, checks, compiles and (optionally) instruments sources
@@ -154,14 +163,17 @@ func Build(sources []Source, opt Options) (*isa.Program, error) {
 		gran = conf.Granularity
 	}
 	return instrument.Apply(prog, instrument.Options{
-		Gran:           gran,
-		Feat:           opt.Features,
-		NaTPerFunction: opt.NaTPerFunction,
-		NaTPerUse:      opt.NaTPerUse,
-		Optimize:       opt.Optimize,
-		UserGuards:     opt.UserGuards,
-		SerializedTags: opt.SerializedTags,
-		Permissive:     conf.NoTrack,
+		Gran:             gran,
+		Feat:             opt.Features,
+		NaTPerFunction:   opt.NaTPerFunction,
+		NaTPerUse:        opt.NaTPerUse,
+		Optimize:         opt.Optimize,
+		UserGuards:       opt.UserGuards,
+		SerializedTags:   opt.SerializedTags,
+		Permissive:       conf.NoTrack,
+		Selective:        opt.Selective,
+		SelectiveSources: conf.Sources,
+		Stats:            opt.InstrStats,
 	})
 }
 
@@ -423,9 +435,25 @@ func RunOn(mach *machine.Machine, world *World, opt Options) (*Result, error) {
 
 // BuildAndRun is the one-call convenience used by examples and tests.
 func BuildAndRun(sources []Source, world *World, opt Options) (*Result, error) {
+	if opt.Selective && opt.Metrics != nil && opt.InstrStats == nil {
+		opt.InstrStats = new(instrument.Stats)
+	}
 	prog, err := Build(sources, opt)
 	if err != nil {
 		return nil, err
 	}
+	if opt.Selective && opt.Metrics != nil {
+		RegisterSelectiveMetrics(opt.Metrics, opt.InstrStats)
+	}
 	return Run(prog, world, opt)
+}
+
+// RegisterSelectiveMetrics publishes a selective build's site accounting
+// on reg: shift_selective_sites_kept / shift_selective_sites_skipped.
+func RegisterSelectiveMetrics(reg *metrics.Registry, st *instrument.Stats) {
+	if reg == nil || st == nil {
+		return
+	}
+	reg.Gauge("shift_selective_sites_kept").Set(uint64(st.Kept))
+	reg.Gauge("shift_selective_sites_skipped").Set(uint64(st.Skipped))
 }

@@ -7,33 +7,35 @@ import (
 	"shift/internal/isa"
 )
 
-// edgeKind classifies a control-flow edge; the dataflow solver applies a
+// EdgeKind classifies a control-flow edge; the dataflow solver applies a
 // different state transform per kind.
-type edgeKind uint8
+type EdgeKind uint8
 
 const (
-	edgeFall edgeKind = iota // straight-line successor
-	edgeJump                 // taken branch (br, chk.s taken)
-	edgeCall                 // br.call into the callee entry
-	edgeRet                  // continuation after a br.call returns
-	edgeInd                  // conservative indirect-branch edge
-	edgeChk                  // chk.s fallthrough: src1 proven NaT-free
+	EdgeFall EdgeKind = iota // straight-line successor
+	EdgeJump                 // taken branch (br, chk.s taken)
+	EdgeCall                 // br.call into the callee entry
+	EdgeRet                  // continuation after a br.call returns
+	EdgeInd                  // conservative indirect-branch edge
+	EdgeChk                  // chk.s fallthrough: src1 proven NaT-free
 )
 
-// edge is one outgoing control-flow edge. clr, when >= 0, names a
+// Edge is one outgoing control-flow edge. Clr, when >= 0, names a
 // register known NaT-free along this edge (the chk.s fallthrough).
-type edge struct {
-	to   int
-	kind edgeKind
-	clr  int16
+type Edge struct {
+	To   int
+	Kind EdgeKind
+	Clr  int16
 }
 
-// graph is the instruction-level control-flow graph of a program, with
+// Graph is the instruction-level control-flow graph of a program, with
 // every indirect branch conservatively wired to every code label.
-type graph struct {
+// It is shared between the in-package contract checker and the
+// taint-reachability analysis in the reach subpackage.
+type Graph struct {
 	prog  *isa.Program
-	succ  [][]edge
-	roots []int // program entry plus every named function symbol
+	Succ  [][]Edge
+	Roots []int // program entry plus every named function symbol
 
 	// syms is every (index, name) label pair sorted by index, used to
 	// attribute findings to the nearest enclosing symbol.
@@ -45,9 +47,9 @@ type symPos struct {
 	name string
 }
 
-// targetOf resolves the branch destination of ins, preferring the symbol
+// TargetOf resolves the branch destination of ins, preferring the symbol
 // table over a raw index so unlinked programs still analyze.
-func targetOf(p *isa.Program, ins *isa.Instruction) (int, bool) {
+func TargetOf(p *isa.Program, ins *isa.Instruction) (int, bool) {
 	if ins.Label != "" {
 		t, ok := p.Symbols[ins.Label]
 		return t, ok && t >= 0 && t < len(p.Text)
@@ -55,9 +57,9 @@ func targetOf(p *isa.Program, ins *isa.Instruction) (int, bool) {
 	return ins.Target, ins.Target >= 0 && ins.Target < len(p.Text)
 }
 
-func buildGraph(p *isa.Program) *graph {
+func BuildGraph(p *isa.Program) *Graph {
 	n := len(p.Text)
-	g := &graph{prog: p, succ: make([][]edge, n)}
+	g := &Graph{prog: p, Succ: make([][]Edge, n)}
 
 	// Indirect branches can reach any label (the code generator only
 	// materialises label addresses, never arbitrary indices).
@@ -78,44 +80,44 @@ func buildGraph(p *isa.Program) *graph {
 
 	for i := 0; i < n; i++ {
 		ins := &p.Text[i]
-		add := func(e edge) { g.succ[i] = append(g.succ[i], e) }
-		fall := func(kind edgeKind, clr int16) {
+		add := func(e Edge) { g.Succ[i] = append(g.Succ[i], e) }
+		fall := func(kind EdgeKind, clr int16) {
 			if i+1 < n {
-				add(edge{to: i + 1, kind: kind, clr: clr})
+				add(Edge{To: i + 1, Kind: kind, Clr: clr})
 			}
 		}
 		switch ins.Op {
 		case isa.OpBr:
-			if t, ok := targetOf(p, ins); ok {
-				add(edge{to: t, kind: edgeJump, clr: -1})
+			if t, ok := TargetOf(p, ins); ok {
+				add(Edge{To: t, Kind: EdgeJump, Clr: -1})
 			}
 			if ins.Qp != 0 {
-				fall(edgeFall, -1)
+				fall(EdgeFall, -1)
 			}
 		case isa.OpChkS:
 			// chk.s branches only when src1 carries NaT; on the
 			// fallthrough the register is proven clean.
-			if t, ok := targetOf(p, ins); ok {
-				add(edge{to: t, kind: edgeJump, clr: -1})
+			if t, ok := TargetOf(p, ins); ok {
+				add(Edge{To: t, Kind: EdgeJump, Clr: -1})
 			}
-			fall(edgeChk, int16(ins.Src1))
+			fall(EdgeChk, int16(ins.Src1))
 		case isa.OpBrCall:
-			if t, ok := targetOf(p, ins); ok {
-				add(edge{to: t, kind: edgeCall, clr: -1})
+			if t, ok := TargetOf(p, ins); ok {
+				add(Edge{To: t, Kind: EdgeCall, Clr: -1})
 			}
-			fall(edgeRet, -1)
+			fall(EdgeRet, -1)
 			if ins.Qp != 0 {
-				fall(edgeFall, -1)
+				fall(EdgeFall, -1)
 			}
 		case isa.OpBrRet:
 			// Path ends here; the continuation is modelled at the
-			// matching br.call's edgeRet.
+			// matching br.call's EdgeRet.
 		case isa.OpBrInd:
 			for _, t := range labelIdx {
-				add(edge{to: t, kind: edgeInd, clr: -1})
+				add(Edge{To: t, Kind: EdgeInd, Clr: -1})
 			}
 		default:
-			fall(edgeFall, -1)
+			fall(EdgeFall, -1)
 		}
 	}
 
@@ -123,23 +125,23 @@ func buildGraph(p *isa.Program) *graph {
 	// symbol — spawned threads enter functions without a visible call
 	// edge. The entry's own symbol is excluded so the entry keeps its
 	// precise machine-reset state (reserved registers not yet written).
-	g.roots = append(g.roots, p.Entry)
+	g.Roots = append(g.Roots, p.Entry)
 	for name, idx := range p.Symbols {
 		if idx == p.Entry || idx < 0 || idx >= n {
 			continue
 		}
 		if !strings.HasPrefix(name, ".") {
-			g.roots = append(g.roots, idx)
+			g.Roots = append(g.Roots, idx)
 		}
 	}
-	sort.Ints(g.roots)
+	sort.Ints(g.Roots)
 	return g
 }
 
-// reachable marks every instruction reachable from the roots.
-func (g *graph) reachable() []bool {
-	seen := make([]bool, len(g.succ))
-	stack := append([]int(nil), g.roots...)
+// Reachable marks every instruction reachable from the roots.
+func (g *Graph) Reachable() []bool {
+	seen := make([]bool, len(g.Succ))
+	stack := append([]int(nil), g.Roots...)
 	for len(stack) > 0 {
 		i := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -147,16 +149,16 @@ func (g *graph) reachable() []bool {
 			continue
 		}
 		seen[i] = true
-		for _, e := range g.succ[i] {
-			stack = append(stack, e.to)
+		for _, e := range g.Succ[i] {
+			stack = append(stack, e.To)
 		}
 	}
 	return seen
 }
 
-// symFor renders the nearest enclosing label for pc, as "name" or
+// SymFor renders the nearest enclosing label for pc, as "name" or
 // "name+delta".
-func (g *graph) symFor(pc int) string {
+func (g *Graph) SymFor(pc int) string {
 	lo, hi := 0, len(g.syms)
 	for lo < hi {
 		mid := (lo + hi) / 2

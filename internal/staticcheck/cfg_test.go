@@ -1,0 +1,180 @@
+package staticcheck
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"shift/internal/asm"
+	"shift/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := asm.Assemble(src, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// An indirect branch is conservatively wired to every code label — and
+// only to labels, with EdgeInd kind, in deterministic index order.
+func TestGraphIndirectBranchEdges(t *testing.T) {
+	p := mustAssemble(t, `
+.text
+.entry main
+main:
+	movl r3 = 9
+	mov b1 = r3
+	br.ind b1
+alpha:
+	movl r32 = 0
+	syscall 1
+.local:
+	movl r32 = 1
+	syscall 1
+`)
+	g := BuildGraph(p)
+	var ind int
+	for i := range p.Text {
+		if p.Text[i].Op == isa.OpBrInd {
+			ind = i
+		}
+	}
+	edges := g.Succ[ind]
+	want := make([]int, 0, len(p.Symbols))
+	for _, idx := range p.Symbols {
+		want = append(want, idx)
+	}
+	sort.Ints(want)
+	var got []int
+	for _, e := range edges {
+		if e.Kind != EdgeInd {
+			t.Errorf("br.ind edge to %d has kind %d, want EdgeInd", e.To, e.Kind)
+		}
+		if e.Clr != -1 {
+			t.Errorf("br.ind edge to %d clears register %d", e.To, e.Clr)
+		}
+		got = append(got, e.To)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("br.ind targets = %v, want every label %v", got, want)
+	}
+	// No fallthrough edge: an indirect branch always leaves.
+	for _, e := range edges {
+		if e.Kind == EdgeFall {
+			t.Error("br.ind has a fallthrough edge")
+		}
+	}
+}
+
+// chk.s gets exactly two edges: a jump to the recovery label and an
+// EdgeChk fallthrough that names the checked register as proven clean.
+func TestGraphChkRecoveryEdges(t *testing.T) {
+	p := mustAssemble(t, `
+.data
+buf: .space 64
+.text
+.entry main
+main:
+	movl r1 = buf
+	ld8 r2 = [r1]
+	chk.s r2, rec
+	movl r32 = 0
+	syscall 1
+rec:
+	movl r32 = 1
+	syscall 1
+`)
+	g := BuildGraph(p)
+	var chk int
+	for i := range p.Text {
+		if p.Text[i].Op == isa.OpChkS {
+			chk = i
+		}
+	}
+	edges := g.Succ[chk]
+	if len(edges) != 2 {
+		t.Fatalf("chk.s has %d edges, want 2: %v", len(edges), edges)
+	}
+	jump, fall := edges[0], edges[1]
+	if jump.Kind != EdgeJump || jump.To != p.Symbols["rec"] {
+		t.Errorf("taken edge = %+v, want EdgeJump to rec (%d)", jump, p.Symbols["rec"])
+	}
+	if fall.Kind != EdgeChk || fall.To != chk+1 {
+		t.Errorf("fallthrough edge = %+v, want EdgeChk to %d", fall, chk+1)
+	}
+	if int(fall.Clr) != int(p.Text[chk].Src1) {
+		t.Errorf("EdgeChk clears r%d, want checked register r%d", fall.Clr, p.Text[chk].Src1)
+	}
+}
+
+// Roots are the entry plus every named symbol; dot-prefixed local
+// labels are not roots, and br.ret terminates its path.
+func TestGraphRootsAndReturn(t *testing.T) {
+	p := mustAssemble(t, `
+.text
+.entry main
+main:
+	br.call b0, helper
+	movl r32 = 0
+	syscall 1
+helper:
+	br.ret b0
+.skip:
+	movl r32 = 1
+	syscall 1
+`)
+	g := BuildGraph(p)
+	want := []int{p.Entry, p.Symbols["helper"]}
+	sort.Ints(want)
+	if !reflect.DeepEqual(g.Roots, want) {
+		t.Errorf("roots = %v, want %v (entry + named symbols, no locals)", g.Roots, want)
+	}
+	ret := p.Symbols["helper"]
+	if len(g.Succ[ret]) != 0 {
+		t.Errorf("br.ret has successors %v, want none", g.Succ[ret])
+	}
+	// The call gets a callee edge and a return continuation.
+	call := p.Entry
+	kinds := map[EdgeKind]int{}
+	for _, e := range g.Succ[call] {
+		kinds[e.Kind] = e.To
+	}
+	if to, ok := kinds[EdgeCall]; !ok || to != p.Symbols["helper"] {
+		t.Errorf("br.call edges %v missing EdgeCall to helper", g.Succ[call])
+	}
+	if to, ok := kinds[EdgeRet]; !ok || to != call+1 {
+		t.Errorf("br.call edges %v missing EdgeRet continuation", g.Succ[call])
+	}
+}
+
+// dedupSort pins the public ordering contract: findings come out sorted
+// by (pc, invariant, msg) with exact duplicates dropped, regardless of
+// emission order.
+func TestDedupSortDeterministic(t *testing.T) {
+	in := []Finding{
+		{PC: 5, Invariant: InvStoreTagUpdate, Msg: "b"},
+		{PC: 2, Invariant: InvLoadTagConsult, Msg: "x"},
+		{PC: 5, Invariant: InvStoreTagUpdate, Msg: "a"},
+		{PC: 5, Invariant: InvLoadTagConsult, Msg: "z"},
+		{PC: 2, Invariant: InvLoadTagConsult, Msg: "x"}, // exact dup
+		{PC: 5, Invariant: InvStoreTagUpdate, Msg: "a"}, // exact dup
+	}
+	got := dedupSort(append([]Finding(nil), in...))
+	want := []Finding{
+		{PC: 2, Invariant: InvLoadTagConsult, Msg: "x"},
+		{PC: 5, Invariant: InvLoadTagConsult, Msg: "z"},
+		{PC: 5, Invariant: InvStoreTagUpdate, Msg: "a"},
+		{PC: 5, Invariant: InvStoreTagUpdate, Msg: "b"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("dedupSort:\n got %v\nwant %v", got, want)
+	}
+	// Same multiset in a different emission order yields the same output.
+	perm := []Finding{in[3], in[5], in[0], in[4], in[1], in[2]}
+	if got2 := dedupSort(perm); !reflect.DeepEqual(got2, want) {
+		t.Errorf("dedupSort not order-independent:\n got %v\nwant %v", got2, want)
+	}
+}

@@ -2,28 +2,28 @@ package staticcheck
 
 import "shift/internal/isa"
 
-// regset is a bit set over the 128 general registers.
-type regset [2]uint64
+// RegSet is a bit set over the 128 general registers.
+type RegSet [2]uint64
 
-func (s *regset) set(r uint8)     { s[r>>6] |= 1 << (r & 63) }
-func (s *regset) clear(r uint8)   { s[r>>6] &^= 1 << (r & 63) }
-func (s regset) has(r uint8) bool { return s[r>>6]>>(r&63)&1 != 0 }
-func (s regset) or(o regset) regset {
-	return regset{s[0] | o[0], s[1] | o[1]}
+func (s *RegSet) Set(r uint8)     { s[r>>6] |= 1 << (r & 63) }
+func (s *RegSet) Clear(r uint8)   { s[r>>6] &^= 1 << (r & 63) }
+func (s RegSet) Has(r uint8) bool { return s[r>>6]>>(r&63)&1 != 0 }
+func (s RegSet) Or(o RegSet) RegSet {
+	return RegSet{s[0] | o[0], s[1] | o[1]}
 }
-func (s regset) and(o regset) regset {
-	return regset{s[0] & o[0], s[1] & o[1]}
+func (s RegSet) And(o RegSet) RegSet {
+	return RegSet{s[0] & o[0], s[1] & o[1]}
 }
 
-var allRegs = regset{^uint64(0), ^uint64(0)}
+var allRegs = RegSet{^uint64(0), ^uint64(0)}
 
 // state is the forward dataflow fact at an instruction: which registers
 // may carry NaT, which have definitely been written on every path, and
 // which UNAT bits hold a definitely-saved NaT.
 type state struct {
 	live bool
-	nat  regset // may carry NaT
-	init regset // written on all paths
+	nat  RegSet // may carry NaT
+	init RegSet // written on all paths
 	unat uint64 // UNAT bits saved by a spill (or mov unat=) on all paths
 }
 
@@ -38,8 +38,8 @@ func meet(a, b state) state {
 	}
 	return state{
 		live: true,
-		nat:  a.nat.or(b.nat),
-		init: a.init.and(b.init),
+		nat:  a.nat.Or(b.nat),
+		init: a.init.And(b.init),
 		unat: a.unat & b.unat,
 	}
 }
@@ -50,7 +50,7 @@ func meet(a, b state) state {
 func entryState() state {
 	s := state{live: true, init: allRegs}
 	for r := isa.RegKeep; r < isa.NumGR; r++ {
-		s.init.clear(uint8(r))
+		s.init.Clear(uint8(r))
 	}
 	return s
 }
@@ -62,8 +62,8 @@ func entryState() state {
 // and no UNAT bit is trusted.
 func rootState() state {
 	s := state{live: true, nat: allRegs, init: allRegs}
-	s.nat.clear(isa.RegZero)
-	s.nat.clear(isa.RegKeep)
+	s.nat.Clear(isa.RegZero)
+	s.nat.Clear(isa.RegKeep)
 	return s
 }
 
@@ -130,7 +130,7 @@ func (c *checker) cleanWrites() {
 	for i := 0; i < n; i++ {
 		ins := &p.Text[i]
 		if ins.Op.IsBranch() && ins.Op != isa.OpBrRet && ins.Op != isa.OpBrInd {
-			if t, ok := targetOf(p, ins); ok {
+			if t, ok := TargetOf(p, ins); ok {
 				leader[t] = true
 			}
 		}
@@ -138,15 +138,15 @@ func (c *checker) cleanWrites() {
 
 	// guards[p] is the set of registers whose NaT bit is known equal to
 	// predicate p.
-	var guards [isa.NumPR]regset
+	var guards [isa.NumPR]RegSet
 	resetGuards := func() {
 		for i := range guards {
-			guards[i] = regset{}
+			guards[i] = RegSet{}
 		}
 	}
 	dropReg := func(r uint8) {
 		for i := range guards {
-			guards[i].clear(r)
+			guards[i].Clear(r)
 		}
 	}
 
@@ -157,20 +157,20 @@ func (c *checker) cleanWrites() {
 		ins := &p.Text[i]
 
 		if ins.Qp != 0 && ins.Op.HasDest() && natOf(ins) == natClean &&
-			guards[ins.Qp].has(ins.Dest) {
+			guards[ins.Qp].Has(ins.Dest) {
 			c.cleanWrite[i] = true
 		}
 
 		switch {
 		case ins.Op == isa.OpTnat:
-			guards[ins.P1] = regset{}
-			guards[ins.P2] = regset{}
+			guards[ins.P1] = RegSet{}
+			guards[ins.P2] = RegSet{}
 			if ins.Qp == 0 {
-				guards[ins.P1].set(ins.Src1)
+				guards[ins.P1].Set(ins.Src1)
 			}
 		case ins.Op.IsCompare():
-			guards[ins.P1] = regset{}
-			guards[ins.P2] = regset{}
+			guards[ins.P1] = RegSet{}
+			guards[ins.P2] = RegSet{}
 		case ins.Op == isa.OpBrCall || ins.Op == isa.OpSyscall:
 			// The callee (or OS model) may write any predicate.
 			resetGuards()
@@ -178,12 +178,12 @@ func (c *checker) cleanWrites() {
 			src := ins.Src1
 			var carry [isa.NumPR]bool
 			for pr := range guards {
-				carry[pr] = guards[pr].has(src)
+				carry[pr] = guards[pr].Has(src)
 			}
 			dropReg(ins.Dest)
 			for pr := range guards {
 				if carry[pr] {
-					guards[pr].set(ins.Dest)
+					guards[pr].Set(ins.Dest)
 				}
 			}
 		default:
@@ -204,14 +204,14 @@ func (c *checker) transfer(pc int, in state) state {
 	if ins.Qp == 0 {
 		switch ins.Op {
 		case isa.OpLd:
-			out.nat.clear(ins.Src1)
+			out.nat.Clear(ins.Src1)
 		case isa.OpSt, isa.OpCmpxchg:
-			out.nat.clear(ins.Src1)
-			out.nat.clear(ins.Src2)
+			out.nat.Clear(ins.Src1)
+			out.nat.Clear(ins.Src2)
 		case isa.OpStSpill, isa.OpLdFill:
-			out.nat.clear(ins.Src1)
+			out.nat.Clear(ins.Src1)
 		case isa.OpMovToBr, isa.OpMovToUnat, isa.OpMovToCcv:
-			out.nat.clear(ins.Src1)
+			out.nat.Clear(ins.Src1)
 		}
 	}
 
@@ -226,7 +226,7 @@ func (c *checker) transfer(pc int, in state) state {
 	}
 
 	if ins.Op.HasDest() && ins.Dest != isa.RegZero {
-		out.init.set(ins.Dest)
+		out.init.Set(ins.Dest)
 		var maybe bool
 		switch natOf(ins) {
 		case natClean:
@@ -234,9 +234,9 @@ func (c *checker) transfer(pc int, in state) state {
 		case natMaybe:
 			maybe = true
 		case natProp1:
-			maybe = in.nat.has(ins.Src1)
+			maybe = in.nat.Has(ins.Src1)
 		case natProp2:
-			maybe = in.nat.has(ins.Src1) || in.nat.has(ins.Src2)
+			maybe = in.nat.Has(ins.Src1) || in.nat.Has(ins.Src2)
 		}
 		switch {
 		case ins.Qp == 0:
@@ -246,32 +246,32 @@ func (c *checker) transfer(pc int, in state) state {
 			maybe = false
 		default:
 			// Predicated write: the old value may survive.
-			maybe = maybe || in.nat.has(ins.Dest)
+			maybe = maybe || in.nat.Has(ins.Dest)
 		}
 		if maybe {
-			out.nat.set(ins.Dest)
+			out.nat.Set(ins.Dest)
 		} else {
-			out.nat.clear(ins.Dest)
+			out.nat.Clear(ins.Dest)
 		}
 	}
 	return out
 }
 
 // applyEdge transforms an out-state across a control-flow edge.
-func applyEdge(e edge, out state) state {
+func applyEdge(e Edge, out state) state {
 	s := out
-	switch e.kind {
-	case edgeRet:
+	switch e.Kind {
+	case EdgeRet:
 		// The callee may leave NaT in any register it writes; only r0
 		// and the kept mask register are contractually clean. Written-
 		// ness is monotone, but the callee's UNAT is not trusted.
 		s.nat = allRegs
-		s.nat.clear(isa.RegZero)
-		s.nat.clear(isa.RegKeep)
+		s.nat.Clear(isa.RegZero)
+		s.nat.Clear(isa.RegKeep)
 		s.unat = 0
-	case edgeChk:
-		if e.clr >= 0 {
-			s.nat.clear(uint8(e.clr))
+	case EdgeChk:
+		if e.Clr >= 0 {
+			s.nat.Clear(uint8(e.Clr))
 		}
 	}
 	return s
@@ -282,12 +282,12 @@ func applyEdge(e edge, out state) state {
 func (c *checker) solve() {
 	n := len(c.prog.Text)
 	c.in = make([]state, n)
-	c.reach = c.g.reachable()
+	c.reach = c.g.Reachable()
 
 	var work []int
 	push := func(i int) { work = append(work, i) }
 
-	for _, r := range c.g.roots {
+	for _, r := range c.g.Roots {
 		if r < 0 || r >= n {
 			continue
 		}
@@ -308,12 +308,12 @@ func (c *checker) solve() {
 		pc := work[len(work)-1]
 		work = work[:len(work)-1]
 		out := c.transfer(pc, c.in[pc])
-		for _, e := range c.g.succ[pc] {
+		for _, e := range c.g.Succ[pc] {
 			s := applyEdge(e, out)
-			merged := meet(c.in[e.to], s)
-			if merged != c.in[e.to] {
-				c.in[e.to] = merged
-				push(e.to)
+			merged := meet(c.in[e.To], s)
+			if merged != c.in[e.To] {
+				c.in[e.To] = merged
+				push(e.To)
 			}
 		}
 	}

@@ -69,10 +69,11 @@ func (f Finding) String() string {
 
 type checker struct {
 	prog       *isa.Program
-	g          *graph
+	g          *Graph
 	in         []state
 	reach      []bool
 	cleanWrite []bool
+	exempt     map[int]bool
 	findings   []Finding
 }
 
@@ -81,26 +82,69 @@ type checker struct {
 // finding for each unpaired load, store and NaT-sensitive compare — the
 // analyzer checks the contract, not whether instrumentation was wanted.
 func Check(prog *isa.Program) []Finding {
-	c := &checker{prog: prog, g: buildGraph(prog)}
+	return CheckSelective(prog, nil)
+}
+
+// CheckSelective is the reachability-refined lint mode used by selective
+// instrumentation (instrument.Options.Selective): exempt holds the
+// output program counters of sites the whole-program taint-reachability
+// analysis proved may never touch taint, so the pass deliberately left
+// them in their original encoding. Site-shape findings
+// (store-tag-update, load-tag-consult, clean-before-compare) at exempt
+// pcs are suppressed; every other invariant still applies everywhere —
+// an exemption never excuses a broken emit sequence, only a missing one.
+func CheckSelective(prog *isa.Program, exempt map[int]bool) []Finding {
+	c := &checker{prog: prog, g: BuildGraph(prog), exempt: exempt}
 	c.cleanWrites()
 	c.solve()
 	c.checkRegions()
 	c.checkDataflow()
 	c.checkSpecLoads()
-	sort.SliceStable(c.findings, func(i, j int) bool {
-		if c.findings[i].PC != c.findings[j].PC {
-			return c.findings[i].PC < c.findings[j].PC
+	return dedupSort(c.findings)
+}
+
+// dedupSort orders findings fully deterministically — by pc, then
+// invariant, then message — and drops identical duplicates emitted from
+// multiple analysis paths.
+func dedupSort(findings []Finding) []Finding {
+	sort.SliceStable(findings, func(i, j int) bool {
+		if findings[i].PC != findings[j].PC {
+			return findings[i].PC < findings[j].PC
 		}
-		return c.findings[i].Invariant < c.findings[j].Invariant
+		if findings[i].Invariant != findings[j].Invariant {
+			return findings[i].Invariant < findings[j].Invariant
+		}
+		return findings[i].Msg < findings[j].Msg
 	})
-	return c.findings
+	out := findings[:0]
+	for _, f := range findings {
+		if n := len(out); n > 0 && out[n-1].PC == f.PC &&
+			out[n-1].Invariant == f.Invariant && out[n-1].Msg == f.Msg {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// siteExemptible reports the invariants a reachability exemption may
+// suppress: the "this original site was not rewritten" shapes.
+func siteExemptible(inv string) bool {
+	switch inv {
+	case InvStoreTagUpdate, InvLoadTagConsult, InvCleanBeforeCmp:
+		return true
+	}
+	return false
 }
 
 func (c *checker) report(pc int, inv, msg string) {
+	if c.exempt != nil && c.exempt[pc] && siteExemptible(inv) {
+		return
+	}
 	c.findings = append(c.findings, Finding{
 		PC:        pc,
 		Invariant: inv,
-		Sym:       c.g.symFor(pc),
+		Sym:       c.g.SymFor(pc),
 		Ins:       c.prog.Text[pc].String(),
 		Msg:       msg,
 	})
@@ -176,14 +220,14 @@ func (c *checker) regionAll(pc int, hit func(*isa.Instruction) bool) bool {
 			memo[i] = walkTrue
 			return true
 		}
-		if ins.Class == isa.ClassOrig || leavesRegion(ins) || len(c.g.succ[i]) == 0 {
+		if ins.Class == isa.ClassOrig || leavesRegion(ins) || len(c.g.Succ[i]) == 0 {
 			memo[i] = walkFalse
 			return false
 		}
 		memo[i] = walkVisiting
 		ok := true
-		for _, e := range c.g.succ[i] {
-			if !walk(e.to) {
+		for _, e := range c.g.Succ[i] {
+			if !walk(e.To) {
 				ok = false
 				break
 			}
@@ -195,11 +239,11 @@ func (c *checker) regionAll(pc int, hit func(*isa.Instruction) bool) bool {
 		}
 		return ok
 	}
-	if len(c.g.succ[pc]) == 0 {
+	if len(c.g.Succ[pc]) == 0 {
 		return false
 	}
-	for _, e := range c.g.succ[pc] {
-		if !walk(e.to) {
+	for _, e := range c.g.Succ[pc] {
+		if !walk(e.To) {
 			return false
 		}
 	}
@@ -224,16 +268,16 @@ func (c *checker) regionExists(pc int, hit func(*isa.Instruction) bool) bool {
 		if ins.Class == isa.ClassOrig || leavesRegion(ins) {
 			return false
 		}
-		for _, e := range c.g.succ[i] {
-			if walk(e.to) {
+		for _, e := range c.g.Succ[i] {
+			if walk(e.To) {
 				memo[i] = true
 				return true
 			}
 		}
 		return false
 	}
-	for _, e := range c.g.succ[pc] {
-		if walk(e.to) {
+	for _, e := range c.g.Succ[pc] {
+		if walk(e.To) {
 			return true
 		}
 	}
@@ -265,7 +309,7 @@ func (c *checker) regionAllOrBypass(pc int) bool {
 			memo[k] = walkTrue
 			return true
 		}
-		if ins.Class == isa.ClassOrig || leavesRegion(ins) || len(c.g.succ[i]) == 0 {
+		if ins.Class == isa.ClassOrig || leavesRegion(ins) || len(c.g.Succ[i]) == 0 {
 			if byp {
 				memo[k] = walkTrue
 			} else {
@@ -275,9 +319,9 @@ func (c *checker) regionAllOrBypass(pc int) bool {
 		}
 		memo[k] = walkVisiting
 		ok := true
-		for _, e := range c.g.succ[i] {
-			nb := byp || (e.kind == edgeJump && ins.Qp != 0)
-			if !walk(e.to, nb) {
+		for _, e := range c.g.Succ[i] {
+			nb := byp || (e.Kind == EdgeJump && ins.Qp != 0)
+			if !walk(e.To, nb) {
 				ok = false
 				break
 			}
@@ -289,8 +333,8 @@ func (c *checker) regionAllOrBypass(pc int) bool {
 		}
 		return ok
 	}
-	for _, e := range c.g.succ[pc] {
-		if !walk(e.to, false) {
+	for _, e := range c.g.Succ[pc] {
+		if !walk(e.To, false) {
 			return false
 		}
 	}
@@ -342,12 +386,12 @@ func (c *checker) checkDataflow() {
 
 		switch ins.Op {
 		case isa.OpCmp:
-			if st.nat.has(ins.Src1) || st.nat.has(ins.Src2) {
+			if st.nat.Has(ins.Src1) || st.nat.Has(ins.Src2) {
 				c.report(pc, InvCleanBeforeCmp,
 					"NaT-sensitive compare may observe a tainted operand; relaxation sequence missing")
 			}
 		case isa.OpCmpi:
-			if st.nat.has(ins.Src1) {
+			if st.nat.Has(ins.Src1) {
 				c.report(pc, InvCleanBeforeCmp,
 					"NaT-sensitive compare may observe a tainted operand; relaxation sequence missing")
 			}
@@ -362,7 +406,7 @@ func (c *checker) checkDataflow() {
 		// by a write: in particular, consuming the NaT source before
 		// (or without) its keep-live generation is a silent taint drop.
 		checkRead := func(r uint8) {
-			if r >= isa.RegKeep && !st.init.has(r) {
+			if r >= isa.RegKeep && !st.init.Has(r) {
 				c.report(pc, InvNaTSourceLive,
 					fmt.Sprintf("reserved register r%d read with no dominating write (keep-live NaT source missing?)", r))
 			}
@@ -448,16 +492,16 @@ func (c *checker) useReached(pc int, d uint8) bool {
 		if ins.Op.HasDest() && ins.Dest == d {
 			return false
 		}
-		for _, e := range c.g.succ[i] {
-			if walk(e.to) {
+		for _, e := range c.g.Succ[i] {
+			if walk(e.To) {
 				memo[i] = true
 				return true
 			}
 		}
 		return false
 	}
-	for _, e := range c.g.succ[pc] {
-		if walk(e.to) {
+	for _, e := range c.g.Succ[pc] {
+		if walk(e.To) {
 			return true
 		}
 	}
