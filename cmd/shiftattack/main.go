@@ -7,15 +7,21 @@
 // signature from each detected high-level attack (the attacker-controlled
 // bytes at the violated sink) and shows the input channel they came from.
 //
+// -list prints the structured attack corpus (add -json for a
+// machine-readable listing); -corpus runs the full scenario × checker ×
+// granularity detection-precision matrix instead of the Table-2 sweep.
+//
 // Usage:
 //
-//	shiftattack [-verbose] [-signatures]
+//	shiftattack [-verbose] [-signatures] [-list [-json]] [-corpus]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"text/tabwriter"
 
 	"shift/internal/attacks"
 	"shift/internal/bench"
@@ -58,10 +64,111 @@ func printSignatures() error {
 	return nil
 }
 
+// listCorpus prints the scenario metadata table, or its JSON form.
+func listCorpus(asJSON bool) error {
+	metas := make([]attacks.ScenarioMeta, 0, len(attacks.Corpus()))
+	for _, s := range attacks.Corpus() {
+		metas = append(metas, s.Meta())
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(metas)
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "NAME\tTYPE\tEXPECT\tKIND\tCHANNEL\tCVE")
+	for _, m := range metas {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n", m.Name, m.Type, m.Expect, m.Kind, m.Channel, m.CVE)
+	}
+	return tw.Flush()
+}
+
+// matrixConfigs mirrors the corpus matrix test: every checker
+// configuration the corpus must detect under.
+func matrixConfigs() []attacks.EvalOptions {
+	var out []attacks.EvalOptions
+	for _, gran := range []taint.Granularity{taint.Byte, taint.Word} {
+		out = append(out,
+			attacks.EvalOptions{Gran: gran},
+			attacks.EvalOptions{Gran: gran, Oracle: true},
+			attacks.EvalOptions{Gran: gran, Decoupled: true},
+			attacks.EvalOptions{Gran: gran, Selective: true, Oracle: true},
+		)
+	}
+	return out
+}
+
+func optLabel(eo attacks.EvalOptions) string {
+	l := eo.Gran.String()
+	if eo.Oracle {
+		l += "+oracle"
+	}
+	if eo.Decoupled {
+		l += "+tagpipe"
+	}
+	if eo.Selective {
+		l += "+selective"
+	}
+	return l
+}
+
+// runCorpus prints the detection-precision matrix: every scenario at
+// every checker configuration, with the exploit verdict (policy and
+// path), the benign verdict, and the channel attribution.
+func runCorpus() error {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "SCENARIO\tCONFIG\tEXPLOIT\tBENIGN\tCHANNELS\tOK")
+	failed := 0
+	total := 0
+	for _, eo := range matrixConfigs() {
+		outs, err := attacks.EvaluateCorpus(eo)
+		if err != nil {
+			return err
+		}
+		for _, o := range outs {
+			total++
+			ok := o.Detected()
+			if !ok {
+				failed++
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s/%s\t%s\t%s\t%v\n",
+				o.Scenario.Name, optLabel(eo),
+				o.Exploit.Policy, o.Exploit.Kind, o.Benign.Kind,
+				o.Exploit.Channels, ok)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d/%d corpus evaluations failed", failed, total)
+	}
+	fmt.Printf("\nall %d corpus evaluations detected, zero false positives\n", total)
+	return nil
+}
+
 func main() {
 	verbose := flag.Bool("verbose", false, "print per-attack details")
 	signatures := flag.Bool("signatures", false, "extract intrusion signatures from the exploits")
+	list := flag.Bool("list", false, "list the attack corpus and exit")
+	asJSON := flag.Bool("json", false, "with -list, emit JSON")
+	corpus := flag.Bool("corpus", false, "run the corpus detection-precision matrix and exit")
 	flag.Parse()
+
+	if *list {
+		if err := listCorpus(*asJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "shiftattack:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *corpus {
+		if err := runCorpus(); err != nil {
+			fmt.Fprintln(os.Stderr, "shiftattack:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	results, err := attacks.EvaluateAll()
 	if err != nil {

@@ -173,6 +173,61 @@ func (in *inserter) emitLoad(src *isa.Instruction, permissive bool) {
 	}
 }
 
+// emitSpecLoad rewrites a control-speculative load (ld.s). The original
+// deferral semantics are kept intact — a NaT address or an inaccessible
+// target manufactures a token instead of faulting, so compiler-hoisted
+// loads on misspeculated paths still never trap — but a load that DOES
+// return data now consults the bitmap like any other load, closing the
+// speculation blind spot: secret (tainted) data reached over a
+// bounds-check-bypassed ld.s carries its taint into the register file,
+// survives chk.s recovery, and trips the L policies at the leak.
+//
+// The consult must not observe the deferred case: the tag read and the
+// taint decision are predicated on "data arrived" (tnat on the
+// destination right after the load — it covers both deferral causes),
+// and pT is pre-cleared so the taint-inject add stays off. The tag
+// translation of a NaT address is NaT-poisoned garbage, which is
+// harmless precisely because everything that would consume it is
+// predicated off; the cached translation is invalidated on both sides.
+func (in *inserter) emitSpecLoad(src *isa.Instruction) {
+	sz := src.Size
+	g := in.opt.Gran
+
+	// Copy the address: the destination may alias it, and the tag lookup
+	// needs it after the data load. A NaT address propagates silently
+	// through the copy, preserving the deferral trigger.
+	in.add(isa.ClassLoadCompute, isa.Instruction{Op: isa.OpMov, Dest: rAddr2, Src1: src.Src1})
+
+	// The original speculative load, from the address copy.
+	orig := *src
+	orig.Src1 = rAddr2
+	in.out.Text = append(in.out.Text, orig)
+
+	// pT2/pF2 = deferred / data arrived; pT pre-cleared.
+	in.add(isa.ClassLoadCompute, isa.Instruction{Op: isa.OpTnat, P1: pT2, P2: pF2, Src1: src.Dest})
+	in.add(isa.ClassLoadCompute, isa.Instruction{Op: isa.OpCmpi, Cond: isa.CondNE, P1: pT, P2: pF, Src1: isa.RegZero, Imm: 0})
+
+	in.emitTagAddr(rAddr2, isa.ClassLoadCompute, -1)
+	in.add(isa.ClassLoadTagMem, isa.Instruction{Op: isa.OpLd, Qp: pF2, Dest: rVal, Src1: rTag, Size: 1})
+	if g == taint.Byte && sz < 8 {
+		in.add(isa.ClassLoadCompute, isa.Instruction{Op: isa.OpAndi, Qp: pF2, Dest: rBit, Src1: rOff, Imm: 7})
+		in.add(isa.ClassLoadCompute, isa.Instruction{Op: isa.OpShr, Qp: pF2, Dest: rVal, Src1: rVal, Src2: rBit})
+		in.add(isa.ClassLoadCompute, isa.Instruction{Op: isa.OpAndi, Qp: pF2, Dest: rVal, Src1: rVal, Imm: int64(1)<<sz - 1})
+	}
+	in.add(isa.ClassLoadCompute, isa.Instruction{Op: isa.OpCmpi, Qp: pF2, Cond: isa.CondNE, P1: pT, P2: pF, Src1: rVal, Imm: 0})
+
+	// Taint the destination register (only on the data-arrived path).
+	if in.opt.Feat.SetClrNaT {
+		in.add(isa.ClassNatGen, isa.Instruction{Op: isa.OpSetNat, Qp: pT, Dest: src.Dest})
+	} else {
+		if in.opt.NaTPerUse {
+			in.emitNaTGen()
+		}
+		in.add(isa.ClassNatGen, isa.Instruction{Op: isa.OpAdd, Qp: pT, Dest: src.Dest, Src1: src.Dest, Src2: rNaT})
+	}
+	in.tagFor = -1
+}
+
 // emitStore rewrites a store per Figure 5: test the source's NaT bit,
 // perform the store NaT-tolerantly, and update the bitmap.
 func (in *inserter) emitStore(src *isa.Instruction, permissive bool) {

@@ -217,7 +217,7 @@ func Apply(prog *isa.Program, opt Options) (*isa.Program, error) {
 				continue
 			}
 			switch src.Op {
-			case isa.OpLd, isa.OpLdFill:
+			case isa.OpLd, isa.OpLdS, isa.OpLdFill:
 				skip[idx] = !ra.InstrumentLoad(idx)
 			case isa.OpSt, isa.OpStSpill, isa.OpCmpxchg:
 				skip[idx] = !ra.InstrumentStore(idx)
@@ -241,7 +241,7 @@ func Apply(prog *isa.Program, opt Options) (*isa.Program, error) {
 			continue
 		}
 		switch src.Op {
-		case isa.OpLd, isa.OpCmpxchg, isa.OpLdFill:
+		case isa.OpLd, isa.OpLdS, isa.OpCmpxchg, isa.OpLdFill:
 			if !opt.Feat.SetClrNaT {
 				ins.needNaT = true
 			}
@@ -285,7 +285,7 @@ func Apply(prog *isa.Program, opt Options) (*isa.Program, error) {
 		}
 
 		needsRewrite := !src.ABI &&
-			(src.Op == isa.OpLd || src.Op == isa.OpLdFill ||
+			(src.Op == isa.OpLd || src.Op == isa.OpLdS || src.Op == isa.OpLdFill ||
 				src.Op == isa.OpSt || src.Op == isa.OpStSpill ||
 				src.Op == isa.OpCmpxchg ||
 				src.Op == isa.OpCmp || src.Op == isa.OpCmpi)
@@ -303,6 +303,15 @@ func Apply(prog *isa.Program, opt Options) (*isa.Program, error) {
 			} else {
 				stats.Kept++
 				ins.emitLoad(src, permissive)
+			}
+		case src.Op == isa.OpLdS:
+			stats.Sites++
+			if skip[idx] {
+				stats.Skipped++
+				ins.skipSite(src)
+			} else {
+				stats.Kept++
+				ins.emitSpecLoad(src)
 			}
 		case src.Op == isa.OpSt || src.Op == isa.OpStSpill:
 			stats.Sites++

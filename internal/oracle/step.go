@@ -140,10 +140,13 @@ func (o *Oracle) PostStep(m *machine.Machine, ins *isa.Instruction) error {
 		if ins.Dest != isa.RegZero && m.NaT[ins.Dest] != rs.deferred {
 			return o.fail(m, ins, Divergence{Kind: DivNaTRule, Reg: ins.Dest, Machine: m.NaT[ins.Dest], Shadow: rs.deferred})
 		}
-		t := false
+		// A deferred load manufactures a NaT token instead of data.
+		// SHIFT's one-bit encoding cannot tell that token apart from
+		// taint, so the shadow calls it tainted: the boundary check
+		// (NaT == taint) stays an equality, and a chk.s-less consume of
+		// the deferral is flagged exactly like a taint consume.
+		t := true
 		if !rs.deferred {
-			// Data actually flowed; a deferred load manufactures a
-			// clean token (the r127 NaT source), not tainted data.
 			t = o.loadTaint(rs.addr, int(ins.Size))
 		}
 		setReg(rs, ins.Dest, t)

@@ -44,6 +44,10 @@ type Violation struct {
 	Policy string
 	Detail string
 
+	// Channels is the union of birth channels of the taint that fired
+	// the policy (zero when the caller supplied no channel info).
+	Channels taint.Channel
+
 	// Sink context (high-level policies only).
 	SinkLabel string // "open", "sql_exec", "system", "html_write"
 	SinkData  []byte
@@ -64,11 +68,44 @@ type Config struct {
 	Sources map[string]bool
 	// Enabled lists active policies by ID (H1..H5, L1..L3).
 	Enabled map[string]bool
+	// Channels keys each enabled policy to the birth channels it
+	// reacts to ("enable H2:net H3:net,file"). A missing or zero entry
+	// means all channels, so configurations that never mention a
+	// channel behave exactly as before.
+	Channels map[string]taint.Channel
 	// DocRoot is the document root for H2.
 	DocRoot string
 	// NoTrack lists functions the instrumentation pass must skip
 	// (the paper's escape hatch for bounds-checked translation tables).
 	NoTrack map[string]bool
+}
+
+// Clone returns a deep copy of the configuration, so a caller can vary
+// one axis (granularity, a channel key) without mutating a shared base.
+func (c *Config) Clone() *Config {
+	nc := &Config{
+		Granularity: c.Granularity,
+		Sources:     make(map[string]bool, len(c.Sources)),
+		Enabled:     make(map[string]bool, len(c.Enabled)),
+		DocRoot:     c.DocRoot,
+		NoTrack:     make(map[string]bool, len(c.NoTrack)),
+	}
+	for k, v := range c.Sources {
+		nc.Sources[k] = v
+	}
+	for k, v := range c.Enabled {
+		nc.Enabled[k] = v
+	}
+	for k, v := range c.NoTrack {
+		nc.NoTrack[k] = v
+	}
+	if c.Channels != nil {
+		nc.Channels = make(map[string]taint.Channel, len(c.Channels))
+		for k, v := range c.Channels {
+			nc.Channels[k] = v
+		}
+	}
+	return nc
 }
 
 // DefaultConfig enables every policy with network+file sources at
@@ -96,6 +133,12 @@ func DefaultConfig() *Config {
 //	docroot /www
 //	enable H2 H5 L1 L2 L3
 //	notrack lookup_table
+//
+// An enable entry may key a policy to specific birth channels with
+// "ID:chan[,chan...]" — e.g. "enable H2:net H3:net,file" — restricting
+// that policy to taint born from those channels. Entries without a
+// channel list react to every channel (the default, so existing
+// configurations are unchanged).
 //
 // Unknown directives are errors; an empty "enable" list enables nothing.
 func Parse(text string) (*Config, error) {
@@ -147,11 +190,27 @@ func Parse(text string) (*Config, error) {
 			}
 			c.DocRoot = fields[1]
 		case "enable":
-			for _, id := range fields[1:] {
+			for _, tok := range fields[1:] {
+				id, spec, hasSpec := strings.Cut(tok, ":")
 				if !known[id] {
 					return nil, fmt.Errorf("policy: line %d: unknown policy %q", ln+1, id)
 				}
 				c.Enabled[id] = true
+				if !hasSpec {
+					continue
+				}
+				var mask taint.Channel
+				for _, name := range strings.Split(spec, ",") {
+					ch, ok := taint.ParseChannel(name)
+					if !ok {
+						return nil, fmt.Errorf("policy: line %d: unknown channel %q for policy %s", ln+1, name, id)
+					}
+					mask |= ch
+				}
+				if c.Channels == nil {
+					c.Channels = make(map[string]taint.Channel)
+				}
+				c.Channels[id] = mask
 			}
 		case "notrack":
 			for _, fn := range fields[1:] {
@@ -208,18 +267,111 @@ func anyTainted(tb []bool, idxs ...int) bool {
 	return false
 }
 
+// anyTaintedRange reports whether tb marks any byte in [i, j).
+func anyTaintedRange(tb []bool, i, j int) bool {
+	for k := i; k < j && k < len(tb); k++ {
+		if k >= 0 && tb[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// chanMask returns the channel mask policy id reacts to (ChanAll when
+// no per-channel keying is configured).
+func (e *Engine) chanMask(id string) taint.Channel {
+	if e.Conf.Channels == nil {
+		return taint.ChanAll
+	}
+	if m := e.Conf.Channels[id]; m != 0 {
+		return m
+	}
+	return taint.ChanAll
+}
+
+// effTaint filters the per-byte taint bitmap down to the bytes whose
+// birth channel intersects policy id's mask. A byte with no recorded
+// channel (cb[i]==0, or no channel info supplied at all) stays tainted —
+// unknown provenance is treated conservatively.
+func (e *Engine) effTaint(id string, tb []bool, cb []taint.Channel) []bool {
+	mask := e.chanMask(id)
+	if mask == taint.ChanAll || cb == nil {
+		return tb
+	}
+	out := make([]bool, len(tb))
+	for i, t := range tb {
+		if t && (i >= len(cb) || cb[i] == 0 || cb[i]&mask != 0) {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+// chanUnion returns the union of birth channels over the tainted bytes.
+func chanUnion(tb []bool, cb []taint.Channel) taint.Channel {
+	var u taint.Channel
+	for i, t := range tb {
+		if t && i < len(cb) {
+			u |= cb[i]
+		}
+	}
+	return u
+}
+
+// optChans unpacks the optional trailing channel-bitmap argument the
+// sink checks accept.
+func optChans(chans [][]taint.Channel) []taint.Channel {
+	if len(chans) > 0 {
+		return chans[0]
+	}
+	return nil
+}
+
 // CheckOpen applies H1 and H2 to a file path about to be opened.
-// tb holds per-byte taint for the path string.
-func (e *Engine) CheckOpen(path string, tb []bool) *Violation {
-	if e.on("H1") && strings.HasPrefix(path, "/") && anyTainted(tb, 0) {
-		return e.raiseAt("H1", "open", []byte(path), tb, "tainted absolute path %q", path)
+// tb holds per-byte taint for the path string; an optional per-byte
+// channel bitmap keys the checks to configured birth channels.
+func (e *Engine) CheckOpen(path string, tb []bool, chans ...[]taint.Channel) *Violation {
+	cb := optChans(chans)
+	if e.on("H1") && strings.HasPrefix(path, "/") {
+		etb := e.effTaint("H1", tb, cb)
+		// The attack target is named by the path head: the leading
+		// slash or the first real segment. Taint anywhere in that head
+		// means the absolute destination came from tainted input, even
+		// when byte 0 itself is clean ("/" + tainted "etc/passwd") or
+		// hidden behind "//" and "/./" normalization noise.
+		i, j := firstRealSegment(path)
+		if anyTainted(etb, 0) || anyTaintedRange(etb, i, j) {
+			v := e.raiseAt("H1", "open", []byte(path), tb, "tainted absolute path %q", path)
+			v.Channels = chanUnion(tb, cb)
+			return v
+		}
 	}
 	if e.on("H2") {
-		if v := e.checkTraversal(path, tb); v != nil {
+		if v := e.checkTraversal(path, e.effTaint("H2", tb, cb)); v != nil {
+			v.SinkTaint = append([]bool(nil), tb...)
+			v.Channels = chanUnion(tb, cb)
 			return v
 		}
 	}
 	return nil
+}
+
+// firstRealSegment locates [i, j) of the first path segment that is not
+// empty or "." — the component H1 treats as the head of an absolute
+// path. Returns (0, 0) when the path has no real segment.
+func firstRealSegment(path string) (int, int) {
+	i := 0
+	for i < len(path) {
+		j := i
+		for j < len(path) && path[j] != '/' {
+			j++
+		}
+		if seg := path[i:j]; seg != "" && seg != "." {
+			return i, j
+		}
+		i = j + 1
+	}
+	return 0, 0
 }
 
 // checkTraversal walks the path segments tracking depth relative to the
@@ -227,8 +379,11 @@ func (e *Engine) CheckOpen(path string, tb []bool) *Violation {
 func (e *Engine) checkTraversal(path string, tb []bool) *Violation {
 	rel := path
 	depth := 0
-	if strings.HasPrefix(path, e.Conf.DocRoot) {
-		rel = strings.TrimPrefix(path, e.Conf.DocRoot)
+	// Trim the document root only at a path-component boundary:
+	// "/wwwtmp/.." is outside "/www" and must not have "/www" eaten
+	// out of its first segment.
+	if root := e.Conf.DocRoot; path == root || strings.HasPrefix(path, root+"/") {
+		rel = strings.TrimPrefix(path, root)
 	}
 	off := len(path) - len(rel)
 	i := 0
@@ -258,19 +413,25 @@ func (e *Engine) checkTraversal(path string, tb []bool) *Violation {
 const sqlMeta = `'";`
 
 // CheckSQL applies H3 to a query string.
-func (e *Engine) CheckSQL(query string, tb []bool) *Violation {
+func (e *Engine) CheckSQL(query string, tb []bool, chans ...[]taint.Channel) *Violation {
 	if !e.on("H3") {
 		return nil
 	}
+	cb := optChans(chans)
+	etb := e.effTaint("H3", tb, cb)
 	for i := 0; i < len(query); i++ {
-		if strings.IndexByte(sqlMeta, query[i]) >= 0 && anyTainted(tb, i) {
-			return e.raiseAt("H3", "sql_exec", []byte(query), tb,
+		if strings.IndexByte(sqlMeta, query[i]) >= 0 && anyTainted(etb, i) {
+			v := e.raiseAt("H3", "sql_exec", []byte(query), tb,
 				"tainted SQL meta character %q at offset %d of %q", query[i], i, query)
+			v.Channels = chanUnion(tb, cb)
+			return v
 		}
 		// "--" comment introducer from tainted input.
-		if query[i] == '-' && i+1 < len(query) && query[i+1] == '-' && anyTainted(tb, i, i+1) {
-			return e.raiseAt("H3", "sql_exec", []byte(query), tb,
+		if query[i] == '-' && i+1 < len(query) && query[i+1] == '-' && anyTainted(etb, i, i+1) {
+			v := e.raiseAt("H3", "sql_exec", []byte(query), tb,
 				"tainted SQL comment introducer at offset %d of %q", i, query)
+			v.Channels = chanUnion(tb, cb)
+			return v
 		}
 	}
 	return nil
@@ -280,14 +441,18 @@ func (e *Engine) CheckSQL(query string, tb []bool) *Violation {
 const shellMeta = ";|&`$><\n"
 
 // CheckSystem applies H4 to a shell command.
-func (e *Engine) CheckSystem(cmd string, tb []bool) *Violation {
+func (e *Engine) CheckSystem(cmd string, tb []bool, chans ...[]taint.Channel) *Violation {
 	if !e.on("H4") {
 		return nil
 	}
+	cb := optChans(chans)
+	etb := e.effTaint("H4", tb, cb)
 	for i := 0; i < len(cmd); i++ {
-		if strings.IndexByte(shellMeta, cmd[i]) >= 0 && anyTainted(tb, i) {
-			return e.raiseAt("H4", "system", []byte(cmd), tb,
+		if strings.IndexByte(shellMeta, cmd[i]) >= 0 && anyTainted(etb, i) {
+			v := e.raiseAt("H4", "system", []byte(cmd), tb,
 				"tainted shell meta character %q at offset %d of %q", cmd[i], i, cmd)
+			v.Channels = chanUnion(tb, cb)
+			return v
 		}
 	}
 	return nil
@@ -295,10 +460,12 @@ func (e *Engine) CheckSystem(cmd string, tb []bool) *Violation {
 
 // CheckHTML applies H5 to a chunk of HTML output: a script tag whose
 // characters came from tainted input is an XSS attempt.
-func (e *Engine) CheckHTML(buf []byte, tb []bool) *Violation {
+func (e *Engine) CheckHTML(buf []byte, tb []bool, chans ...[]taint.Channel) *Violation {
 	if !e.on("H5") {
 		return nil
 	}
+	cb := optChans(chans)
+	etb := e.effTaint("H5", tb, cb)
 	lower := strings.ToLower(string(buf))
 	for i := 0; ; {
 		j := strings.Index(lower[i:], "<script")
@@ -306,8 +473,10 @@ func (e *Engine) CheckHTML(buf []byte, tb []bool) *Violation {
 			return nil
 		}
 		at := i + j
-		if anyTainted(tb, at, at+1, at+2, at+3, at+4, at+5, at+6) {
-			return e.raiseAt("H5", "html_write", buf, tb, "tainted <script> tag at output offset %d", at)
+		if anyTainted(etb, at, at+1, at+2, at+3, at+4, at+5, at+6) {
+			v := e.raiseAt("H5", "html_write", buf, tb, "tainted <script> tag at output offset %d", at)
+			v.Channels = chanUnion(tb, cb)
+			return v
 		}
 		i = at + 1
 	}
@@ -316,23 +485,39 @@ func (e *Engine) CheckHTML(buf []byte, tb []bool) *Violation {
 // ClassifyTrap maps a NaT-consumption fault to its low-level policy.
 // It returns nil for traps that are not policy violations or when the
 // corresponding policy is disabled.
-func (e *Engine) ClassifyTrap(t *machine.Trap) *Violation {
+//
+// The optional live argument is the union of birth channels currently
+// live in the address space. Register NaT bits carry no provenance (the
+// hardware token is one bit), so an L-policy keyed to specific channels
+// is suppressed only when *no* live channel intersects its mask — a
+// documented over-approximation: with several channels live, a trap is
+// attributed to all of them.
+func (e *Engine) ClassifyTrap(t *machine.Trap, live ...taint.Channel) *Violation {
 	if t == nil {
 		return nil
 	}
+	var liveCh taint.Channel
+	for _, ch := range live {
+		liveCh |= ch
+	}
+	fire := func(id, format string, args ...interface{}) *Violation {
+		if !e.on(id) {
+			return nil
+		}
+		if liveCh != 0 && liveCh&e.chanMask(id) == 0 {
+			return nil
+		}
+		v := e.raise(id, format, args...)
+		v.Channels = liveCh
+		return v
+	}
 	switch t.Kind {
 	case machine.TrapNaTLoadAddr:
-		if e.on("L1") {
-			return e.raise("L1", "tainted pointer dereferenced as a load address (pc=%d, addr=%#x)", t.PC, t.Addr)
-		}
+		return fire("L1", "tainted pointer dereferenced as a load address (pc=%d, addr=%#x)", t.PC, t.Addr)
 	case machine.TrapNaTStoreAddr, machine.TrapNaTStoreData:
-		if e.on("L2") {
-			return e.raise("L2", "tainted data reached a store (pc=%d, addr=%#x)", t.PC, t.Addr)
-		}
+		return fire("L2", "tainted data reached a store (pc=%d, addr=%#x)", t.PC, t.Addr)
 	case machine.TrapNaTBranch, machine.TrapNaTSyscall:
-		if e.on("L3") {
-			return e.raise("L3", "tainted data moved into critical CPU state (pc=%d, r%d)", t.PC, t.Reg)
-		}
+		return fire("L3", "tainted data moved into critical CPU state (pc=%d, r%d)", t.PC, t.Reg)
 	}
 	return nil
 }

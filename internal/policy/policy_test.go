@@ -224,3 +224,163 @@ func TestAlertsAccumulate(t *testing.T) {
 		t.Error("alert message lacks policy id")
 	}
 }
+
+// --- Regression tests for the H1/H2 bugfix sweep and channel keying ---
+
+// H1 used to test only byte 0 of the path: "/" + tainted "etc/passwd"
+// slipped through, as did taint hidden behind "//" and "/./".
+func TestH1MidStringTaint(t *testing.T) {
+	e := NewEngine(nil)
+	fire := []struct {
+		path string
+		mark func(tb []bool)
+	}{
+		// Byte 0 is the clean "/"; the attacker supplied the rest.
+		{"/etc/passwd", func(tb []bool) {
+			for i := 1; i < len(tb); i++ {
+				tb[i] = true
+			}
+		}},
+		// Doubled and dotted slashes move the first real segment away
+		// from byte 1 without changing the named file.
+		{"//etc/passwd", func(tb []bool) { tb[2] = true }},
+		{"/./etc/passwd", func(tb []bool) { tb[3] = true }},
+	}
+	for _, c := range fire {
+		tb := make([]bool, len(c.path))
+		c.mark(tb)
+		if v := e.CheckOpen(c.path, tb); v == nil || v.Policy != "H1" {
+			t.Errorf("CheckOpen(%q) mid-string taint = %v, want H1", c.path, v)
+		}
+	}
+	// Taint confined to a later segment does not name the absolute
+	// target: serving "/www/pages/<user file>" is the program's intent.
+	path := "/www/pages/home.txt"
+	tb := make([]bool, len(path))
+	for i := strings.LastIndex(path, "/") + 1; i < len(path); i++ {
+		tb[i] = true
+	}
+	if v := e.CheckOpen(path, tb); v != nil {
+		t.Errorf("filename-only taint flagged: %v", v)
+	}
+}
+
+// H2 used to strip the document root as a plain string prefix: under
+// root "/www", the sibling directory "/www../secret" lost its "/www"
+// head, the leftover "../secret" looked like an escaping traversal, and
+// a benign (if oddly named) path raised a false H2.
+func TestH2RootComponentBoundary(t *testing.T) {
+	e := NewEngine(nil) // DocRoot /www
+	path := "/www../secret"
+	tb := make([]bool, len(path))
+	for i := 1; i < len(tb); i++ {
+		tb[i] = true // fully attacker-named, but no ".." segment exists
+	}
+	if v := e.checkTraversal(path, tb); v != nil {
+		t.Errorf("sibling dir of the root flagged as traversal: %v", v)
+	}
+	// The root itself and paths below it still get the root credit.
+	inside := "/www/../etc/passwd"
+	tb = make([]bool, len(inside))
+	i := strings.Index(inside, "..")
+	tb[i], tb[i+1] = true, true
+	if v := e.checkTraversal(inside, tb); v == nil || v.Policy != "H2" {
+		t.Errorf("tainted .. escaping /www = %v, want H2", v)
+	}
+}
+
+func TestParseChannelKeys(t *testing.T) {
+	conf, err := Parse("enable H2:net H3:net,file L2 L1:argv\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]taint.Channel{
+		"H2": taint.ChanNetwork,
+		"H3": taint.ChanNetwork | taint.ChanFile,
+		"L1": taint.ChanArgs,
+	}
+	for id, ch := range want {
+		if !conf.Enabled[id] {
+			t.Errorf("%s not enabled", id)
+		}
+		if conf.Channels[id] != ch {
+			t.Errorf("Channels[%s] = %v, want %v", id, conf.Channels[id], ch)
+		}
+	}
+	// No key = all channels: L2 must be absent from the map (or zero),
+	// and the engine must treat that as no restriction.
+	if conf.Channels["L2"] != 0 {
+		t.Errorf("unkeyed L2 got channel mask %v", conf.Channels["L2"])
+	}
+	if _, err := Parse("enable H2:carrier-pigeon\n"); err == nil {
+		t.Error("accepted unknown channel")
+	}
+}
+
+// A sink check keyed to one channel must ignore taint born elsewhere
+// and keep firing on taint born there; bytes with unknown provenance
+// stay tainted (conservative).
+func TestChannelKeyedSink(t *testing.T) {
+	conf := DefaultConfig()
+	conf.Channels = map[string]taint.Channel{"H3": taint.ChanNetwork}
+	e := NewEngine(conf)
+	q := "SELECT '1'"
+	tb := make([]bool, len(q))
+	cb := make([]taint.Channel, len(q))
+	i := strings.Index(q, "'")
+	tb[i] = true
+
+	cb[i] = taint.ChanFile
+	if v := e.CheckSQL(q, tb, cb); v != nil {
+		t.Errorf("file-born taint fired net-keyed H3: %v", v)
+	}
+	cb[i] = taint.ChanNetwork
+	v := e.CheckSQL(q, tb, cb)
+	if v == nil || v.Policy != "H3" {
+		t.Fatalf("net-born taint missed by net-keyed H3: %v", v)
+	}
+	if v.Channels&taint.ChanNetwork == 0 {
+		t.Errorf("violation channels = %v, want network", v.Channels)
+	}
+	// Unknown provenance: no channel byte recorded — must still fire.
+	cb[i] = 0
+	if v := e.CheckSQL(q, tb, cb); v == nil {
+		t.Error("unknown-provenance taint suppressed")
+	}
+	// No channel slice at all (old call shape): must still fire.
+	if v := e.CheckSQL(q, tb); v == nil {
+		t.Error("missing channel slice suppressed the check")
+	}
+}
+
+func TestClassifyTrapChannelKey(t *testing.T) {
+	conf := DefaultConfig()
+	conf.Channels = map[string]taint.Channel{"L2": taint.ChanNetwork}
+	e := NewEngine(conf)
+	trap := &machine.Trap{Kind: machine.TrapNaTStoreData}
+
+	if v := e.ClassifyTrap(trap, taint.ChanFile); v != nil {
+		t.Errorf("file-only taint fired net-keyed L2: %v", v)
+	}
+	if v := e.ClassifyTrap(trap, taint.ChanNetwork); v == nil || v.Policy != "L2" {
+		t.Errorf("net taint missed by net-keyed L2: %v", v)
+	}
+	// Unknown live set (no tracking): conservative, still fires.
+	if v := e.ClassifyTrap(trap); v == nil {
+		t.Error("unknown live channels suppressed the trap policy")
+	}
+}
+
+func TestConfigClone(t *testing.T) {
+	conf := DefaultConfig()
+	conf.Channels = map[string]taint.Channel{"H1": taint.ChanFile}
+	cp := conf.Clone()
+	cp.Enabled["H1"] = false
+	cp.Channels["H1"] = taint.ChanNetwork
+	cp.Sources["network"] = false
+	cp.NoTrack["f"] = true
+	if !conf.Enabled["H1"] || conf.Channels["H1"] != taint.ChanFile ||
+		!conf.Sources["network"] || conf.NoTrack["f"] {
+		t.Error("Clone shares state with the original")
+	}
+}

@@ -44,6 +44,11 @@ type Guest struct {
 // between an Acquire and a Release).
 func (g *Guest) Machine() *machine.Machine { return g.mach }
 
+// Tags exposes the guest's tag space (nil for uninstrumented pools),
+// for tests that pin recycle hygiene — no taint, and no birth-channel
+// bookkeeping, may survive into the next request.
+func (g *Guest) Tags() *taint.Space { return g.tags }
+
 // Stats is a point-in-time view of pool accounting.
 type Stats struct {
 	Size          int

@@ -192,7 +192,7 @@ func (w *World) markTaint(m *machine.Machine, addr uint64, n int, channel string
 	if w.Tags == nil || n <= 0 || !w.source(channel) {
 		return nil
 	}
-	if err := w.Tags.SetRange(addr, uint64(n)); err != nil {
+	if err := w.Tags.SetRangeFrom(addr, uint64(n), taint.ChannelForSource(channel)); err != nil {
 		return err
 	}
 	if w.Effects != nil {
@@ -252,6 +252,31 @@ func (w *World) taintedBytes(addr uint64, n int) ([]bool, error) {
 		return make([]bool, n), nil
 	}
 	return w.Tags.TaintedBytes(addr, n)
+}
+
+// channelBytes reads per-byte birth channels for a guest buffer, feeding
+// the policy engine's per-channel rule keying. Without tracking (or on a
+// read error, which taintedBytes will surface) it returns nil, which the
+// checks treat as "no provenance info".
+func (w *World) channelBytes(addr uint64, n int) []taint.Channel {
+	if w.Tags == nil {
+		return nil
+	}
+	cb, err := w.Tags.ChannelBytes(addr, n)
+	if err != nil {
+		return nil
+	}
+	return cb
+}
+
+// liveChannels is the union of taint birth channels live in the space,
+// the provenance signal available to NaT-consumption trap classification
+// (register tokens themselves carry only the one NaT bit).
+func (w *World) liveChannels() taint.Channel {
+	if w.Tags == nil {
+		return 0
+	}
+	return w.Tags.Live()
 }
 
 // maxIOTransfer caps a single read/write/recv/send/html_write transfer.
@@ -522,7 +547,7 @@ func (w *World) sysOpen(m *machine.Machine) (uint64, *machine.Trap) {
 		if err != nil {
 			return 0, hostTrap(m, err)
 		}
-		if trap := w.checkSink(m, "open", w.Engine.CheckOpen(path, tb)); trap != nil {
+		if trap := w.checkSink(m, "open", w.Engine.CheckOpen(path, tb, w.channelBytes(uint64(pathPtr), len(path)))); trap != nil {
 			return 0, trap
 		}
 	}
@@ -607,7 +632,7 @@ func (w *World) sysSQL(m *machine.Machine) (uint64, *machine.Trap) {
 		if err != nil {
 			return 0, hostTrap(m, err)
 		}
-		if trap := w.checkSink(m, "sql", w.Engine.CheckSQL(q, tb)); trap != nil {
+		if trap := w.checkSink(m, "sql", w.Engine.CheckSQL(q, tb, w.channelBytes(uint64(qPtr), len(q)))); trap != nil {
 			return 0, trap
 		}
 	}
@@ -631,7 +656,7 @@ func (w *World) sysSystem(m *machine.Machine) (uint64, *machine.Trap) {
 		if err != nil {
 			return 0, hostTrap(m, err)
 		}
-		if trap := w.checkSink(m, "system", w.Engine.CheckSystem(cmd, tb)); trap != nil {
+		if trap := w.checkSink(m, "system", w.Engine.CheckSystem(cmd, tb, w.channelBytes(uint64(cPtr), len(cmd)))); trap != nil {
 			return 0, trap
 		}
 	}
@@ -662,7 +687,7 @@ func (w *World) sysHTML(m *machine.Machine) (uint64, *machine.Trap) {
 		if err != nil {
 			return 0, hostTrap(m, err)
 		}
-		if trap := w.checkSink(m, "html", w.Engine.CheckHTML(b, tb)); trap != nil {
+		if trap := w.checkSink(m, "html", w.Engine.CheckHTML(b, tb, w.channelBytes(uint64(buf), len(b)))); trap != nil {
 			return 0, trap
 		}
 	}

@@ -12,6 +12,7 @@ package shift
 import (
 	"fmt"
 
+	"shift/internal/asm"
 	"shift/internal/codegen"
 	"shift/internal/forensics"
 	"shift/internal/instrument"
@@ -151,6 +152,24 @@ func Build(sources []Source, opt Options) (*isa.Program, error) {
 	if err != nil {
 		return nil, err
 	}
+	return instrumentProg(prog, opt)
+}
+
+// BuildAsm assembles one hand-written assembly unit and (optionally)
+// instruments it under the same options as Build. It exists for
+// scenarios written below minic's level — the attack corpus'
+// speculative-leak gadget needs ld.s/chk.s sequences minic never emits.
+func BuildAsm(name, text string, opt Options) (*isa.Program, error) {
+	prog, err := asm.Assemble(text, asm.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("shift: %s: %w", name, err)
+	}
+	return instrumentProg(prog, opt)
+}
+
+// instrumentProg applies the SHIFT pass per the run options (the shared
+// tail of Build and BuildAsm).
+func instrumentProg(prog *isa.Program, opt Options) (*isa.Program, error) {
 	if !opt.Instrument {
 		return prog, nil
 	}
@@ -421,7 +440,7 @@ func RunOn(mach *machine.Machine, world *World, opt Options) (*Result, error) {
 		return res, nil
 	}
 	if trap.Kind.IsNaTConsumption() && world.Engine != nil {
-		if v := world.Engine.ClassifyTrap(trap); v != nil {
+		if v := world.Engine.ClassifyTrap(trap, world.liveChannels()); v != nil {
 			// Hardware-detected (L1–L3) violations bypass the syscall
 			// sink path, so the trace event is recorded here.
 			opt.Trace.Emit(trace.Event{Cycle: mach.Cycles, TID: mach.TID, PC: trap.PC, Kind: trace.KindViolation, Name: v.Policy})

@@ -623,6 +623,16 @@ func (a *Analysis) decide() {
 			case isa.OpLd, isa.OpLdS, isa.OpLdFill:
 				f.AddrTaint = st.taint.Has(ins.Src1)
 				f.MemTaint = a.memTaint(st.ptr[ins.Src1])
+				if ins.Op == isa.OpLdS {
+					// A control-speculative load was hoisted above the
+					// branch that guards it — typically a bounds check.
+					// The points-to set's in-bounds assumption is exactly
+					// what a misspeculated execution violates (the
+					// spec-leak gadget reads one past its table), so the
+					// bitmap consult stays unless the whole program is
+					// taint-free.
+					f.MemTaint = a.anySeed()
+				}
 			case isa.OpSt, isa.OpStSpill:
 				f.AddrTaint = st.taint.Has(ins.Src1)
 				f.MemTaint = a.memTaint(st.ptr[ins.Src1])
@@ -658,21 +668,32 @@ func (a *Analysis) Permissive(pc int) bool {
 }
 
 // InstrumentLoad reports whether a selective pass must rewrite the load
-// at pc: the location may carry taint, or — inside a permissive
-// function — the address may be NaT (full instrumentation would clean
-// it; a skipped site would fault where the full build does not).
+// at pc: the location may carry taint, the address is derived from
+// tainted data (the in-bounds assumption behind the points-to sets is
+// void when an attacker steers the pointer — the recovery load of the
+// spec-leak gadget reads one past its table through exactly such an
+// address), or — inside a permissive function — the address may be NaT
+// (full instrumentation would clean it; a skipped site would fault
+// where the full build does not).
 func (a *Analysis) InstrumentLoad(pc int) bool {
 	f := a.At(pc)
-	return f.Live && (f.MemTaint || (a.Permissive(pc) && f.AddrTaint))
+	return f.Live && (f.MemTaint ||
+		(f.AddrTaint && a.anySeed()) ||
+		(a.Permissive(pc) && f.AddrTaint))
 }
 
 // InstrumentStore reports whether a selective pass must rewrite the
 // store (or cmpxchg) at pc: tainted data must reach the bitmap, a
 // may-tainted target needs its stale tags cleared (region-0 digest
-// equality), and permissive-function addresses must still be cleaned.
+// equality), a taint-derived address voids the in-bounds assumption
+// (same rule as loads: the target may be tainted memory whose tags the
+// store must clear), and permissive-function addresses must still be
+// cleaned.
 func (a *Analysis) InstrumentStore(pc int) bool {
 	f := a.At(pc)
-	return f.Live && (f.DataTaint || f.MemTaint || (a.Permissive(pc) && f.AddrTaint))
+	return f.Live && (f.DataTaint || f.MemTaint ||
+		(f.AddrTaint && a.anySeed()) ||
+		(a.Permissive(pc) && f.AddrTaint))
 }
 
 // RelaxCompare reports whether the compare at pc may observe a NaT

@@ -351,8 +351,12 @@ lookup:
 	if !perm.InstrumentLoad(idx) {
 		t.Error("tainted-address load in a permissive function skipped")
 	}
-	if plain.InstrumentLoad(idx) != plain.At(idx).MemTaint {
-		t.Error("non-permissive load decision should follow MemTaint alone")
+	// Outside permissive functions a taint-derived address still keeps
+	// the site: the points-to in-bounds assumption says the load stays
+	// inside the (clean) table, but an attacker-steered index is exactly
+	// how that assumption is violated at run time.
+	if !plain.InstrumentLoad(idx) {
+		t.Error("tainted-address load skipped outside a permissive function")
 	}
 }
 

@@ -138,7 +138,9 @@ func (st *state) applyRec(r *rec) *oracle.Divergence {
 		if r.dest != isa.RegZero && natAfter != deferred {
 			return div(r, oracle.DivNaTRule, r.dest, natAfter, deferred)
 		}
-		t := false
+		// Deferral token == taint under the one-bit encoding (see the
+		// oracle's OpLdS rule); keeps NaT/taint equality checks exact.
+		t := true
 		if !deferred {
 			t = st.loadTaint(r.addr, int(r.size))
 		}

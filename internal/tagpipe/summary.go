@@ -169,7 +169,8 @@ func summarize(seg *segment, unit uint64) (s *summary, ok bool) {
 				s.checks = append(s.checks, check{idx: i, d: div(r, oracle.DivNaTRule, r.dest, natAfter, deferred)})
 				return s, true
 			}
-			v := sym{}
+			// Deferral token == taint (see the oracle's OpLdS rule).
+			v := sym{t: true}
 			if !deferred {
 				var o bool
 				v, o = loadSym(r.addr, int(r.size))

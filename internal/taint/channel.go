@@ -1,0 +1,77 @@
+package taint
+
+import "strings"
+
+// Channel identifies the input channel a taint mark was born from — the
+// provenance axis of §3.3.1's source configuration. It is a bitmask so
+// policy rules and live-set queries can express unions ("network or
+// file") in one word.
+type Channel uint8
+
+// Birth channels. ChanHost covers taint introduced directly by the host
+// interface (the taint() syscall and host-side SetRange callers), as
+// opposed to an OS input channel.
+const (
+	ChanNetwork Channel = 1 << iota
+	ChanFile
+	ChanArgs
+	ChanStdin
+	ChanHost
+)
+
+// ChanAll is the union of every birth channel.
+const ChanAll = ChanNetwork | ChanFile | ChanArgs | ChanStdin | ChanHost
+
+// channelNames orders the canonical names for String.
+var channelNames = []struct {
+	ch   Channel
+	name string
+}{
+	{ChanNetwork, "network"},
+	{ChanFile, "file"},
+	{ChanArgs, "args"},
+	{ChanStdin, "stdin"},
+	{ChanHost, "host"},
+}
+
+// String renders the mask as a comma-joined channel list.
+func (c Channel) String() string {
+	if c == 0 {
+		return "none"
+	}
+	var parts []string
+	for _, n := range channelNames {
+		if c&n.ch != 0 {
+			parts = append(parts, n.name)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseChannel resolves one channel name (with the aliases the policy
+// configuration accepts) to its mask bit.
+func ParseChannel(name string) (Channel, bool) {
+	switch name {
+	case "network", "net":
+		return ChanNetwork, true
+	case "file":
+		return ChanFile, true
+	case "args", "argv":
+		return ChanArgs, true
+	case "stdin":
+		return ChanStdin, true
+	case "host", "syscall":
+		return ChanHost, true
+	}
+	return 0, false
+}
+
+// ChannelForSource maps an OS-model source name (the strings the world's
+// syscalls use: "network", "file", "args", "stdin") to its channel.
+// Unknown names map to ChanHost, the conservative catch-all.
+func ChannelForSource(name string) Channel {
+	if ch, ok := ParseChannel(name); ok {
+		return ch
+	}
+	return ChanHost
+}

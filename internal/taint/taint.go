@@ -101,6 +101,19 @@ type Space struct {
 	// lives in, and routes the underlying accesses through the memory's
 	// TLB-free Shared accessors.
 	shards *[tagShards]sync.Mutex
+
+	// Birth-channel provenance. origins records, per tracked unit the
+	// host has marked, the channel(s) the mark was born from; live is the
+	// union of every channel that has marked taint since the last Clear.
+	// Guest-propagated taint (tag-bitmap writes by instrumented stores)
+	// is invisible here by construction — ChannelBytes falls back to the
+	// live union for units it has no precise origin for, which is exact
+	// whenever a run's taint all came from one channel and a sound
+	// over-approximation otherwise. originMu guards both fields; the tag
+	// bits themselves stay under the shard locks.
+	originMu sync.Mutex
+	origins  map[uint64]Channel
+	live     Channel
 }
 
 // tagShards is the number of word-granularity locks a shared Space
@@ -163,6 +176,80 @@ func (s *Space) writeTag(tb uint64, v byte) *mem.Fault {
 	return s.Mem.Write(tb, 1, uint64(v))
 }
 
+// noteOrigin records ch as a birth channel of the count units starting
+// at start (unit strides), and joins it into the live union.
+func (s *Space) noteOrigin(start, count uint64, ch Channel) {
+	if ch == 0 {
+		ch = ChanHost
+	}
+	s.originMu.Lock()
+	defer s.originMu.Unlock()
+	if s.origins == nil {
+		s.origins = make(map[uint64]Channel)
+	}
+	unit := s.Gran.UnitBytes()
+	for i := uint64(0); i < count; i++ {
+		s.origins[start+i*unit] |= ch
+	}
+	s.live |= ch
+}
+
+// dropOrigin forgets the recorded birth channels of the count units
+// starting at start. The live union is sticky until Clear: a cleared
+// range no longer attributes, but channels seen this run stay live.
+func (s *Space) dropOrigin(start, count uint64) {
+	s.originMu.Lock()
+	defer s.originMu.Unlock()
+	if s.origins == nil {
+		return
+	}
+	unit := s.Gran.UnitBytes()
+	for i := uint64(0); i < count; i++ {
+		delete(s.origins, start+i*unit)
+	}
+}
+
+// Live returns the union of every birth channel that marked taint since
+// the last Clear — the coarse attribution for taint that propagated
+// beyond its precisely-tracked units (register tokens, guest tag writes).
+func (s *Space) Live() Channel {
+	s.originMu.Lock()
+	defer s.originMu.Unlock()
+	return s.live
+}
+
+// ChannelAt returns the birth channel(s) of the tracked unit containing
+// addr: the precise origin when the host marked it, otherwise the live
+// union (taint that arrived by propagation). The result is only
+// meaningful for tainted units; callers pair it with Tainted.
+func (s *Space) ChannelAt(addr uint64) Channel {
+	unit := s.Gran.UnitBytes()
+	u := addr &^ (unit - 1)
+	s.originMu.Lock()
+	defer s.originMu.Unlock()
+	if ch, ok := s.origins[u]; ok {
+		return ch
+	}
+	return s.live
+}
+
+// ChannelBytes returns, for each byte of [addr, addr+n), the birth
+// channel(s) of its tracked unit — the provenance counterpart of
+// TaintedBytes for channel-keyed policy checks. Untainted bytes report 0.
+func (s *Space) ChannelBytes(addr uint64, n int) ([]Channel, error) {
+	out := make([]Channel, n)
+	for i := 0; i < n; i++ {
+		t, err := s.Tainted(addr+uint64(i), 1)
+		if err != nil {
+			return nil, err
+		}
+		if t {
+			out[i] = s.ChannelAt(addr + uint64(i))
+		}
+	}
+	return out, nil
+}
+
 // Clear unmarks every tag in the space: after it, no address is tainted.
 // Cost is O(tagged bytes), not O(memory): the tag bitmap packs 8 tracked
 // units per byte into region 0, and the clear zeroes only the region-0
@@ -184,17 +271,44 @@ func (s *Space) Clear() int {
 			}
 		}()
 	}
-	return s.Mem.ZeroRegionPages(0)
+	pages := s.Mem.ZeroRegionPages(0)
+	s.originMu.Lock()
+	s.origins = nil
+	s.live = 0
+	s.originMu.Unlock()
+	return pages
 }
 
-// SetRange marks [addr, addr+n) tainted. Host-side (taint sources).
+// SetRange marks [addr, addr+n) tainted with ChanHost provenance.
+// Host-side (the taint() syscall and direct test setup); OS input
+// channels use SetRangeFrom.
 func (s *Space) SetRange(addr uint64, n uint64) error {
-	return s.setRange(addr, n, true)
+	return s.SetRangeFrom(addr, n, ChanHost)
+}
+
+// SetRangeFrom marks [addr, addr+n) tainted, recording ch as the birth
+// channel of every covered unit.
+func (s *Space) SetRangeFrom(addr, n uint64, ch Channel) error {
+	if err := s.setRange(addr, n, true); err != nil {
+		return err
+	}
+	if n > 0 {
+		start, count := s.units(addr, n)
+		s.noteOrigin(start, count, ch)
+	}
+	return nil
 }
 
 // ClearRange marks [addr, addr+n) untainted. Host-side.
 func (s *Space) ClearRange(addr uint64, n uint64) error {
-	return s.setRange(addr, n, false)
+	if err := s.setRange(addr, n, false); err != nil {
+		return err
+	}
+	if n > 0 {
+		start, count := s.units(addr, n)
+		s.dropOrigin(start, count)
+	}
+	return nil
 }
 
 // checkRange rejects ranges the tag translation cannot cover: an address
